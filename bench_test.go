@@ -1,0 +1,171 @@
+package selfheal_test
+
+// One benchmark per table and figure of the paper's evaluation, plus one
+// per §5 research-agenda ablation. These drive the same harnesses as the
+// cmd/ tools at reduced-but-meaningful sizes and report the headline
+// numbers as custom benchmark metrics, so `go test -bench=. -benchmem`
+// regenerates every artifact's shape in one run.
+
+import (
+	"testing"
+
+	"selfheal"
+)
+
+// BenchmarkTable1FaultFixMatrix regenerates Table 1: every fault kind
+// against its candidate fixes plus a control.
+func BenchmarkTable1FaultFixMatrix(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := selfheal.RunTable1(71)
+		candOK, candN, ctrlOK, ctrlN := 0, 0, 0, 0
+		for _, row := range res.Rows {
+			for _, o := range row.Outcomes {
+				if o.Control {
+					ctrlN++
+					if o.Recovered {
+						ctrlOK++
+					}
+				} else {
+					candN++
+					if o.Recovered {
+						candOK++
+					}
+				}
+			}
+		}
+		b.ReportMetric(100*float64(candOK)/float64(candN), "candidate-fix-%")
+		b.ReportMetric(100*float64(ctrlOK)/float64(ctrlN), "control-fix-%")
+	}
+}
+
+// BenchmarkFigure1FailureCauses regenerates Figure 1's cause distribution.
+func BenchmarkFigure1FailureCauses(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := selfheal.RunFigure1(18, 40)
+		// Operator share of the Online profile is the paper's headline.
+		b.ReportMetric(100*res.Share[0][0], "online-operator-%")
+	}
+}
+
+// BenchmarkFigure2RecoveryTimes regenerates Figure 2's TTR-by-cause table.
+func BenchmarkFigure2RecoveryTimes(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := selfheal.RunFigure2(18, 30)
+		// Operator vs. software recovery-time ratio (paper: operator slowest).
+		op, sw := res.MeanTTR[0][0], res.MeanTTR[0][1]
+		if sw > 0 {
+			b.ReportMetric(op/sw, "operator/software-ttr")
+		}
+	}
+}
+
+// BenchmarkTable2ApproachComparison regenerates the Table 2 matrix.
+func BenchmarkTable2ApproachComparison(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		cfg := selfheal.QuickTable2Config()
+		res := selfheal.RunTable2(cfg)
+		// FixSym's recurring-scenario first-try rate vs. manual rules'.
+		b.ReportMetric(100*res.Cells[4][0].CorrectFirst, "fixsym-recurring-first-%")
+		b.ReportMetric(100*res.Cells[0][0].CorrectFirst, "manual-recurring-first-%")
+	}
+}
+
+// BenchmarkFigure4SynopsisAccuracy regenerates Figure 4's learning curves.
+func BenchmarkFigure4SynopsisAccuracy(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		cfg := selfheal.QuickFigure4Config()
+		res := selfheal.RunFigure4(cfg)
+		b.ReportMetric(100*res.Curves[0].FinalAcc, "adaboost-%")
+		b.ReportMetric(100*res.Curves[1].FinalAcc, "nn-%")
+		b.ReportMetric(100*res.Curves[2].FinalAcc, "kmeans-%")
+	}
+}
+
+// BenchmarkTable3SynopsisCost regenerates Table 3's learning-cost ratios.
+func BenchmarkTable3SynopsisCost(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		cfg := selfheal.QuickFigure4Config()
+		res := selfheal.RunFigure4(cfg)
+		ada, nn := res.Curves[0], res.Curves[1]
+		if nn.TimeToReport > 0 {
+			b.ReportMetric(float64(ada.TimeToReport)/float64(nn.TimeToReport), "adaboost/nn-time")
+		}
+	}
+}
+
+// BenchmarkAblationHybrid runs the §5.1 combination ablation.
+func BenchmarkAblationHybrid(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := selfheal.RunHybridAblation(71, 10)
+		b.ReportMetric(100*res.Escalated[0], "fixsym-escalated-%")
+		b.ReportMetric(100*res.Escalated[2], "hybrid-escalated-%")
+	}
+}
+
+// BenchmarkAblationOnlineDrift runs the §5.2 online-learning ablation.
+func BenchmarkAblationOnlineDrift(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := selfheal.RunOnlineDriftAblation(71, 18)
+		b.ReportMetric(100*res.FrozenAccuracy, "frozen-%")
+		b.ReportMetric(100*res.OnlineAccuracy, "online-%")
+	}
+}
+
+// BenchmarkAblationConfidenceRanking runs the §5.2 ranking ablation.
+func BenchmarkAblationConfidenceRanking(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := selfheal.RunConfidenceAblation(71, 8)
+		b.ReportMetric(res.RankedMeanAttempts, "ranked-attempts")
+		b.ReportMetric(res.UnrankedMeanAttempts, "antiranked-attempts")
+	}
+}
+
+// BenchmarkAblationNegativeData runs the §5.2 negative-samples ablation.
+func BenchmarkAblationNegativeData(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := selfheal.RunNegativeDataAblation(71, 10)
+		b.ReportMetric(100*res.WithNegatives, "with-neg-first-%")
+		b.ReportMetric(100*res.WithoutNegatives, "without-neg-first-%")
+	}
+}
+
+// BenchmarkAblationProactive runs the §5.3 forecast-driven healing
+// ablation.
+func BenchmarkAblationProactive(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := selfheal.RunProactiveAblation(71, 1800)
+		b.ReportMetric(float64(res.ReactiveBadTicks), "reactive-bad-ticks")
+		b.ReportMetric(float64(res.ProactiveBadTicks), "proactive-bad-ticks")
+	}
+}
+
+// BenchmarkAblationControl runs the §5.4 stability analysis.
+func BenchmarkAblationControl(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := selfheal.RunControlAblation(71)
+		b.ReportMetric(float64(res.SettlingTime), "settling-ticks")
+		b.ReportMetric(float64(res.Flapping.Worst), "flap-repeats")
+	}
+}
+
+// BenchmarkServiceTick measures the simulator's per-tick cost — the unit
+// everything above is built from.
+func BenchmarkServiceTick(b *testing.B) {
+	sys := selfheal.MustNewSystem(selfheal.Options{Seed: 3})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sys.Step()
+	}
+}
+
+// BenchmarkHealEpisode measures one full detect→diagnose→fix→verify
+// episode.
+func BenchmarkHealEpisode(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		sys := selfheal.MustNewSystem(selfheal.Options{Seed: int64(i + 1), Approach: selfheal.ApproachAnomaly})
+		ep := sys.HealEpisode(selfheal.NewStaleStats("items", 8))
+		if !ep.Recovered {
+			b.Fatal("episode did not recover")
+		}
+	}
+}

@@ -1,0 +1,44 @@
+// Command compare regenerates the paper's Table 1 (failures and candidate
+// fixes, verified empirically), Table 2 (comparison of fix-identification
+// approaches, measured) and the §5 research-agenda ablations.
+//
+//	compare -table1 -table2 -ablations
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"selfheal"
+)
+
+func main() {
+	var (
+		seed      = flag.Int64("seed", 71, "deterministic seed")
+		table1    = flag.Bool("table1", true, "run the fault/fix matrix")
+		table2    = flag.Bool("table2", true, "run the approach comparison")
+		quick     = flag.Bool("quick", false, "scaled-down Table 2")
+		ablations = flag.Bool("ablations", false, "run the §5 ablations")
+	)
+	flag.Parse()
+
+	if *table1 {
+		fmt.Println(selfheal.RunTable1(*seed).Format())
+	}
+	if *table2 {
+		cfg := selfheal.DefaultTable2Config()
+		if *quick {
+			cfg = selfheal.QuickTable2Config()
+		}
+		cfg.Seed = *seed
+		fmt.Println(selfheal.RunTable2(cfg).Format())
+	}
+	if *ablations {
+		fmt.Println(selfheal.RunHybridAblation(*seed, 16).Format())
+		fmt.Println(selfheal.RunOnlineDriftAblation(*seed, 24).Format())
+		fmt.Println(selfheal.RunConfidenceAblation(*seed, 12).Format())
+		fmt.Println(selfheal.RunNegativeDataAblation(*seed, 12).Format())
+		fmt.Println(selfheal.RunProactiveAblation(*seed, 2400).Format())
+		fmt.Println(selfheal.RunControlAblation(*seed).Format())
+	}
+}

@@ -1,0 +1,55 @@
+// Command fixbench regenerates the paper's Figure 4 (synopsis accuracy vs.
+// correct fixes learned) and Table 3 (synopsis learning cost): the FixSym
+// loop is driven with AdaBoost-60, nearest-neighbor and k-means synopses
+// against a fixed simulator-generated test set.
+//
+//	fixbench            # paper-sized: 1000-point test set, 100 fixes
+//	fixbench -quick     # smoke-sized
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"selfheal"
+)
+
+func main() {
+	var (
+		quick = flag.Bool("quick", false, "run the scaled-down configuration")
+		seed  = flag.Int64("seed", 2007, "deterministic seed")
+		fixes = flag.Int("fixes", 0, "override the target number of correct fixes")
+		test  = flag.Int("testset", 0, "override the test set size")
+	)
+	flag.Parse()
+
+	cfg := selfheal.DefaultFigure4Config()
+	if *quick {
+		cfg = selfheal.QuickFigure4Config()
+	}
+	cfg.Seed = *seed
+	if *fixes > 0 {
+		cfg.TargetFixes = *fixes
+	}
+	if *test > 0 {
+		cfg.TestSize = *test
+	}
+	fmt.Printf("fixbench: test set %d, target %d correct fixes (seed %d)\n\n", cfg.TestSize, cfg.TargetFixes, cfg.Seed)
+	res := selfheal.RunFigure4(cfg)
+	fmt.Println(res.Format())
+	fmt.Println(selfheal.PlotCurves(res.Curves, 72, 18))
+
+	fmt.Println("shape checks against the paper:")
+	ada, nn, km := res.Curves[0], res.Curves[1], res.Curves[2]
+	fmt.Printf("  AdaBoost reaches %.1f%% final; NN %.1f%%; k-means %.1f%% (paper: 98.5 / 95.5 / 87)\n",
+		100*ada.FinalAcc, 100*nn.FinalAcc, 100*km.FinalAcc)
+	fmt.Printf("  learning-time ratio AdaBoost/NN at %d fixes: %.0fx (paper: ~19x)\n",
+		cfg.ReportAt, float64(ada.TimeToReport)/float64(max64(1, int64(nn.TimeToReport))))
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,81 @@
+// Command selfheald runs the simulated multitier service under a random
+// fault campaign with a self-healing loop attached, streaming an episode
+// log: what failed, what the healer tried, and how long recovery took.
+//
+//	selfheald -episodes 20 -approach hybrid -seed 7
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"selfheal"
+)
+
+func main() {
+	var (
+		episodes = flag.Int("episodes", 12, "failure episodes to inject and heal")
+		approach = flag.String("approach", string(selfheal.ApproachHybrid), "healing approach (manual|anomaly|correlation|bottleneck|path-analysis|fixsym-nn|fixsym-kmeans|fixsym-adaboost|fixsym-bayes|hybrid)")
+		seed     = flag.Int64("seed", 7, "deterministic seed")
+	)
+	flag.Parse()
+
+	sys, err := selfheal.NewSystem(selfheal.Options{
+		Seed:     *seed,
+		Approach: selfheal.ApproachKind(*approach),
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "selfheald:", err)
+		os.Exit(2)
+	}
+	gen := selfheal.RandomFaults(*seed + 1)
+
+	fmt.Printf("selfheald: %d episodes, approach=%s, seed=%d\n", *episodes, *approach, *seed)
+	var recovered, escalated, firstTry int
+	var ttrSum int64
+	for i := 0; i < *episodes; i++ {
+		f := gen.Next()
+		ep := sys.HealEpisode(f)
+		status := "recovered"
+		if !ep.Detected {
+			status = "not SLO-visible"
+		} else if !ep.Recovered {
+			status = "NOT RECOVERED"
+		}
+		fmt.Printf("[ep %02d] t=%-7d %-28s target=%-12s %s", i, ep.InjectedAt, f.Kind(), orDash(f.Target()), status)
+		if ep.Recovered {
+			recovered++
+			ttrSum += ep.TTR()
+			fmt.Printf(" in %ds", ep.TTR())
+		}
+		if ep.Escalated {
+			escalated++
+			fmt.Printf(" (escalated to administrator)")
+		} else if ep.CorrectFirst {
+			firstTry++
+			fmt.Printf(" (first attempt)")
+		}
+		fmt.Println()
+		for _, a := range ep.Attempts {
+			mark := "✗"
+			if a.Success {
+				mark = "✓"
+			}
+			fmt.Printf("         %s %v (confidence %.2f)\n", mark, a.Action, a.Confidence)
+		}
+		sys.StepN(120) // settle between episodes
+	}
+	fmt.Printf("\nsummary: recovered %d/%d, first-attempt %d, escalated %d", recovered, *episodes, firstTry, escalated)
+	if recovered > 0 {
+		fmt.Printf(", mean TTR %.0fs", float64(ttrSum)/float64(recovered))
+	}
+	fmt.Println()
+}
+
+func orDash(s string) string {
+	if s == "" {
+		return "—"
+	}
+	return s
+}

@@ -1,0 +1,63 @@
+// Knowledgebase demonstrates the §4.2/§5.1 preproduction workflow: actively
+// stimulate a staging copy of the service with injected faults to bootstrap
+// a synopsis, persist the learned knowledge base as JSON, and ship it to a
+// production healer — which then fixes its very first failure without ever
+// bothering the administrator.
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"log"
+
+	"selfheal"
+)
+
+func main() {
+	// 1. Preproduction: the domain expert schedules fault injections on a
+	//    staging environment (§4.2 active stimulation).
+	fmt.Println("1. preproduction: active stimulation on staging")
+	staging := selfheal.NewNNSynopsis()
+	plan := selfheal.DefaultBootstrapPlan()
+	plan.PerKind = 2
+	n := selfheal.Bootstrap(plan, selfheal.NewFixSym(staging))
+	fmt.Printf("   learned %d labeled failure signatures\n", n)
+
+	// 2. Persist the knowledge base (§5.1: "a knowledge-base that a
+	//    practitioner can use").
+	var kb bytes.Buffer
+	if err := selfheal.SaveSynopsis(&kb, staging); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("2. knowledge base serialized: %d bytes of JSON\n", kb.Len())
+
+	// 3. Production: a different learner (AdaBoost) is rebuilt from the
+	//    same history — the knowledge base is learner-agnostic.
+	production := selfheal.NewAdaBoostSynopsis(60)
+	if err := selfheal.LoadSynopsis(&kb, production); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("3. production healer rebuilt from the knowledge base (%d signatures, %s)\n",
+		production.TrainingSize(), production.Name())
+
+	// 4. First production failure: handled from shipped knowledge.
+	sys, err := selfheal.NewSystem(selfheal.Options{Seed: 77})
+	if err != nil {
+		log.Fatal(err)
+	}
+	healer := sys.Healer
+	healer.Approach = selfheal.NewFixSym(production)
+	ep := sys.HealEpisode(selfheal.NewBlockContention("bids", 220))
+	fmt.Printf("4. first production failure: recovered=%v escalated=%v ttr=%ds\n",
+		ep.Recovered, ep.Escalated, ep.TTR())
+	for _, a := range ep.Attempts {
+		mark := "✗"
+		if a.Success {
+			mark = "✓"
+		}
+		fmt.Printf("   %s %v (confidence %.2f)\n", mark, a.Action, a.Confidence)
+	}
+	if !ep.Escalated {
+		fmt.Println("\nno administrator involved: the staging campaign paid for itself.")
+	}
+}

@@ -1,0 +1,63 @@
+// Quickstart: build a self-healing multitier service, break it, and watch
+// the Figure 3 loop repair it.
+//
+// The first occurrence of a failure escalates to the (simulated)
+// administrator — the synopsis is empty — and the administrator's fix
+// becomes training data. The second occurrence of the same failure is
+// repaired from the learned signature in seconds.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"selfheal"
+)
+
+func main() {
+	sys, err := selfheal.NewSystem(selfheal.Options{
+		Seed:     1,
+		Approach: selfheal.ApproachFixSymNN,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("== first occurrence: stale optimizer statistics on the items table ==")
+	ep1 := sys.HealEpisode(selfheal.NewStaleStats("items", 8))
+	report(ep1)
+
+	sys.StepN(200) // service settles back to its baseline
+
+	fmt.Println("\n== recurrence: same failure, signature now known ==")
+	ep2 := sys.HealEpisode(selfheal.NewStaleStats("items", 7))
+	report(ep2)
+
+	if ep1.TTR() > 0 && ep2.TTR() > 0 {
+		fmt.Printf("\nlearning paid off: recovery went from %ds (human timescale) to %ds (machine timescale), %.0fx faster\n",
+			ep1.TTR(), ep2.TTR(), float64(ep1.TTR())/float64(ep2.TTR()))
+	}
+}
+
+func report(ep selfheal.Episode) {
+	if !ep.Detected {
+		fmt.Println("failure never became SLO-visible")
+		return
+	}
+	fmt.Printf("detected %ds after injection\n", ep.DetectedAt-ep.InjectedAt)
+	for _, a := range ep.Attempts {
+		mark := "✗"
+		if a.Success {
+			mark = "✓"
+		}
+		fmt.Printf("  attempt %s %v (confidence %.2f)\n", mark, a.Action, a.Confidence)
+	}
+	if ep.Escalated {
+		fmt.Println("  escalated: full restart + administrator notified; fix learned from the administrator")
+	}
+	if ep.Recovered {
+		fmt.Printf("recovered, time to repair %ds\n", ep.TTR())
+	} else {
+		fmt.Println("NOT recovered")
+	}
+}

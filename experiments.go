@@ -1,0 +1,82 @@
+package selfheal
+
+import "selfheal/internal/experiments"
+
+// Re-exported experiment harnesses: one per table and figure of the paper,
+// plus the §5 research-agenda ablations. Each Run* function regenerates
+// its artifact from live simulation; the result's Format method prints the
+// same rows/series the paper reports.
+
+// Experiment result and configuration types.
+type (
+	// Figure1Result is the failure-cause distribution campaign.
+	Figure1Result = experiments.Figure1Result
+	// Figure2Result is the time-to-recover-by-cause campaign.
+	Figure2Result = experiments.Figure2Result
+	// Figure4Config parameterizes the synopsis comparison.
+	Figure4Config = experiments.Figure4Config
+	// Figure4Result carries the Figure 4 learning curves and Table 3 costs.
+	Figure4Result = experiments.Figure4Result
+	// LearningCurve is one synopsis's Figure 4 trajectory.
+	LearningCurve = experiments.LearningCurve
+	// Table1Result is the empirical fault/fix matrix.
+	Table1Result = experiments.Table1Result
+	// Table2Config parameterizes the approach comparison.
+	Table2Config = experiments.Table2Config
+	// Table2Result is the measured Table 2 matrix.
+	Table2Result = experiments.Table2Result
+	// HybridAblation is the §5.1 combination study.
+	HybridAblation = experiments.HybridAblation
+	// OnlineDriftAblation is the §5.2 online-learning study.
+	OnlineDriftAblation = experiments.OnlineDriftAblation
+	// ConfidenceAblation is the §5.2 ranking study.
+	ConfidenceAblation = experiments.ConfidenceAblation
+	// NegativeDataAblation is the §5.2 negative-samples study.
+	NegativeDataAblation = experiments.NegativeDataAblation
+	// ProactiveAblation is the §5.3 forecast-driven healing study.
+	ProactiveAblation = experiments.ProactiveAblation
+	// ControlAblation is the §5.4 stability study.
+	ControlAblation = experiments.ControlAblation
+)
+
+// Experiment configurations.
+var (
+	// DefaultFigure4Config mirrors the paper (1000-point test set, 100
+	// correct fixes, AdaBoost-60, Table 3 report at 50).
+	DefaultFigure4Config = experiments.DefaultFigure4Config
+	// QuickFigure4Config is a scaled-down smoke configuration.
+	QuickFigure4Config = experiments.QuickFigure4Config
+	// DefaultTable2Config is the standard approach-comparison size.
+	DefaultTable2Config = experiments.DefaultTable2Config
+	// QuickTable2Config is the test-sized variant.
+	QuickTable2Config = experiments.QuickTable2Config
+)
+
+// Experiment runners.
+var (
+	// RunFigure1 regenerates Figure 1 (causes of failures).
+	RunFigure1 = experiments.RunFigure1
+	// RunFigure2 regenerates Figure 2 (time to recover by cause).
+	RunFigure2 = experiments.RunFigure2
+	// RunFigure4 regenerates Figure 4 and Table 3 (synopsis comparison).
+	RunFigure4 = experiments.RunFigure4
+	// RunTable1 regenerates Table 1 (failures and candidate fixes).
+	RunTable1 = experiments.RunTable1
+	// RunTable2 regenerates Table 2 (approach comparison).
+	RunTable2 = experiments.RunTable2
+	// RunHybridAblation runs the §5.1 ablation.
+	RunHybridAblation = experiments.RunHybridAblation
+	// RunOnlineDriftAblation runs the §5.2 online-learning ablation.
+	RunOnlineDriftAblation = experiments.RunOnlineDriftAblation
+	// RunConfidenceAblation runs the §5.2 ranking ablation.
+	RunConfidenceAblation = experiments.RunConfidenceAblation
+	// RunNegativeDataAblation runs the §5.2 negative-data ablation.
+	RunNegativeDataAblation = experiments.RunNegativeDataAblation
+	// RunProactiveAblation runs the §5.3 proactive-healing ablation.
+	RunProactiveAblation = experiments.RunProactiveAblation
+	// RunControlAblation runs the §5.4 control-theory ablation.
+	RunControlAblation = experiments.RunControlAblation
+)
+
+// PlotCurves renders Figure 4 learning curves as an ASCII chart.
+var PlotCurves = experiments.PlotCurves

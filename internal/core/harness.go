@@ -1,0 +1,209 @@
+package core
+
+import (
+	"selfheal/internal/detect"
+	"selfheal/internal/faults"
+	"selfheal/internal/fixes"
+	"selfheal/internal/metrics"
+	"selfheal/internal/service"
+	"selfheal/internal/trace"
+	"selfheal/internal/workload"
+)
+
+// HarnessConfig sizes the monitoring/healing environment around a service.
+type HarnessConfig struct {
+	Service service.Config
+	Mix     workload.Mix
+	Seed    int64
+	// WarmupTicks is the healthy run used to freeze the baseline (the Nb
+	// window of Example 2).
+	WarmupTicks int
+	// WindowTicks is the current-window size Nc used for detection,
+	// symptom vectors and the χ² test.
+	WindowTicks int
+	// DetectK of WindowTicks violated ticks declares a failure.
+	DetectK int
+	// HistoryTicks bounds the retained metric history.
+	HistoryTicks int
+	SLO          detect.SLO
+}
+
+// DefaultHarnessConfig returns the standard experiment environment.
+func DefaultHarnessConfig() HarnessConfig {
+	return HarnessConfig{
+		Service:      service.DefaultConfig(),
+		Mix:          workload.BiddingMix(),
+		Seed:         42,
+		WarmupTicks:  240,
+		WindowTicks:  15,
+		DetectK:      8,
+		HistoryTicks: 2400,
+		SLO:          detect.DefaultSLO(),
+	}
+}
+
+// Harness couples the simulated service with its workload, fault injector,
+// fix actuator and monitoring stack, and drives simulated time.
+type Harness struct {
+	Cfg HarnessConfig
+
+	Svc     *service.Service
+	Gen     *workload.Generator
+	Inj     *faults.Injector
+	Act     *fixes.Actuator
+	Coll    *metrics.Collector
+	Monitor *detect.Monitor
+	Builder *detect.SymptomBuilder
+	CallDet *detect.CallMatrixDetector
+
+	// ring holds copies of the last WindowTicks call matrices so the
+	// current χ² window always covers the moments before detection.
+	ring    [][][]float64
+	ringPos int
+
+	baselineFrozen bool
+}
+
+// NewHarness builds the environment and runs the warmup to freeze the
+// healthy baseline.
+func NewHarness(cfg HarnessConfig) *Harness {
+	svc := service.New(cfg.Service)
+	gen := workload.NewGenerator(cfg.Mix, cfg.Seed)
+	h := &Harness{
+		Cfg:     cfg,
+		Svc:     svc,
+		Gen:     gen,
+		Inj:     faults.NewInjector(svc, gen),
+		Act:     fixes.NewActuator(svc),
+		Coll:    metrics.NewCollector(svc),
+		Monitor: detect.NewMonitor(cfg.SLO, cfg.DetectK, cfg.WindowTicks),
+		CallDet: detect.NewCallMatrixDetector(svc.CallMatrixRows(), len(service.EJBNames())),
+		ring:    make([][][]float64, cfg.WindowTicks),
+	}
+	h.WarmUp()
+	return h
+}
+
+// WarmUp runs the healthy service long enough to freeze the symptom
+// baseline and the call-matrix baseline.
+func (h *Harness) WarmUp() {
+	for i := 0; i < h.Cfg.WarmupTicks; i++ {
+		h.Step()
+	}
+	series := h.Coll.Series()
+	base := metrics.NewBaseline(series.Tail(h.Cfg.WarmupTicks * 3 / 4))
+	h.Builder = detect.NewSymptomBuilder(base)
+	h.baselineFrozen = true
+}
+
+// Step advances one tick: workload arrives, the service processes it,
+// metrics are collected, the monitor observes, and call matrices are
+// accumulated (into the χ² baseline only while the service looks healthy).
+func (h *Harness) Step() service.TickStats {
+	st := h.Svc.Tick(h.Gen.Arrivals(h.Svc.Now()))
+	h.Coll.Collect(h.Svc.Now())
+	h.Monitor.Observe(st)
+
+	m := h.Svc.CallMatrix()
+	cp := copyMatrix(m)
+	h.ring[h.ringPos] = cp
+	h.ringPos = (h.ringPos + 1) % len(h.ring)
+	if !h.Monitor.Failing() && h.Monitor.CleanFor() > h.Cfg.WindowTicks {
+		h.CallDet.AccumulateBaseline(cp)
+	}
+
+	// Bound history memory during long campaigns.
+	if h.Coll.Series().Len() > h.Cfg.HistoryTicks*2 {
+		h.Coll.Series().TrimFront(h.Cfg.HistoryTicks)
+	}
+	return st
+}
+
+// StepN advances n ticks and returns the last tick's stats.
+func (h *Harness) StepN(n int) service.TickStats {
+	var st service.TickStats
+	for i := 0; i < n; i++ {
+		st = h.Step()
+	}
+	return st
+}
+
+func copyMatrix(m [][]float64) [][]float64 {
+	out := make([][]float64, len(m))
+	for i := range m {
+		out[i] = append([]float64(nil), m[i]...)
+	}
+	return out
+}
+
+// BuildContext assembles the FailureContext for a failure detected now.
+func (h *Harness) BuildContext() *FailureContext {
+	series := h.Coll.Series()
+	recent := series.Tail(h.Cfg.WindowTicks)
+	// Rebuild the χ² current window from the matrix ring.
+	h.CallDet.ResetCurrent()
+	for _, m := range h.ring {
+		if m != nil {
+			h.CallDet.AccumulateCurrent(m)
+		}
+	}
+	// Sample request paths from the live service state: per class,
+	// weighted toward the busier classes so failure-path inference sees a
+	// realistic traffic mix.
+	sampler := trace.NewSampler(h.Svc, h.Svc.Now()^0x5eed)
+	var paths []trace.Path
+	rates := h.Gen.Rates(h.Svc.Now())
+	for c := 0; c < service.NumClasses(); c++ {
+		n := 4
+		if c < len(rates) && rates[c] > 20 {
+			n = 10
+		}
+		if c < len(rates) && rates[c] <= 0 {
+			continue
+		}
+		for i := 0; i < n; i++ {
+			paths = append(paths, sampler.Sample(c))
+		}
+	}
+	return &FailureContext{
+		DetectedAt:    h.Svc.Now(),
+		Symptom:       h.Builder.Vector(recent),
+		Schema:        series.Schema(),
+		Baseline:      h.Builder.Baseline(),
+		Recent:        recent,
+		History:       series.Tail(h.Cfg.HistoryTicks),
+		CallCallees:   service.EJBNames(),
+		CallAnomalies: h.CallDet.AnomalousCallees(),
+		Paths:         paths,
+	}
+}
+
+// Symptom returns the current symptom vector without building a full
+// context (used by the proactive forecaster and tests).
+func (h *Harness) Symptom() []float64 {
+	return h.Builder.Vector(h.Coll.Series().Tail(h.Cfg.WindowTicks))
+}
+
+// RunUntilFailing steps until the monitor declares a failure or maxTicks
+// elapse; it reports whether a failure was detected.
+func (h *Harness) RunUntilFailing(maxTicks int) bool {
+	for i := 0; i < maxTicks; i++ {
+		h.Step()
+		if h.Monitor.Failing() {
+			return true
+		}
+	}
+	return h.Monitor.Failing()
+}
+
+// RunUntilRecovered steps until the monitor sees a full clean window or
+// maxTicks elapse; it reports whether the service recovered.
+func (h *Harness) RunUntilRecovered(maxTicks int) bool {
+	for i := 0; i < maxTicks; i++ {
+		if h.Monitor.Recovered() {
+			return true
+		}
+		h.Step()
+	}
+	return h.Monitor.Recovered()
+}

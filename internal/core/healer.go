@@ -1,0 +1,213 @@
+package core
+
+import (
+	"selfheal/internal/catalog"
+	"selfheal/internal/faults"
+	"selfheal/internal/fixes"
+	"selfheal/internal/synopsis"
+)
+
+// HealerConfig parameterizes the Figure 3 loop.
+type HealerConfig struct {
+	// Threshold is the paper's THRESHOLD: failed attempts before escalating
+	// to the general costly fix (full restart + administrator).
+	Threshold int
+	// CheckTicks bounds how long after a fix settles the loop waits for a
+	// clean SLO window before declaring the attempt failed.
+	CheckTicks int
+	// AdminDelayTicks is the human response time after NotifyAdmin —
+	// recovery "limited to slower human timescales" (§1).
+	AdminDelayTicks int
+	// EpisodeBudget bounds one episode's total ticks as a safety net.
+	EpisodeBudget int
+	// EscalateRestart applies the full restart at threshold (Figure 3
+	// line 19). Disable for learning experiments where downtime accounting
+	// is irrelevant and restarts would erase the fault being labeled.
+	EscalateRestart bool
+}
+
+// DefaultHealerConfig mirrors Figure 3 with human escalation at minutes
+// timescale.
+func DefaultHealerConfig() HealerConfig {
+	return HealerConfig{
+		Threshold:       4,
+		CheckTicks:      40,
+		AdminDelayTicks: 600,
+		EpisodeBudget:   6000,
+		EscalateRestart: true,
+	}
+}
+
+// Attempt records one fix application within an episode.
+type Attempt struct {
+	Action     Action
+	Confidence float64
+	AppliedAt  int64
+	Success    bool
+}
+
+// Episode is the outcome of healing one failure.
+type Episode struct {
+	Fault       faults.Fault
+	InjectedAt  int64
+	Detected    bool
+	DetectedAt  int64
+	Attempts    []Attempt
+	Escalated   bool
+	Recovered   bool
+	RecoveredAt int64
+	// CorrectFirst reports whether the first attempt succeeded.
+	CorrectFirst bool
+}
+
+// TTR returns the episode's time to recover in ticks (detection through
+// recovery, including fix attempts and any human escalation).
+func (e Episode) TTR() int64 {
+	if !e.Recovered {
+		return -1
+	}
+	return e.RecoveredAt - e.InjectedAt
+}
+
+// Healer drives the Figure 3 loop: wait for a failure, query the approach
+// for a probable fix, apply it, check it, feed the outcome back, and repeat
+// until fixed or the threshold triggers the general costly fix.
+type Healer struct {
+	Cfg      HealerConfig
+	H        *Harness
+	Approach Approach
+
+	// AdminOracle plays the administrator of Figure 3 lines 19–20: it
+	// returns the correct fix for the live fault. Wired to the fault
+	// injector's ground truth by the experiment harnesses; nil means the
+	// administrator merely restarts and the episode ends unlabeled.
+	AdminOracle func() (Action, bool)
+}
+
+// NewHealer builds a healer over an environment and an approach.
+func NewHealer(h *Harness, a Approach, cfg HealerConfig) *Healer {
+	return &Healer{Cfg: cfg, H: h, Approach: a}
+}
+
+// OracleFromInjector returns an AdminOracle that reveals the correct fix of
+// the first uncleared fault — the administrator's diagnosis.
+func OracleFromInjector(inj *faults.Injector) func() (Action, bool) {
+	return func() (Action, bool) {
+		for _, f := range inj.Active() {
+			if f.Cleared(inj.Env()) {
+				continue
+			}
+			fix, target := f.CorrectFix()
+			return Action{Fix: fix, Target: target}, true
+		}
+		return Action{}, false
+	}
+}
+
+// RunEpisode injects f and heals the resulting failure to completion.
+func (hl *Healer) RunEpisode(f faults.Fault) Episode {
+	h := hl.H
+	ep := Episode{Fault: f, InjectedAt: h.Svc.Now()}
+	h.Inj.Inject(f)
+
+	budget := hl.Cfg.EpisodeBudget
+	if !h.RunUntilFailing(budget) {
+		// The fault never became SLO-visible; let it age out quietly.
+		h.Inj.Reap()
+		return ep
+	}
+	ep.Detected = true
+	ep.DetectedAt = h.Svc.Now()
+
+	ctx := h.BuildContext()
+	var tried []Action
+	for count := 0; ; count++ {
+		if h.Svc.Now()-ep.InjectedAt > int64(budget) {
+			break
+		}
+		if count >= hl.Cfg.Threshold {
+			hl.escalate(ctx, &ep)
+			break
+		}
+		action, conf, ok := hl.Approach.Recommend(ctx, tried)
+		if !ok {
+			hl.escalate(ctx, &ep)
+			break
+		}
+		tried = append(tried, action)
+		att := Attempt{Action: action, Confidence: conf, AppliedAt: h.Svc.Now()}
+		app, err := h.Act.Apply(action.Fix, action.Target)
+		if err == nil {
+			h.StepN(int(app.SettleTicks))
+		}
+		// Check fix: the service must hold a full clean window (§4.1
+		// "Detecting success/failure of fixes").
+		recovered := h.RunUntilRecovered(hl.Cfg.CheckTicks)
+		att.Success = recovered
+		ep.Attempts = append(ep.Attempts, att)
+		hl.Approach.Observe(ctx, action, recovered)
+		if recovered {
+			ep.Recovered = true
+			ep.RecoveredAt = h.Svc.Now()
+			ep.CorrectFirst = count == 0
+			break
+		}
+	}
+	h.Inj.Reap()
+	return ep
+}
+
+// escalate applies the paper's general costly fix: full restart, notify the
+// administrator, wait at human timescale, and learn from the
+// administrator's fix (Figure 3 lines 18–21).
+func (hl *Healer) escalate(ctx *FailureContext, ep *Episode) {
+	h := hl.H
+	ep.Escalated = true
+	// The administrator's diagnosis is taken from the live failure state:
+	// a restart may clear transient faults and erase the evidence.
+	var adminAction Action
+	haveAdmin := false
+	if hl.AdminOracle != nil {
+		adminAction, haveAdmin = hl.AdminOracle()
+	}
+	if hl.Cfg.EscalateRestart {
+		if _, err := h.Act.Apply(catalog.FixFullRestart, ""); err == nil {
+			h.StepN(int(fixes.ProfileFor(catalog.FixFullRestart).SettleTicks))
+		}
+	}
+	if _, err := h.Act.Apply(catalog.FixNotifyAdmin, ""); err == nil {
+		h.StepN(hl.Cfg.AdminDelayTicks)
+	}
+	if haveAdmin {
+		if app, err := h.Act.Apply(adminAction.Fix, adminAction.Target); err == nil {
+			h.StepN(int(app.SettleTicks))
+		}
+		// "Update synopsis S with fix found by the administrator."
+		hl.Approach.Observe(ctx, adminAction, true)
+	}
+	if h.RunUntilRecovered(hl.Cfg.CheckTicks * 4) {
+		ep.Recovered = true
+		ep.RecoveredAt = h.Svc.Now()
+	}
+}
+
+// LabeledFailure produces one ground-truth-labeled failure observation for
+// test sets: inject f, wait for detection, snapshot the symptom, then apply
+// the correct fix so the service returns to health. Used to build the fixed
+// 1000-point test set of Figure 4 without polluting any learner.
+func LabeledFailure(h *Harness, f faults.Fault, budget int) (synopsis.Point, bool) {
+	h.Inj.Inject(f)
+	if !h.RunUntilFailing(budget) {
+		h.Inj.Reap()
+		return synopsis.Point{}, false
+	}
+	ctx := h.BuildContext()
+	fix, target := f.CorrectFix()
+	action := Action{Fix: fix, Target: target}
+	if app, err := h.Act.Apply(fix, target); err == nil {
+		h.StepN(int(app.SettleTicks))
+	}
+	h.RunUntilRecovered(240)
+	h.Inj.Reap()
+	return synopsis.Point{X: ctx.Symptom, Action: action, Success: true}, true
+}

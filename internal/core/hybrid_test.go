@@ -1,0 +1,142 @@
+package core_test
+
+import (
+	"strings"
+	"testing"
+
+	"selfheal/internal/catalog"
+	"selfheal/internal/core"
+	"selfheal/internal/diagnose"
+	"selfheal/internal/faults"
+	"selfheal/internal/synopsis"
+)
+
+// stubApproach always recommends one action.
+type stubApproach struct {
+	name   string
+	action core.Action
+	conf   float64
+}
+
+func (s *stubApproach) Name() string { return s.name }
+func (s *stubApproach) Recommend(_ *core.FailureContext, tried []core.Action) (core.Action, float64, bool) {
+	for _, a := range tried {
+		if a == s.action {
+			return core.Action{}, 0, false
+		}
+	}
+	return s.action, s.conf, true
+}
+func (s *stubApproach) Observe(*core.FailureContext, core.Action, bool) {}
+
+func dummyCtx() *core.FailureContext {
+	h := core.NewHarness(core.DefaultHarnessConfig())
+	return h.BuildContext()
+}
+
+func TestHybridPicksHighestWeightedConfidence(t *testing.T) {
+	a := &stubApproach{name: "a", action: core.Action{Fix: catalog.FixUpdateStats, Target: "items"}, conf: 0.9}
+	b := &stubApproach{name: "b", action: core.Action{Fix: catalog.FixRepartitionMemory}, conf: 0.3}
+	h := core.NewHybrid(a, b)
+	ctx := dummyCtx()
+	action, _, ok := h.Recommend(ctx, nil)
+	if !ok || action != a.action {
+		t.Fatalf("picked %v, want the 0.9-confidence proposal", action)
+	}
+}
+
+func TestHybridReliabilityWeightsMove(t *testing.T) {
+	a := &stubApproach{name: "a", action: core.Action{Fix: catalog.FixUpdateStats, Target: "items"}, conf: 0.9}
+	b := &stubApproach{name: "b", action: core.Action{Fix: catalog.FixRepartitionMemory}, conf: 0.8}
+	h := core.NewHybrid(a, b)
+	ctx := dummyCtx()
+	// Approach a's proposal keeps failing.
+	for i := 0; i < 12; i++ {
+		action, _, ok := h.Recommend(ctx, nil)
+		if !ok {
+			t.Fatal("hybrid abstained")
+		}
+		h.Observe(ctx, action, action != a.action)
+	}
+	w := h.Weights()
+	if w[0] >= w[1] {
+		t.Errorf("failing approach's weight %.2f not below succeeding one's %.2f", w[0], w[1])
+	}
+	// Eventually b's weighted confidence must win.
+	action, _, _ := h.Recommend(ctx, nil)
+	if action != b.action {
+		t.Errorf("hybrid still proposing the unreliable approach's action %v", action)
+	}
+	if !strings.Contains(h.String(), "a:") {
+		t.Error("String() should render weights")
+	}
+}
+
+func TestHybridFeedsAllObservers(t *testing.T) {
+	syn := synopsis.NewNearestNeighbor()
+	fs := core.NewFixSym(syn)
+	h := core.NewHybrid(fs, diagnose.NewAnomaly())
+	ctx := dummyCtx()
+	action := core.Action{Fix: catalog.FixUpdateStats, Target: "items"}
+	h.Observe(ctx, action, true)
+	if syn.TrainingSize() != 1 {
+		t.Error("hybrid did not forward the observation to FixSym's synopsis")
+	}
+}
+
+func TestProactiveHoltVariant(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation experiment")
+	}
+	for _, useHolt := range []bool{false, true} {
+		cfg := core.DefaultHarnessConfig()
+		cfg.Seed = 99
+		h := core.NewHarness(cfg)
+		p := core.NewProactive(h)
+		p.UseHolt = useHolt
+		h.Inj.Inject(faults.NewAging(catalog.TierApp, 0.004))
+		actions, bad := p.RunWithProactive(1800)
+		if actions == 0 {
+			t.Errorf("useHolt=%v: forecaster never acted", useHolt)
+		}
+		if bad > 150 {
+			t.Errorf("useHolt=%v: %d bad ticks", useHolt, bad)
+		}
+	}
+}
+
+func TestHarnessDeterminism(t *testing.T) {
+	run := func() []float64 {
+		cfg := core.DefaultHarnessConfig()
+		cfg.Seed = 123
+		h := core.NewHarness(cfg)
+		h.Inj.Inject(faults.NewStaleStats("items", 8))
+		h.RunUntilFailing(600)
+		return h.BuildContext().Symptom
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatal("symptom widths differ")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("symptom[%d] differs: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestContextAccessors(t *testing.T) {
+	ctx := dummyCtx()
+	if ctx.ZScore("no.such.metric") != 0 {
+		t.Error("unknown metric z-score should be 0")
+	}
+	if ctx.CurrentMean("no.such.metric") != 0 || ctx.Latest("no.such.metric") != 0 {
+		t.Error("unknown metric reads should be 0")
+	}
+	if ctx.BaselineMean("svc.throughput") <= 0 {
+		t.Error("baseline throughput should be positive")
+	}
+	if len(ctx.Paths) == 0 {
+		t.Error("context carries no sampled paths")
+	}
+}

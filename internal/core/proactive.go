@@ -1,0 +1,127 @@
+package core
+
+import (
+	"selfheal/internal/catalog"
+	"selfheal/internal/stats"
+)
+
+// Proactive implements the §5.3 research-agenda item: "an approach where
+// failures are predicted in advance and fixes applied proactively". It fits
+// linear trends to leak-style metrics (software aging) and schedules the
+// appropriate reboot before the forecast crossing — turning a crash plus
+// emergency recovery into a short planned restart.
+type Proactive struct {
+	H *Harness
+	// Horizon is how far ahead (ticks) a forecast crossing must fall to
+	// trigger action.
+	Horizon float64
+	// FitWindow is the number of recent ticks fitted.
+	FitWindow int
+	// MinR2 gates on fit quality so noise does not trigger reboots.
+	MinR2 float64
+	// UseHolt switches the forecaster from OLS trend fitting to Holt's
+	// double exponential smoothing, which tracks accelerating leaks more
+	// responsively (§5.3's "synopses that can forecast failures", ref [3]).
+	UseHolt bool
+
+	rules []trendRule
+}
+
+// trendRule forecasts one metric against a critical level.
+type trendRule struct {
+	metric string
+	level  float64
+	action Action
+}
+
+// NewProactive builds the forecaster with the aging rules of Table 1:
+// heap occupancy predicts app-tier crashes; rising utilization at constant
+// throughput predicts web/db aging.
+func NewProactive(h *Harness) *Proactive {
+	return &Proactive{
+		H:         h,
+		Horizon:   240,
+		FitWindow: 120,
+		MinR2:     0.7,
+		rules: []trendRule{
+			{metric: "app.heap.occ", level: 0.95, action: Action{Fix: catalog.FixRebootAppTier, Target: "app"}},
+			{metric: "web.cpu.util", level: 0.95, action: Action{Fix: catalog.FixRebootWebTier, Target: "web"}},
+			{metric: "db.cpu.util", level: 0.95, action: Action{Fix: catalog.FixRebootDBTier, Target: "db"}},
+		},
+	}
+}
+
+// Check fits trends over the recent window and returns a preemptive action
+// if any monitored metric is forecast to cross its critical level within
+// the horizon. Utilization rules additionally require flat throughput, so
+// organic load growth is not mistaken for aging.
+func (p *Proactive) Check() (Action, float64, bool) {
+	series := p.H.Coll.Series()
+	if series.Len() < p.FitWindow {
+		return Action{}, 0, false
+	}
+	window := series.Tail(p.FitWindow)
+	tputFit := stats.FitSeries(window.Col("svc.throughput"))
+	tputFlat := tputFit.Slope < tputFit.Intercept*0.0015 // <0.15%/tick growth
+
+	for _, r := range p.rules {
+		col := window.Col(r.metric)
+		if col == nil {
+			continue
+		}
+		if r.metric != "app.heap.occ" && !tputFlat {
+			continue
+		}
+		fit := stats.FitSeries(col)
+		if fit.Slope <= 0 || fit.R2 < p.MinR2 {
+			// The OLS fit gates on noise for both forecasters: a genuine
+			// leak is near-deterministic (high R²); a flat metric's Holt
+			// trend is pure noise and must not trigger reboots.
+			continue
+		}
+		if p.UseHolt {
+			h := stats.NewHolt(0.25, 0.1)
+			for _, v := range col {
+				h.Add(v)
+			}
+			if steps, ok := h.StepsToCross(r.level, int(p.Horizon)); ok && h.Trend() > 0 {
+				return r.action, float64(steps), true
+			}
+			continue
+		}
+		x, ok := fit.CrossingTime(r.level, float64(p.FitWindow-1))
+		if !ok {
+			continue
+		}
+		remaining := x - float64(p.FitWindow-1)
+		if remaining <= p.Horizon {
+			return r.action, remaining, true
+		}
+	}
+	return Action{}, 0, false
+}
+
+// RunWithProactive drives the harness for maxTicks, applying preemptive
+// fixes when forecast; it returns the number of proactive actions taken and
+// the ticks the service spent down or SLO-violating — the ablation metric
+// comparing proactive to reactive healing.
+func (p *Proactive) RunWithProactive(maxTicks int) (actions int, badTicks int) {
+	cooldown := 0
+	for i := 0; i < maxTicks; i++ {
+		st := p.H.Step()
+		if p.H.Cfg.SLO.Violated(st) {
+			badTicks++
+		}
+		if cooldown > 0 {
+			cooldown--
+			continue
+		}
+		if action, _, ok := p.Check(); ok {
+			if app, err := p.H.Act.Apply(action.Fix, action.Target); err == nil {
+				actions++
+				cooldown = int(app.SettleTicks) + p.FitWindow
+			}
+		}
+	}
+	return actions, badTicks
+}

@@ -1,0 +1,192 @@
+// Package detect implements failure detection (§4.1 "Detecting failures"):
+// an SLO-compliance monitor with hysteresis, a user-activity monitor, the
+// symptom-vector builder that turns metric windows into the feature vectors
+// the learners consume, and the χ² call-matrix anomaly detector of the
+// paper's Example 2.
+package detect
+
+import (
+	"selfheal/internal/metrics"
+	"selfheal/internal/service"
+)
+
+// SLO is a service-level objective (§1: e.g. "all transactions complete
+// within 1 second"): bounds on average latency, user-visible error rate,
+// and the share of individual requests missing their latency target —
+// the per-transaction form the paper's brokerage example uses.
+type SLO struct {
+	MaxAvgLatencyMS   float64
+	MaxErrorRate      float64
+	MaxViolationShare float64
+}
+
+// DefaultSLO matches the simulator's default operating point with ~3×
+// headroom, so only genuine failures violate it.
+func DefaultSLO() SLO {
+	return SLO{MaxAvgLatencyMS: 250, MaxErrorRate: 0.02, MaxViolationShare: 0.08}
+}
+
+// Violated reports whether one tick breaks the objective. Ticks with no
+// traffic cannot violate the SLO.
+func (s SLO) Violated(st service.TickStats) bool {
+	if st.Down {
+		return true
+	}
+	if st.Arrivals <= 0 {
+		return false
+	}
+	if st.AvgLatencyMS > s.MaxAvgLatencyMS {
+		return true
+	}
+	if st.Errors/st.Arrivals > s.MaxErrorRate {
+		return true
+	}
+	// A failure confined to a minority request class (e.g. lock contention
+	// on the bids table) can leave the average healthy while a visible
+	// share of transactions miss their objective.
+	return s.MaxViolationShare > 0 && st.SLOViolations/st.Arrivals > s.MaxViolationShare
+}
+
+// Monitor is an SLO-compliance monitor with K-of-N hysteresis: a failure is
+// declared when at least K of the last N ticks violated the objective, and
+// health is declared only after a clean run of N ticks — the "care should be
+// taken to let the service recover fully" caveat of §4.1.
+type Monitor struct {
+	SLO  SLO
+	K, N int
+
+	window   []bool
+	pos      int
+	filled   int
+	cleanFor int
+}
+
+// NewMonitor builds a K-of-N monitor.
+func NewMonitor(slo SLO, k, n int) *Monitor {
+	if n < 1 {
+		n = 1
+	}
+	if k < 1 {
+		k = 1
+	}
+	if k > n {
+		k = n
+	}
+	return &Monitor{SLO: slo, K: k, N: n, window: make([]bool, n)}
+}
+
+// Observe folds one tick into the monitor and returns whether that tick
+// violated the SLO.
+func (m *Monitor) Observe(st service.TickStats) bool {
+	v := m.SLO.Violated(st)
+	m.window[m.pos] = v
+	m.pos = (m.pos + 1) % m.N
+	if m.filled < m.N {
+		m.filled++
+	}
+	if v {
+		m.cleanFor = 0
+	} else {
+		m.cleanFor++
+	}
+	return v
+}
+
+// Failing reports whether a failure is currently declared (≥K of last N
+// ticks violated).
+func (m *Monitor) Failing() bool {
+	if m.filled < m.K {
+		return false
+	}
+	c := 0
+	for _, v := range m.window {
+		if v {
+			c++
+		}
+	}
+	return c >= m.K
+}
+
+// Recovered reports whether the service has been clean for at least N
+// consecutive ticks — the check-fix criterion of Figure 3 line 13.
+func (m *Monitor) Recovered() bool { return m.cleanFor >= m.N }
+
+// CleanFor returns the length of the current violation-free run.
+func (m *Monitor) CleanFor() int { return m.cleanFor }
+
+// Reset clears the monitor's memory (used after restarts).
+func (m *Monitor) Reset() {
+	for i := range m.window {
+		m.window[i] = false
+	}
+	m.pos, m.filled, m.cleanFor = 0, 0, 0
+}
+
+// SymptomBuilder turns metric windows into the symptom vectors the
+// synopses learn over: per-column z-scores of the current window against a
+// frozen healthy baseline, clamped so no single metric dominates distances.
+type SymptomBuilder struct {
+	baseline *metrics.Baseline
+	clamp    float64
+}
+
+// NewSymptomBuilder builds a symptom builder over a healthy baseline.
+func NewSymptomBuilder(baseline *metrics.Baseline) *SymptomBuilder {
+	return &SymptomBuilder{baseline: baseline, clamp: 8}
+}
+
+// Baseline returns the underlying baseline.
+func (b *SymptomBuilder) Baseline() *metrics.Baseline { return b.baseline }
+
+// Vector builds the symptom feature vector for the current window.
+func (b *SymptomBuilder) Vector(window *metrics.Series) []float64 {
+	return b.baseline.ZScores(window, b.clamp)
+}
+
+// UserActivityMonitor watches a service-level activity metric (the paper's
+// "number of searches done per minute") and flags sustained drops against
+// its own slow-moving history — a detector that needs no internal metrics
+// at all.
+type UserActivityMonitor struct {
+	fast, slow ema
+	// DropFrac is the fractional drop that triggers (e.g. 0.3 = 30%).
+	DropFrac float64
+}
+
+// NewUserActivityMonitor builds the monitor with the given trigger fraction.
+func NewUserActivityMonitor(dropFrac float64) *UserActivityMonitor {
+	return &UserActivityMonitor{
+		fast:     ema{alpha: 0.2},
+		slow:     ema{alpha: 0.01},
+		DropFrac: dropFrac,
+	}
+}
+
+// Observe folds one tick's activity level (e.g. served requests).
+func (u *UserActivityMonitor) Observe(activity float64) {
+	u.fast.add(activity)
+	u.slow.add(activity)
+}
+
+// Dropped reports whether activity has dropped by at least DropFrac
+// relative to the slow average.
+func (u *UserActivityMonitor) Dropped() bool {
+	if !u.slow.init || u.slow.val <= 0 {
+		return false
+	}
+	return u.fast.val < u.slow.val*(1-u.DropFrac)
+}
+
+type ema struct {
+	alpha float64
+	val   float64
+	init  bool
+}
+
+func (e *ema) add(x float64) {
+	if !e.init {
+		e.val, e.init = x, true
+		return
+	}
+	e.val = e.alpha*x + (1-e.alpha)*e.val
+}

@@ -1,0 +1,180 @@
+package detect
+
+import (
+	"testing"
+
+	"selfheal/internal/metrics"
+	"selfheal/internal/service"
+)
+
+func healthyTick() service.TickStats {
+	return service.TickStats{Arrivals: 150, Served: 149, Errors: 1, AvgLatencyMS: 90, SLOViolations: 1}
+}
+
+func slowTick() service.TickStats {
+	return service.TickStats{Arrivals: 150, Served: 150, AvgLatencyMS: 600, SLOViolations: 150}
+}
+
+func TestSLOViolationConditions(t *testing.T) {
+	slo := DefaultSLO()
+	if slo.Violated(healthyTick()) {
+		t.Error("healthy tick violated")
+	}
+	if !slo.Violated(slowTick()) {
+		t.Error("slow tick not violated")
+	}
+	errTick := healthyTick()
+	errTick.Errors = 10
+	if !slo.Violated(errTick) {
+		t.Error("6% error rate not violated")
+	}
+	down := service.TickStats{Down: true}
+	if !slo.Violated(down) {
+		t.Error("outage not violated")
+	}
+	idle := service.TickStats{Arrivals: 0}
+	if slo.Violated(idle) {
+		t.Error("idle tick violated")
+	}
+	// Minority-class violations: average fine, violation share high.
+	minority := healthyTick()
+	minority.SLOViolations = 20
+	if !slo.Violated(minority) {
+		t.Error("13% violation share not flagged")
+	}
+}
+
+func TestMonitorHysteresis(t *testing.T) {
+	m := NewMonitor(DefaultSLO(), 3, 5)
+	for i := 0; i < 5; i++ {
+		m.Observe(healthyTick())
+	}
+	if m.Failing() {
+		t.Fatal("healthy window failing")
+	}
+	m.Observe(slowTick())
+	m.Observe(slowTick())
+	if m.Failing() {
+		t.Fatal("2 of 5 violations should not trigger K=3")
+	}
+	m.Observe(slowTick())
+	if !m.Failing() {
+		t.Fatal("3 of 5 violations should trigger")
+	}
+	// Recovery needs a full clean window.
+	m.Observe(healthyTick())
+	if m.Recovered() {
+		t.Fatal("recovered after one clean tick")
+	}
+	for i := 0; i < 5; i++ {
+		m.Observe(healthyTick())
+	}
+	if !m.Recovered() {
+		t.Fatal("not recovered after clean window")
+	}
+	if m.Failing() {
+		t.Fatal("still failing after recovery")
+	}
+	m.Reset()
+	if m.CleanFor() != 0 {
+		t.Fatal("reset did not clear")
+	}
+}
+
+func TestMonitorParamClamping(t *testing.T) {
+	m := NewMonitor(DefaultSLO(), 0, 0)
+	if m.K != 1 || m.N != 1 {
+		t.Errorf("clamped to K=%d N=%d", m.K, m.N)
+	}
+	m = NewMonitor(DefaultSLO(), 9, 5)
+	if m.K != 5 {
+		t.Errorf("K>N not clamped: %d", m.K)
+	}
+}
+
+func TestUserActivityMonitor(t *testing.T) {
+	u := NewUserActivityMonitor(0.3)
+	for i := 0; i < 300; i++ {
+		u.Observe(100)
+	}
+	if u.Dropped() {
+		t.Fatal("steady activity flagged")
+	}
+	for i := 0; i < 30; i++ {
+		u.Observe(20)
+	}
+	if !u.Dropped() {
+		t.Fatal("70% activity drop not flagged")
+	}
+}
+
+func TestCallMatrixDetectorFindsShift(t *testing.T) {
+	const rows, cols = 4, 3
+	d := NewCallMatrixDetector(rows, cols)
+	base := [][]float64{
+		{50, 30, 20},
+		{10, 80, 10},
+		{0, 0, 0},
+		{40, 40, 20},
+	}
+	for i := 0; i < 60; i++ {
+		d.AccumulateBaseline(base)
+	}
+	// Same distribution: no anomaly.
+	for i := 0; i < 10; i++ {
+		d.AccumulateCurrent(base)
+	}
+	if as := d.AnomalousCallees(); len(as) != 0 {
+		t.Fatalf("false positive on identical distribution: %v", as)
+	}
+	// Row 0's split shifts hard toward column 2.
+	d.ResetCurrent()
+	shifted := [][]float64{
+		{10, 10, 80},
+		{10, 80, 10},
+		{0, 0, 0},
+		{40, 40, 20},
+	}
+	for i := 0; i < 10; i++ {
+		d.AccumulateCurrent(shifted)
+	}
+	as := d.AnomalousCallees()
+	if len(as) == 0 {
+		t.Fatal("shift not detected")
+	}
+	if as[0].Col != 2 {
+		t.Errorf("top anomaly col %d, want 2 (scores %v)", as[0].Col, as)
+	}
+}
+
+func TestCallMatrixDetectorEmptyWindows(t *testing.T) {
+	d := NewCallMatrixDetector(2, 2)
+	if as := d.AnomalousCallees(); as != nil {
+		t.Error("anomalies without data")
+	}
+	d.AccumulateBaseline([][]float64{{1, 1}, {1, 1}})
+	if as := d.AnomalousCallees(); as != nil {
+		t.Error("anomalies without a current window")
+	}
+}
+
+func TestSymptomBuilder(t *testing.T) {
+	schema := metrics.NewSchema([]string{"m1", "m2"})
+	base := metrics.NewSeries(schema)
+	for i := 0; i < 50; i++ {
+		base.Append(int64(i), []float64{100 + float64(i%3), 10})
+	}
+	b := NewSymptomBuilder(metrics.NewBaseline(base))
+	cur := metrics.NewSeries(schema)
+	cur.Append(50, []float64{200, 10})
+	v := b.Vector(cur)
+	if len(v) != 2 {
+		t.Fatalf("vector width %d", len(v))
+	}
+	if v[0] <= 3 {
+		t.Errorf("elevated metric z=%v too small", v[0])
+	}
+	if v[1] > 1 || v[1] < -1 {
+		t.Errorf("unchanged metric z=%v", v[1])
+	}
+}

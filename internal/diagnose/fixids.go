@@ -1,0 +1,21 @@
+package diagnose
+
+import (
+	"selfheal/internal/catalog"
+	"selfheal/internal/metrics"
+)
+
+// Small named accessors for fix IDs keep the approach code readable and
+// give vet a single place to check the catalog linkage.
+
+func fixMicroreboot() catalog.FixID       { return catalog.FixMicrorebootEJB }
+func fixUpdateStats() catalog.FixID       { return catalog.FixUpdateStats }
+func fixRebuildIndex() catalog.FixID      { return catalog.FixRebuildIndex }
+func fixRepartitionTable() catalog.FixID  { return catalog.FixRepartitionTable }
+func fixRepartitionMemory() catalog.FixID { return catalog.FixRepartitionMemory }
+func fixProvision() catalog.FixID         { return catalog.FixProvisionTier }
+func fixRestoreConfig() catalog.FixID     { return catalog.FixRestoreConfig }
+func fixRebootApp() catalog.FixID         { return catalog.FixRebootAppTier }
+func fixFullRestart() catalog.FixID       { return catalog.FixFullRestart }
+
+func splitName(name string) []string { return metrics.ParseName(name) }

@@ -1,0 +1,56 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestQuickFigure4Shape runs a scaled-down Figure 4 and checks the
+// qualitative shape the paper reports: AdaBoost is the most
+// sample-efficient, and k-means trails both other synopses.
+func TestQuickFigure4Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("learning experiment")
+	}
+	res := RunFigure4(QuickFigure4Config())
+	t.Logf("\n%s", res.Format())
+	if len(res.Curves) != 3 {
+		t.Fatalf("want 3 curves, got %d", len(res.Curves))
+	}
+	ada, nn, km := res.Curves[0], res.Curves[1], res.Curves[2]
+	n := res.Config.TargetFixes
+	if ada.AccuracyAt(n) < 0.75 {
+		t.Errorf("AdaBoost final accuracy %.2f too low", ada.AccuracyAt(n))
+	}
+	if ada.AccuracyAt(n) < km.AccuracyAt(n) {
+		t.Errorf("AdaBoost (%.2f) should beat k-means (%.2f)", ada.AccuracyAt(n), km.AccuracyAt(n))
+	}
+	if ada.TimeToReport < nn.TimeToReport {
+		t.Errorf("AdaBoost learning time (%v) should exceed NN's (%v)", ada.TimeToReport, nn.TimeToReport)
+	}
+}
+
+// TestPlotCurves checks the ASCII renderer handles normal and degenerate
+// curves.
+func TestPlotCurves(t *testing.T) {
+	curves := []LearningCurve{
+		{Synopsis: "AdaBoost 60", X: []int{5, 20, 50}, Y: []float64{0.3, 0.7, 0.9}},
+		{Synopsis: "Nearest neighbor", X: []int{5, 20, 50}, Y: []float64{0.45, 0.72, 0.86}},
+	}
+	out := PlotCurves(curves, 60, 14)
+	if len(out) == 0 {
+		t.Fatal("empty plot")
+	}
+	for _, want := range []string{"A=AdaBoost 60", "N=Nearest neighbor", "100%", "0%"} {
+		if !containsStr(out, want) {
+			t.Errorf("plot missing %q", want)
+		}
+	}
+	// Degenerate inputs must not panic.
+	_ = PlotCurves(nil, 0, 0)
+	_ = PlotCurves([]LearningCurve{{Synopsis: "x"}}, 10, 3)
+}
+
+func containsStr(s, sub string) bool {
+	return len(s) >= len(sub) && strings.Contains(s, sub)
+}

@@ -1,0 +1,55 @@
+package experiments
+
+import (
+	"fmt"
+	"testing"
+
+	"selfheal/internal/synopsis"
+)
+
+// TestSymptomSeparability is the regression guard for symptom quality:
+// training on clean oracle labels is an upper bound on what the loop can
+// learn, and the paper's qualitative ordering must hold there —
+// nearest-neighbor and AdaBoost converge high, k-means plateaus well
+// below them (its one-centroid-per-fix structure cannot represent
+// multimodal fix classes).
+func TestSymptomSeparability(t *testing.T) {
+	if testing.Short() {
+		t.Skip("learning experiment")
+	}
+	train := BuildTestSet(11, 80, LearningKinds())
+	test := BuildTestSet(90001, 120, LearningKinds())
+	if len(train) < 70 || len(test) < 100 {
+		t.Fatalf("test-set generation degraded: train=%d test=%d", len(train), len(test))
+	}
+
+	acc := func(mk func() synopsis.Synopsis, n int) float64 {
+		syn := mk()
+		for _, p := range train[:n] {
+			syn.Add(p)
+		}
+		return synopsis.Accuracy(syn, test)
+	}
+	mkAda := func() synopsis.Synopsis { return synopsis.NewAdaBoost(60) }
+	mkNN := func() synopsis.Synopsis { return synopsis.NewNearestNeighbor() }
+	mkKM := func() synopsis.Synopsis { return synopsis.NewKMeans() }
+
+	for _, mk := range []func() synopsis.Synopsis{mkAda, mkNN, mkKM} {
+		line := mk().Name() + ":"
+		for _, n := range []int{10, 20, 30, 50, 80} {
+			line += fmt.Sprintf(" %d:%.0f%%", n, 100*acc(mk, n))
+		}
+		t.Log(line)
+	}
+
+	adaFull, nnFull, kmFull := acc(mkAda, 80), acc(mkNN, 80), acc(mkKM, 80)
+	if adaFull < 0.85 {
+		t.Errorf("AdaBoost clean-label accuracy %.2f below 0.85", adaFull)
+	}
+	if nnFull < 0.85 {
+		t.Errorf("NN clean-label accuracy %.2f below 0.85", nnFull)
+	}
+	if kmFull > adaFull-0.1 {
+		t.Errorf("k-means (%.2f) should plateau well below AdaBoost (%.2f)", kmFull, adaFull)
+	}
+}

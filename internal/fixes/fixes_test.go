@@ -1,0 +1,163 @@
+package fixes
+
+import (
+	"testing"
+
+	"selfheal/internal/catalog"
+	"selfheal/internal/service"
+	"selfheal/internal/workload"
+)
+
+func newService(t *testing.T) *service.Service {
+	t.Helper()
+	svc := service.New(service.DefaultConfig())
+	gen := workload.NewGenerator(workload.BiddingMix(), 3)
+	for i := 0; i < 30; i++ {
+		svc.Tick(gen.Arrivals(svc.Now()))
+	}
+	return svc
+}
+
+func TestProfileForEveryFix(t *testing.T) {
+	for _, id := range catalog.FixIDs() {
+		p := ProfileFor(id)
+		if p.ID != id {
+			t.Errorf("profile for %v has id %v", id, p.ID)
+		}
+		if p.Cost <= 0 {
+			t.Errorf("%v has non-positive cost", id)
+		}
+	}
+}
+
+func TestProfileForUnknownPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("unknown fix did not panic")
+		}
+	}()
+	ProfileFor(catalog.FixID(999))
+}
+
+func TestCostOrdering(t *testing.T) {
+	// The paper's cost hierarchy: microreboot ≪ tier reboot ≪ full
+	// restart ≪ human.
+	micro := ProfileFor(catalog.FixMicrorebootEJB).Cost
+	tier := ProfileFor(catalog.FixRebootAppTier).Cost
+	full := ProfileFor(catalog.FixFullRestart).Cost
+	human := ProfileFor(catalog.FixNotifyAdmin).Cost
+	if !(micro < tier && tier < full && full < human) {
+		t.Errorf("cost ordering broken: %v %v %v %v", micro, tier, full, human)
+	}
+}
+
+func TestApplyEveryFix(t *testing.T) {
+	targets := map[catalog.FixID]string{
+		catalog.FixMicrorebootEJB:   "ItemBean",
+		catalog.FixUpdateStats:      "items",
+		catalog.FixRepartitionTable: "bids",
+		catalog.FixRebuildIndex:     "users",
+		catalog.FixProvisionTier:    "app",
+		catalog.FixFailoverNode:     "web",
+	}
+	for _, id := range catalog.FixIDs() {
+		svc := newService(t)
+		act := NewActuator(svc)
+		app, err := act.Apply(id, targets[id])
+		if err != nil {
+			t.Errorf("apply %v: %v", id, err)
+			continue
+		}
+		if app.Fix != id {
+			t.Errorf("application records %v for %v", app.Fix, id)
+		}
+		if app.SettleTicks != ProfileFor(id).SettleTicks {
+			t.Errorf("%v settle %d != profile %d", id, app.SettleTicks, ProfileFor(id).SettleTicks)
+		}
+	}
+}
+
+func TestApplyRejectsBadTargets(t *testing.T) {
+	svc := newService(t)
+	act := NewActuator(svc)
+	if _, err := act.Apply(catalog.FixMicrorebootEJB, ""); err == nil {
+		t.Error("missing target accepted")
+	}
+	if _, err := act.Apply(catalog.FixMicrorebootEJB, "items"); err == nil {
+		t.Error("table name accepted as EJB target")
+	}
+	if _, err := act.Apply(catalog.FixUpdateStats, "ItemBean"); err == nil {
+		t.Error("EJB name accepted as table target")
+	}
+	if _, err := act.Apply(catalog.FixID(999), "x"); err == nil {
+		t.Error("unknown fix accepted")
+	}
+	if len(act.History()) != 0 {
+		t.Error("failed applications recorded in history")
+	}
+}
+
+func TestHistoryRecordsApplications(t *testing.T) {
+	svc := newService(t)
+	act := NewActuator(svc)
+	act.Apply(catalog.FixRepartitionMemory, "")
+	act.Apply(catalog.FixUpdateStats, "items")
+	h := act.History()
+	if len(h) != 2 {
+		t.Fatalf("history %d", len(h))
+	}
+	if h[0].Fix != catalog.FixRepartitionMemory || h[1].Target != "items" {
+		t.Errorf("history wrong: %+v", h)
+	}
+}
+
+func TestFixesActuallyActOnService(t *testing.T) {
+	svc := newService(t)
+	act := NewActuator(svc)
+
+	svc.DB.Table("items").StatsStale = true
+	svc.DB.Table("items").PlanSlowdown = 7
+	act.Apply(catalog.FixUpdateStats, "items")
+	if svc.DB.Table("items").StatsStale {
+		t.Error("update-statistics did not clear staleness")
+	}
+
+	svc.App.EJB("BidBean").Deadlocked = true
+	act.Apply(catalog.FixMicrorebootEJB, "BidBean")
+	if svc.App.EJB("BidBean").Deadlocked {
+		t.Error("microreboot did not clear the deadlock")
+	}
+
+	before := svc.App.Nodes
+	act.Apply(catalog.FixProvisionTier, "app")
+	if svc.App.Nodes <= before {
+		t.Error("provisioning did not add nodes")
+	}
+
+	act.Apply(catalog.FixRebootDBTier, "")
+	if svc.DB.Up() {
+		t.Error("db reboot did not take the tier down")
+	}
+}
+
+func TestValidTarget(t *testing.T) {
+	cases := []struct {
+		fix    catalog.FixID
+		target string
+		want   bool
+	}{
+		{catalog.FixMicrorebootEJB, "ItemBean", true},
+		{catalog.FixMicrorebootEJB, "nope", false},
+		{catalog.FixUpdateStats, "items", true},
+		{catalog.FixUpdateStats, "ItemBean", false},
+		{catalog.FixProvisionTier, "db", true},
+		{catalog.FixProvisionTier, "disk", false},
+		{catalog.FixFullRestart, "", true},
+		{catalog.FixFullRestart, "anything", true},
+	}
+	for _, c := range cases {
+		if got := ValidTarget(c.fix, c.target); got != c.want {
+			t.Errorf("ValidTarget(%v, %q) = %v want %v", c.fix, c.target, got, c.want)
+		}
+	}
+}

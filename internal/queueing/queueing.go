@@ -1,0 +1,187 @@
+// Package queueing provides the performance-model substrate the paper's
+// bottleneck analysis presupposes (§4.3.3: "extra information ... about the
+// structure of the service", and the queuing-network synopses of §3): open
+// queueing-network operational laws for utilization, response time and
+// capacity planning, and exact Mean Value Analysis for closed networks.
+//
+// These are the models a self-healing service uses to answer what-if
+// questions — "how many nodes does this tier need to absorb the current
+// load?" — before acting, rather than provisioning by trial and error.
+package queueing
+
+import "math"
+
+// Station is one queueing resource of an open network.
+type Station struct {
+	Name string
+	// Demand is the service demand per request at this station, in
+	// seconds (visits × service time).
+	Demand float64
+	// Servers is the number of identical servers at the station.
+	Servers int
+}
+
+// effectiveDemand returns the per-request demand divided across servers —
+// the load-balanced approximation used throughout the simulator.
+func (s Station) effectiveDemand() float64 {
+	n := s.Servers
+	if n < 1 {
+		n = 1
+	}
+	return s.Demand / float64(n)
+}
+
+// Utilization returns the station's utilization at arrival rate lambda
+// (requests/second).
+func (s Station) Utilization(lambda float64) float64 {
+	return lambda * s.effectiveDemand()
+}
+
+// ResidenceTime returns the station's per-request residence time at
+// arrival rate lambda under the M/M/1 approximation, in seconds. Saturated
+// stations return +Inf.
+func (s Station) ResidenceTime(lambda float64) float64 {
+	u := s.Utilization(lambda)
+	if u >= 1 {
+		return math.Inf(1)
+	}
+	return s.effectiveDemand() / (1 - u)
+}
+
+// ResidenceTimeShared models a multi-server station where each request is
+// served by one server at full rate but queues against the pooled
+// utilization — an M/M/c-style approximation (and the model the service
+// simulator uses for its tiers). Demand here is the per-request demand on
+// a single server.
+func (s Station) ResidenceTimeShared(lambda float64) float64 {
+	u := s.Utilization(lambda)
+	if u >= 1 {
+		return math.Inf(1)
+	}
+	return s.Demand / (1 - u)
+}
+
+// Network is an open queueing network: a request visits every station.
+type Network struct {
+	Stations []Station
+}
+
+// ResponseTime returns the end-to-end response time at arrival rate
+// lambda, in seconds (+Inf when any station saturates).
+func (n Network) ResponseTime(lambda float64) float64 {
+	r := 0.0
+	for _, s := range n.Stations {
+		r += s.ResidenceTime(lambda)
+	}
+	return r
+}
+
+// ResponseTimeShared is ResponseTime under the pooled-utilization
+// multi-server model of ResidenceTimeShared.
+func (n Network) ResponseTimeShared(lambda float64) float64 {
+	r := 0.0
+	for _, s := range n.Stations {
+		r += s.ResidenceTimeShared(lambda)
+	}
+	return r
+}
+
+// Bottleneck returns the station with the highest per-request effective
+// demand — the resource that saturates first as load grows.
+func (n Network) Bottleneck() (Station, bool) {
+	if len(n.Stations) == 0 {
+		return Station{}, false
+	}
+	best := n.Stations[0]
+	for _, s := range n.Stations[1:] {
+		if s.effectiveDemand() > best.effectiveDemand() {
+			best = s
+		}
+	}
+	return best, true
+}
+
+// MaxThroughput returns the network's saturation throughput 1/max(D_i)
+// (the utilization law's asymptote).
+func (n Network) MaxThroughput() float64 {
+	b, ok := n.Bottleneck()
+	if !ok || b.effectiveDemand() <= 0 {
+		return math.Inf(1)
+	}
+	return 1 / b.effectiveDemand()
+}
+
+// Utilizations returns per-station utilization at arrival rate lambda.
+func (n Network) Utilizations(lambda float64) []float64 {
+	out := make([]float64, len(n.Stations))
+	for i, s := range n.Stations {
+		out[i] = s.Utilization(lambda)
+	}
+	return out
+}
+
+// ServersNeeded returns the minimum server count at a station so that its
+// utilization stays at or below targetUtil under arrival rate lambda —
+// the capacity-planning primitive behind demand-aware provisioning
+// (ref [25]).
+func ServersNeeded(demand, lambda, targetUtil float64) int {
+	if targetUtil <= 0 || targetUtil > 1 {
+		targetUtil = 0.65
+	}
+	if demand <= 0 || lambda <= 0 {
+		return 1
+	}
+	n := int(math.Ceil(lambda * demand / targetUtil))
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// MVA runs exact Mean Value Analysis for a closed network with nClients
+// circulating clients and the given think time (seconds): it returns the
+// system throughput (req/s) and mean response time (seconds, excluding
+// think time). Classic single-server exact MVA over the stations'
+// effective demands.
+func (n Network) MVA(nClients int, thinkTime float64) (throughput, responseTime float64) {
+	k := len(n.Stations)
+	if k == 0 || nClients < 1 {
+		return 0, 0
+	}
+	queue := make([]float64, k)
+	var x float64
+	for c := 1; c <= nClients; c++ {
+		r := 0.0
+		rs := make([]float64, k)
+		for i, s := range n.Stations {
+			rs[i] = s.effectiveDemand() * (1 + queue[i])
+			r += rs[i]
+		}
+		x = float64(c) / (r + thinkTime)
+		for i := range queue {
+			queue[i] = x * rs[i]
+		}
+		responseTime = r
+	}
+	return x, responseTime
+}
+
+// Knee returns the closed network's "knee" population: the client count
+// where the asymptotic bounds cross, N* = (R_min + Z)/D_max. Beyond the
+// knee, added clients only add queueing delay — the §5.3 early-warning
+// population for proactive capacity action.
+func (n Network) Knee(thinkTime float64) float64 {
+	rMin := 0.0
+	dMax := 0.0
+	for _, s := range n.Stations {
+		d := s.effectiveDemand()
+		rMin += d
+		if d > dMax {
+			dMax = d
+		}
+	}
+	if dMax <= 0 {
+		return math.Inf(1)
+	}
+	return (rMin + thinkTime) / dMax
+}

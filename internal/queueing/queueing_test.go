@@ -1,0 +1,145 @@
+package queueing
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"selfheal/internal/service"
+	"selfheal/internal/workload"
+)
+
+func almost(a, b, eps float64) bool { return math.Abs(a-b) <= eps }
+
+func TestOperationalLaws(t *testing.T) {
+	s := Station{Name: "db", Demand: 0.004, Servers: 1}
+	if u := s.Utilization(150); !almost(u, 0.6, 1e-12) {
+		t.Errorf("utilization %v", u)
+	}
+	// M/M/1 residence: D/(1-U) = 0.004/0.4 = 0.010.
+	if r := s.ResidenceTime(150); !almost(r, 0.01, 1e-12) {
+		t.Errorf("residence %v", r)
+	}
+	if r := s.ResidenceTime(300); !math.IsInf(r, 1) {
+		t.Errorf("saturated residence %v", r)
+	}
+	// Two servers halve the effective demand.
+	s2 := Station{Demand: 0.004, Servers: 2}
+	if u := s2.Utilization(150); !almost(u, 0.3, 1e-12) {
+		t.Errorf("2-server utilization %v", u)
+	}
+}
+
+func TestNetworkBottleneckAndSaturation(t *testing.T) {
+	n := Network{Stations: []Station{
+		{Name: "web", Demand: 0.002, Servers: 1},
+		{Name: "app", Demand: 0.009, Servers: 3},
+		{Name: "db", Demand: 0.004, Servers: 1},
+	}}
+	b, ok := n.Bottleneck()
+	if !ok || b.Name != "db" { // effective demands: 2ms, 3ms, 4ms
+		t.Errorf("bottleneck %v", b.Name)
+	}
+	if x := n.MaxThroughput(); !almost(x, 250, 1e-9) {
+		t.Errorf("max throughput %v", x)
+	}
+	if r := n.ResponseTime(100); r <= 0.002+0.003+0.004 {
+		t.Errorf("response %v below zero-load floor", r)
+	}
+}
+
+func TestServersNeeded(t *testing.T) {
+	// 150 req/s × 9 ms demand = 1.35 busy servers; at 65% target → 3.
+	if got := ServersNeeded(0.009, 150, 0.65); got != 3 {
+		t.Errorf("servers %d", got)
+	}
+	if got := ServersNeeded(0, 150, 0.65); got != 1 {
+		t.Errorf("zero-demand servers %d", got)
+	}
+	if got := ServersNeeded(0.009, 150, 7); got != 3 { // bad target clamps to 0.65
+		t.Errorf("clamped servers %d", got)
+	}
+}
+
+func TestMVAConvergesToBounds(t *testing.T) {
+	n := Network{Stations: []Station{
+		{Demand: 0.01, Servers: 1},
+		{Demand: 0.005, Servers: 1},
+	}}
+	// Light load: one client sees the zero-load response time.
+	x1, r1 := n.MVA(1, 1.0)
+	if !almost(r1, 0.015, 1e-9) {
+		t.Errorf("1-client response %v", r1)
+	}
+	if !almost(x1, 1/(0.015+1.0), 1e-9) {
+		t.Errorf("1-client throughput %v", x1)
+	}
+	// Heavy load: throughput approaches 1/Dmax = 100.
+	xN, _ := n.MVA(500, 1.0)
+	if xN > 100+1e-9 || xN < 95 {
+		t.Errorf("saturated throughput %v, want →100", xN)
+	}
+	// Knee: (0.015+1)/0.01 ≈ 101.5 clients.
+	if k := n.Knee(1.0); !almost(k, 101.5, 0.1) {
+		t.Errorf("knee %v", k)
+	}
+}
+
+// Property: MVA throughput is monotone in population and never exceeds the
+// saturation bound.
+func TestQuickMVABounds(t *testing.T) {
+	n := Network{Stations: []Station{
+		{Demand: 0.008, Servers: 1},
+		{Demand: 0.003, Servers: 1},
+	}}
+	cfg := &quick.Config{MaxCount: 100}
+	if err := quick.Check(func(clients uint8) bool {
+		c := int(clients)%80 + 1
+		x1, _ := n.MVA(c, 0.5)
+		x2, _ := n.MVA(c+1, 0.5)
+		return x2+1e-12 >= x1 && x2 <= n.MaxThroughput()+1e-9
+	}, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestModelMatchesSimulator validates the simulator's latency model
+// against the open-network prediction built from the same demands: the
+// shapes must agree within the simulator's noise and its extra terms
+// (network hops, buffer misses).
+func TestModelMatchesSimulator(t *testing.T) {
+	cfg := service.DefaultConfig()
+	cfg.NoiseFrac = 0
+	svc := service.New(cfg)
+	gen := workload.NewGenerator(workload.BiddingMix(), 5)
+	var st service.TickStats
+	for i := 0; i < 120; i++ {
+		st = svc.Tick(gen.Arrivals(svc.Now()))
+	}
+	lambda := st.Served
+
+	// Build the network from measured utilization: per-single-server
+	// demand = U × servers / λ, with the simulator's node counts.
+	n := Network{Stations: []Station{
+		{Name: "web", Demand: st.WebUtil * float64(cfg.WebNodes) / lambda, Servers: cfg.WebNodes},
+		{Name: "app", Demand: st.AppUtil * float64(cfg.AppNodes) / lambda, Servers: cfg.AppNodes},
+		{Name: "db", Demand: st.DBCPUUtil * float64(cfg.DBNodes) / lambda, Servers: cfg.DBNodes},
+		{Name: "io", Demand: st.DBIOUtil / lambda, Servers: 1},
+	}}
+	// The model predicts queueing time only; the simulator adds network
+	// hops, per-miss I/O service, lock waits and GC pauses. Check the
+	// prediction explains most of the measured latency without exceeding
+	// it.
+	predicted := n.ResponseTimeShared(lambda) * 1000
+	measured := st.AvgLatencyMS
+	if predicted <= 0 || math.IsInf(predicted, 1) {
+		t.Fatalf("degenerate prediction %v at λ=%v", predicted, lambda)
+	}
+	if predicted > measured*1.15 {
+		t.Errorf("open-network prediction %.0fms exceeds simulator %.0fms", predicted, measured)
+	}
+	if predicted < measured*0.4 {
+		t.Errorf("open-network prediction %.0fms explains too little of simulator %.0fms", predicted, measured)
+	}
+	t.Logf("λ=%.0f predicted=%.0fms measured=%.0fms", lambda, predicted, measured)
+}

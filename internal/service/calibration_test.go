@@ -1,0 +1,73 @@
+package service_test
+
+import (
+	"testing"
+
+	"selfheal/internal/service"
+	"selfheal/internal/workload"
+)
+
+// TestSurgeCalibration pins the tier-selectivity of the bottleneck surges:
+// each tier's surge set must saturate its target tier while leaving the
+// other tiers below their knees — otherwise the "bottlenecked tier" fault
+// has no unique correct fix.
+func TestSurgeCalibration(t *testing.T) {
+	classIdx := func(names ...string) []int {
+		var out []int
+		for i, n := range service.ClassNames() {
+			for _, w := range names {
+				if n == w {
+					out = append(out, i)
+				}
+			}
+		}
+		return out
+	}
+	cases := []struct {
+		tier    string
+		classes []int
+		factor  float64
+	}{
+		{"web", classIdx("About", "Home"), 6},
+		{"app", classIdx("Register", "ViewUser"), 7},
+		{"db", classIdx("Search"), 3.7},
+	}
+	for _, tc := range cases {
+		t.Run(tc.tier, func(t *testing.T) {
+			svc := service.New(service.DefaultConfig())
+			gen := workload.NewGenerator(workload.BiddingMix(), 5)
+			for i := 0; i < 100; i++ {
+				svc.Tick(gen.Arrivals(svc.Now()))
+			}
+			gen.AddSurge(workload.Surge{Start: svc.Now(), End: svc.Now() + 10000, Factor: tc.factor, Classes: tc.classes})
+			var st service.TickStats
+			for i := 0; i < 60; i++ {
+				st = svc.Tick(gen.Arrivals(svc.Now()))
+			}
+			utils := map[string]float64{
+				"web": st.WebUtil,
+				"app": st.AppUtil,
+				"db":  maxf(st.DBCPUUtil, st.DBIOUtil, st.ConnUtil),
+			}
+			t.Logf("surge on %s: web=%.2f app=%.2f db=%.2f threads=%.2f", tc.tier, st.WebUtil, st.AppUtil, utils["db"], st.ThreadUtil)
+			if utils[tc.tier] < 1.0 {
+				t.Errorf("target tier %s not saturated: %.2f", tc.tier, utils[tc.tier])
+			}
+			for name, u := range utils {
+				if name != tc.tier && u > 0.92 {
+					t.Errorf("non-target tier %s saturated too: %.2f", name, u)
+				}
+			}
+		})
+	}
+}
+
+func maxf(xs ...float64) float64 {
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}

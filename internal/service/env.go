@@ -1,0 +1,66 @@
+package service
+
+// Environmental telemetry: host and platform counters that real monitoring
+// systems collect alongside service metrics but that carry no signal about
+// the service's failures. They drift as mean-reverting random walks, so
+// their baseline z-scores wander — the "irrelevant attributes" burden the
+// paper's §4.2 data model implies and that separates feature-selecting
+// learners (boosting) from distance-based ones (nearest neighbor, k-means).
+
+// buildEnv initializes the environmental walks.
+func (s *Service) buildEnv() {
+	specs := []struct {
+		name string
+		mean float64
+		step float64
+	}{
+		{"os.web1.cpu.other", 8, 1.2},
+		{"os.web2.cpu.other", 6, 1.0},
+		{"os.app1.cpu.other", 10, 1.5},
+		{"os.app2.cpu.other", 9, 1.2},
+		{"os.db1.cpu.other", 5, 0.8},
+		{"os.web1.disk.used", 55, 0.6},
+		{"os.app1.disk.used", 48, 0.6},
+		{"os.db1.disk.used", 70, 0.5},
+		{"jvm.gc.minor.count", 120, 6},
+		{"jvm.classes.loaded", 8200, 25},
+		{"net.background.kbps", 340, 30},
+		{"cron.jobs.running", 3, 0.8},
+		{"backup.throughput.mbps", 12, 2.5},
+		{"dns.lookups.rate", 85, 7},
+		{"ntp.drift.ms", 1.5, 0.4},
+		{"smtp.queue.depth", 14, 3},
+	}
+	s.env = make([]envWalk, len(specs))
+	for i, sp := range specs {
+		s.env[i] = envWalk{name: sp.name, value: sp.mean, mean: sp.mean, step: sp.step}
+	}
+}
+
+// stepEnv advances every walk one tick with mean reversion, so values
+// wander on the timescale of a failure episode without running away.
+func (s *Service) stepEnv() {
+	for i := range s.env {
+		w := &s.env[i]
+		w.value += s.rng.Normal(0, w.step) + 0.01*(w.mean-w.value)
+		if w.value < 0 {
+			w.value = 0
+		}
+	}
+}
+
+// envNames returns the environmental metric names.
+func (s *Service) envNames() []string {
+	out := make([]string, len(s.env))
+	for i := range s.env {
+		out[i] = s.env[i].name
+	}
+	return out
+}
+
+// readEnv appends current environmental values.
+func (s *Service) readEnv(dst []float64) {
+	for i := range s.env {
+		dst[i] = s.env[i].value
+	}
+}

@@ -1,0 +1,111 @@
+package service_test
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"selfheal/internal/service"
+)
+
+// TestQuickTickInvariants drives the simulator with arbitrary arrival
+// vectors and checks the flow-conservation invariants every downstream
+// analysis depends on.
+func TestQuickTickInvariants(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 150}
+	if err := quick.Check(func(seed int64, raw []uint16) bool {
+		svcCfg := service.DefaultConfig()
+		svcCfg.Seed = seed
+		svc := service.New(svcCfg)
+		arrivals := make([]float64, service.NumClasses())
+		for i := range arrivals {
+			if i < len(raw) {
+				arrivals[i] = float64(raw[i] % 500) // up to ~5000 req/s total
+			}
+		}
+		for tick := 0; tick < 5; tick++ {
+			st := svc.Tick(arrivals)
+			if st.Served < 0 || st.Errors < 0 {
+				return false
+			}
+			// Conservation: outcomes cannot exceed offered load by more
+			// than the demand-noise margin.
+			if st.Served+st.Errors > st.Arrivals*1.3+1 {
+				return false
+			}
+			for c := range arrivals {
+				if st.ClassRate[c] < 0 || st.ClassErrors[c] < 0 {
+					return false
+				}
+				if st.ClassLatMS[c] < 0 || st.ClassLatMS[c] > svcCfg.TimeoutMS {
+					return false
+				}
+			}
+			for _, u := range []float64{st.WebUtil, st.AppUtil, st.DBCPUUtil, st.DBIOUtil} {
+				if u < 0 || math.IsNaN(u) || math.IsInf(u, 0) {
+					return false
+				}
+			}
+			if st.BufferHit < 0 || st.BufferHit > 1 {
+				return false
+			}
+		}
+		return true
+	}, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestMetricRowMatchesSchema pins the Source contract: the emitted row
+// width always equals the schema width and contains no NaN/Inf.
+func TestMetricRowMatchesSchema(t *testing.T) {
+	svc := service.New(service.DefaultConfig())
+	names := svc.MetricNames()
+	row := make([]float64, len(names))
+	arr := make([]float64, service.NumClasses())
+	for i := range arr {
+		arr[i] = 10
+	}
+	for tick := 0; tick < 50; tick++ {
+		svc.Tick(arr)
+		svc.ReadMetrics(row)
+		for i, v := range row {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				t.Fatalf("metric %s is %v at tick %d", names[i], v, tick)
+			}
+		}
+	}
+	// Schema includes the structural metrics every approach depends on.
+	want := []string{
+		"svc.latency.avg", "app.heap.occ", "db.buffer.hitratio",
+		"db.table.items.costops", "app.ejb.ItemBean.calls", "app.threads.util",
+	}
+	set := map[string]bool{}
+	for _, n := range names {
+		set[n] = true
+	}
+	for _, n := range want {
+		if !set[n] {
+			t.Errorf("schema missing %s", n)
+		}
+	}
+}
+
+// TestCallMatrixConservation checks that call-matrix rows track arrivals.
+func TestCallMatrixConservation(t *testing.T) {
+	svc := service.New(service.DefaultConfig())
+	svcCfgNoise0 := service.DefaultConfig()
+	svcCfgNoise0.NoiseFrac = 0
+	svc = service.New(svcCfgNoise0)
+	arr := make([]float64, service.NumClasses())
+	arr[0] = 100 // Home: calls CategoryBean and RegionBean once each
+	svc.Tick(arr)
+	m := svc.CallMatrix()
+	var total float64
+	for _, v := range m[0] {
+		total += v
+	}
+	if math.Abs(total-200) > 1 {
+		t.Errorf("Home row total %v, want 200 (two calls per request)", total)
+	}
+}

@@ -1,0 +1,678 @@
+// Package service implements the multitier-service simulator the paper's
+// evaluation runs on (§5.2): an analytical, tick-driven model of a
+// RUBiS-like auction service (Example 1) with a web tier, an EJB
+// application tier and a database tier. Each tick it routes per-class
+// request arrivals through a utilization-scaled queueing model and emits a
+// multidimensional metric row plus the EJB call matrix of Example 2.
+//
+// Faults (internal/faults) perturb the exported tier state; fixes
+// (internal/fixes) call the recovery methods at the bottom of this file.
+// The learning layers never see this package's internals — only the metric
+// stream — which preserves the paper's separation between the service and
+// the self-healing logic observing it.
+package service
+
+import (
+	"math"
+
+	"selfheal/internal/catalog"
+	"selfheal/internal/sim"
+)
+
+// Config sizes the simulated service. The defaults put every resource near
+// 60% utilization at the default workload, the regime the paper's failure
+// scenarios perturb.
+type Config struct {
+	Seed int64
+
+	WebNodes      int
+	AppNodes      int
+	DBNodes       int
+	WebOpsPerNode float64
+	AppOpsPerNode float64
+	DBOpsPerNode  float64
+
+	WebThreads    int
+	AppThreads    int
+	DBConnections int
+	DBConnOps     float64 // ops/s a single connection can carry
+
+	IOOpsPerSec float64 // disk capability of the database tier
+	MissMS      float64 // service time of one buffer miss
+	BufferMB    float64
+	HeapMB      float64
+	BaseHeapMB  float64
+
+	TimeoutMS    float64 // request timeout; hung requests hold threads this long
+	SLOLatencyMS float64 // per-request latency objective (used for the SLO-violation metric)
+	NetHops      float64
+	NetLatencyMS float64
+
+	NoiseFrac float64 // multiplicative demand noise (std dev as a fraction)
+}
+
+// DefaultConfig returns the configuration every experiment starts from.
+func DefaultConfig() Config {
+	return Config{
+		Seed:          1,
+		WebNodes:      2,
+		AppNodes:      3,
+		DBNodes:       1,
+		WebOpsPerNode: 170,
+		AppOpsPerNode: 280,
+		DBOpsPerNode:  330,
+		WebThreads:    500,
+		AppThreads:    400,
+		DBConnections: 120,
+		DBConnOps:     28,
+		IOOpsPerSec:   3200,
+		MissMS:        3,
+		BufferMB:      640,
+		HeapMB:        2048,
+		BaseHeapMB:    600,
+		TimeoutMS:     8000,
+		SLOLatencyMS:  250,
+		NetHops:       4,
+		NetLatencyMS:  1,
+		NoiseFrac:     0.03,
+	}
+}
+
+// Network is the inter-tier network state; faults add latency and loss.
+type Network struct {
+	ExtraLatencyMS float64
+	LossRate       float64
+}
+
+// Service is the simulated multitier service.
+type Service struct {
+	cfg   Config
+	clock *sim.Clock
+	rng   *sim.RNG
+
+	Web *WebTier
+	App *AppTier
+	DB  *DBTier
+	Net Network
+
+	classes []RequestClass
+	// expand[e][f] is the number of invocations of EJB f caused by one
+	// invocation of EJB e (including itself), following the call graph.
+	expand [][]float64
+	// pathInv[c][e] is the number of invocations of EJB e caused by one
+	// request of class c.
+	pathInv [][]float64
+
+	// fullRestartPending counts remaining full-restart downtime across all
+	// tiers (the paper's "general costly fix").
+	goodConfig Config
+	brokenKnob OperatorKnob
+	knobTarget string
+
+	callMatrix  [][]float64 // rows: classes then EJBs; cols: EJBs
+	last        TickStats
+	ticks       int64
+	metricNames []string
+
+	// env holds environmental telemetry unrelated to failures (host
+	// counters, background daemons, co-located tenants): real monitoring
+	// schemas carry many such attributes, and the learners must cope with
+	// them (§4.2's warning that monitoring data may be limited *and*
+	// noisy). Each evolves as a mean-reverting random walk.
+	env []envWalk
+}
+
+// envWalk is one drifting environmental metric.
+type envWalk struct {
+	name  string
+	value float64
+	mean  float64
+	step  float64
+}
+
+// OperatorKnob identifies an operator misconfiguration applied to the
+// service (the FaultOperatorConfig family).
+type OperatorKnob int
+
+// The operator mistakes the fault injector can make.
+const (
+	KnobNone OperatorKnob = iota
+	// KnobSmallThreadPool shrinks the app-tier thread pool.
+	KnobSmallThreadPool
+	// KnobSmallConnPool shrinks the database connection pool.
+	KnobSmallConnPool
+	// KnobRoutingSkew misconfigures the load balancer.
+	KnobRoutingSkew
+	// KnobDroppedIndex drops a table's index.
+	KnobDroppedIndex
+	// KnobSmallBuffer misconfigures the buffer pool allocation.
+	KnobSmallBuffer
+)
+
+// New constructs a service from cfg with the canonical RUBiS topology.
+func New(cfg Config) *Service {
+	s := &Service{
+		cfg:        cfg,
+		goodConfig: cfg,
+		clock:      &sim.Clock{},
+		rng:        sim.NewRNG(cfg.Seed),
+		classes:    defaultClasses,
+	}
+	s.Web = &WebTier{
+		TierState: TierState{Tier: catalog.TierWeb, Nodes: cfg.WebNodes, OpsPerNode: cfg.WebOpsPerNode},
+		Threads:   cfg.WebThreads,
+	}
+	s.App = &AppTier{
+		TierState:  TierState{Tier: catalog.TierApp, Nodes: cfg.AppNodes, OpsPerNode: cfg.AppOpsPerNode},
+		Threads:    cfg.AppThreads,
+		HeapMB:     cfg.HeapMB,
+		HeapUsedMB: cfg.BaseHeapMB,
+		byEJB:      make(map[string]*EJB, len(defaultEJBs)),
+	}
+	for _, def := range defaultEJBs {
+		e := &EJB{Def: def}
+		s.App.ejbs = append(s.App.ejbs, e)
+		s.App.byEJB[def.Name] = e
+	}
+	s.DB = &DBTier{
+		TierState:   TierState{Tier: catalog.TierDB, Nodes: cfg.DBNodes, OpsPerNode: cfg.DBOpsPerNode},
+		Connections: cfg.DBConnections,
+		IOOpsPerSec: cfg.IOOpsPerSec,
+		Buffer:      BufferPool{ConfiguredMB: cfg.BufferMB, EffectiveMB: cfg.BufferMB},
+		byTable:     make(map[string]*Table, len(defaultTables)),
+	}
+	for _, def := range defaultTables {
+		t := &Table{Def: def, PlanSlowdown: 1, Partitions: 1}
+		s.DB.tables = append(s.DB.tables, t)
+		s.DB.byTable[def.Name] = t
+	}
+	s.buildExpansion()
+	s.buildEnv()
+	n := len(s.classes) + len(s.App.ejbs)
+	s.callMatrix = make([][]float64, n)
+	for i := range s.callMatrix {
+		s.callMatrix[i] = make([]float64, len(s.App.ejbs))
+	}
+	return s
+}
+
+// Config returns the service's current configuration.
+func (s *Service) Config() Config { return s.cfg }
+
+// Now returns the simulation tick.
+func (s *Service) Now() int64 { return s.clock.Now() }
+
+// RNG exposes the service's random source so fault campaigns can derive
+// sub-streams deterministically.
+func (s *Service) RNG() *sim.RNG { return s.rng }
+
+// Classes returns the request-class definitions.
+func (s *Service) Classes() []RequestClass { return s.classes }
+
+// Tier returns the state of the named tier.
+func (s *Service) Tier(t catalog.Tier) *TierState {
+	switch t {
+	case catalog.TierWeb:
+		return &s.Web.TierState
+	case catalog.TierApp:
+		return &s.App.TierState
+	default:
+		return &s.DB.TierState
+	}
+}
+
+// buildExpansion precomputes call-graph expansion factors. The EJB call
+// graph is a DAG, so a memoized depth-first pass suffices.
+func (s *Service) buildExpansion() {
+	n := len(defaultEJBs)
+	idx := make(map[string]int, n)
+	for i, e := range defaultEJBs {
+		idx[e.Name] = i
+	}
+	s.expand = make([][]float64, n)
+	var visit func(i int) []float64
+	visit = func(i int) []float64 {
+		if s.expand[i] != nil {
+			return s.expand[i]
+		}
+		v := make([]float64, n)
+		v[i] = 1
+		for _, c := range defaultEJBs[i].CallsTo {
+			sub := visit(idx[c.Callee])
+			for j, x := range sub {
+				v[j] += c.Count * x
+			}
+		}
+		s.expand[i] = v
+		return v
+	}
+	for i := range defaultEJBs {
+		visit(i)
+	}
+	s.pathInv = make([][]float64, len(s.classes))
+	for ci, c := range s.classes {
+		v := make([]float64, n)
+		for _, call := range c.Calls {
+			sub := s.expand[idx[call.Callee]]
+			for j, x := range sub {
+				v[j] += call.Count * x
+			}
+		}
+		s.pathInv[ci] = v
+	}
+}
+
+// TickStats is the outcome of one simulated second.
+type TickStats struct {
+	Arrivals float64
+	Served   float64
+	Errors   float64
+
+	ClassRate    []float64 // successful throughput per class
+	ClassLatMS   []float64
+	ClassErrors  []float64
+	AvgLatencyMS float64
+	P95LatencyMS float64
+
+	WebUtil, AppUtil, DBCPUUtil, DBIOUtil float64
+	ThreadUtil, ConnUtil                  float64
+	BufferHit                             float64
+	GCOverhead, HeapUsedMB                float64
+	LockWaitAvgMS                         float64
+	PlanSlowdownAvg                       float64
+
+	EJBCalls     []float64
+	TableQueries []float64
+	TableLockMS  []float64
+	TableCostOps []float64
+
+	SLOViolations float64
+	Down          bool
+}
+
+// inflation is the open-queueing latency multiplier at utilization u,
+// clamped so the model stays finite at saturation (admission control sheds
+// the excess).
+func inflation(u float64) float64 {
+	if u < 0 {
+		u = 0
+	}
+	if u > 0.97 {
+		u = 0.97
+	}
+	return 1 / (1 - u)
+}
+
+// Tick advances the service one second with the given per-class arrival
+// counts (len must equal NumClasses).
+func (s *Service) Tick(arrivals []float64) TickStats {
+	now := s.clock.Advance(1)
+	_ = now
+	s.ticks++
+	s.stepEnv()
+
+	// Advance tier lifecycles: reboots, aging, crashes.
+	s.Web.step()
+	s.App.HeapUsedMB += s.App.LeakMBTick
+	if s.App.HeapUsedMB > s.App.HeapMB {
+		s.App.HeapUsedMB = s.App.HeapMB
+	}
+	if s.App.Up() && s.App.heapOccupancy() >= 0.985 {
+		// Out-of-memory crash; reboot implicitly clears the heap below.
+		s.App.Crashed = true
+		s.App.DownFor = crashDowntime
+	}
+	s.App.step()
+	if !s.App.Up() && s.App.Crashed {
+		// Heap drains while the tier restarts.
+		s.App.HeapUsedMB = s.cfg.BaseHeapMB
+		s.App.LeakMBTick = 0
+	}
+	s.DB.step()
+	for _, e := range s.App.ejbs {
+		if e.RebootTicks > 0 {
+			e.RebootTicks--
+		}
+	}
+	for _, t := range s.DB.tables {
+		t.StatsAge++
+	}
+
+	nC := len(s.classes)
+	nE := len(s.App.ejbs)
+	nT := len(s.DB.tables)
+	st := TickStats{
+		ClassRate:    make([]float64, nC),
+		ClassLatMS:   make([]float64, nC),
+		ClassErrors:  make([]float64, nC),
+		EJBCalls:     make([]float64, nE),
+		TableQueries: make([]float64, nT),
+		TableLockMS:  make([]float64, nT),
+		TableCostOps: make([]float64, nT),
+	}
+	for i := range s.callMatrix {
+		for j := range s.callMatrix[i] {
+			s.callMatrix[i][j] = 0
+		}
+	}
+	for _, a := range arrivals {
+		st.Arrivals += a
+	}
+	st.HeapUsedMB = s.App.HeapUsedMB
+	st.GCOverhead = s.App.gcOverhead()
+	st.PlanSlowdownAvg = s.planSlowdownAvg()
+
+	if !s.Web.Up() || !s.App.Up() || !s.DB.Up() {
+		// Whole-service outage: every arrival is a user-visible failure.
+		st.Down = true
+		st.Errors = st.Arrivals
+		st.SLOViolations = st.Arrivals
+		for c := range s.classes {
+			st.ClassErrors[c] = arrivals[c]
+			st.ClassLatMS[c] = s.cfg.TimeoutMS
+		}
+		st.AvgLatencyMS = s.cfg.TimeoutMS
+		st.P95LatencyMS = s.cfg.TimeoutMS
+		s.last = st
+		return st
+	}
+
+	// Per-class failure semantics from component state.
+	pFail := make([]float64, nC) // fail-fast probability (exceptions, bugs)
+	pHang := make([]float64, nC) // probability of hanging on a deadlocked EJB
+	for c := range s.classes {
+		okProb := 1.0
+		hang := 0.0
+		for e, inv := range s.pathInv[c] {
+			if inv <= 0 {
+				continue
+			}
+			ejb := s.App.ejbs[e]
+			if ejb.Deadlocked {
+				hang += inv
+			}
+			if r := ejb.effectiveErrorRate(); r > 0 {
+				okProb *= math.Pow(1-r, inv)
+			}
+		}
+		if hang > 1 {
+			hang = 1
+		}
+		pHang[c] = hang
+		pFail[c] = (1 - okProb) * (1 - hang)
+	}
+
+	noise := func() float64 {
+		if s.cfg.NoiseFrac <= 0 {
+			return 1
+		}
+		n := 1 + s.rng.Normal(0, s.cfg.NoiseFrac)
+		if n < 0.5 {
+			n = 0.5
+		}
+		return n
+	}
+
+	// Demand accumulation. Fail-fast and hanging requests consume partial
+	// work (they traverse the front tiers before dying).
+	var webDemand, appDemand, dbDemand, ioReads, ioWrites float64
+	classDBOps := make([]float64, nC)
+	classReads := make([]float64, nC)
+	classLock := make([]float64, nC)
+	missRatio := s.DB.Buffer.MissRatio(s.DB.workingSetMB())
+
+	for c, class := range s.classes {
+		a := arrivals[c] * noise()
+		if a <= 0 {
+			continue
+		}
+		okA := a * (1 - pFail[c] - pHang[c])
+		if okA < 0 {
+			okA = 0
+		}
+		failA := a * pFail[c]
+		hangA := a * pHang[c]
+
+		webDemand += a * class.WebOps
+		appOps := class.AppExtraOps
+		for e, inv := range s.pathInv[c] {
+			if inv <= 0 {
+				continue
+			}
+			ejb := s.App.ejbs[e]
+			appOps += inv * ejb.Def.AppOps
+			calls := inv * (okA + 0.5*failA + 0.5*hangA)
+			if ejb.BugErrorRate > 0 {
+				// A source-code bug triggers client retry storms: extra
+				// invocations and CPU burn that an unhandled exception
+				// (which fails cleanly) does not cause — the signature
+				// separating Table 1's rows 2 and 8.
+				retry := 2 * ejb.BugErrorRate
+				calls *= 1 + retry
+				appOps += inv * ejb.Def.AppOps * retry
+			}
+			st.EJBCalls[e] += calls
+
+			// Database work from this EJB's queries (ok requests only;
+			// failed ones die before or during data access).
+			for _, q := range ejb.Def.Queries {
+				t := s.DB.Table(q.Table)
+				ti := s.tableIndex(q.Table)
+				cost := t.QueryCost(q) * inv * okA
+				reads := t.EffectiveReads(q) * inv * okA
+				writes := q.Writes * inv * okA
+				dbDemand += cost
+				ioReads += reads
+				ioWrites += writes
+				classDBOps[c] += t.QueryCost(q) * inv
+				classReads[c] += t.EffectiveReads(q) * inv
+				st.TableQueries[ti] += inv * okA
+				st.TableCostOps[ti] += cost
+				if t.Contention > 0 {
+					w := 0.3 // readers wait less than writers
+					if q.Writes > 0 {
+						w = 1
+					}
+					wait := t.Contention * w
+					classLock[c] += wait * inv
+					st.TableLockMS[ti] += wait * inv * okA
+				}
+			}
+		}
+		appDemand += appOps * (okA + 0.5*failA + 0.3*hangA)
+
+		// Call matrix rows: class → EJB direct calls. Calls into a
+		// deadlocked component are still initiated (and hang); calls the
+		// request would have made after the hang point never execute, so
+		// the class's call split shifts toward the deadlocked callee —
+		// the deviation Example 2's χ² test detects.
+		for _, call := range class.Calls {
+			ci := s.ejbIndex(call.Callee)
+			factor := 1.0
+			if !s.App.ejbs[ci].Deadlocked {
+				factor = 1 - 0.5*pHang[c]
+			}
+			s.callMatrix[c][ci] += call.Count * a * factor
+		}
+	}
+	// EJB→EJB call matrix rows. A deadlocked component stops calling
+	// downstream; an erroring one calls less — the signal Example 2's χ²
+	// test picks up.
+	for e, ejb := range s.App.ejbs {
+		calls := st.EJBCalls[e]
+		if calls <= 0 {
+			continue
+		}
+		through := 1 - ejb.effectiveErrorRate()
+		if ejb.Deadlocked {
+			through = 0
+		}
+		for _, c := range ejb.Def.CallsTo {
+			s.callMatrix[nC+e][s.ejbIndex(c.Callee)] += c.Count * calls * through
+		}
+	}
+
+	// Utilizations and admission control.
+	webCap := s.Web.Capacity()
+	appCap := s.App.Capacity() * (1 - s.App.gcOverhead())
+	dbCPUCap := s.DB.Capacity()
+	connCap := float64(s.DB.Connections) * s.cfg.DBConnOps
+	ioDemand := ioReads*missRatio + ioWrites
+	ioCap := s.DB.IOOpsPerSec
+
+	st.WebUtil = safeDiv(webDemand, webCap)
+	st.AppUtil = safeDiv(appDemand, appCap)
+	st.DBCPUUtil = safeDiv(dbDemand, dbCPUCap)
+	st.DBIOUtil = safeDiv(ioDemand, ioCap)
+	st.ConnUtil = safeDiv(dbDemand, connCap)
+	st.BufferHit = 1 - missRatio
+
+	admit := 1.0
+	for _, u := range []float64{st.WebUtil, st.AppUtil, st.DBCPUUtil, st.DBIOUtil, st.ConnUtil} {
+		if u > 1 {
+			f := 0.98 / u
+			if f < admit {
+				admit = f
+			}
+		}
+	}
+
+	// Per-class latency and outcome.
+	dbUtil := math.Max(st.DBCPUUtil, st.ConnUtil)
+	netMS := s.cfg.NetHops * (s.cfg.NetLatencyMS + s.Net.ExtraLatencyMS)
+	gcPauseMS := s.App.gcOverhead() * 60
+	var latSum, latWeight, busyThreadS float64
+	for c, class := range s.classes {
+		a := arrivals[c]
+		if a < 0 {
+			a = 0
+		}
+		okA := a * (1 - pFail[c] - pHang[c]) * admit
+		if okA < 0 {
+			okA = 0
+		}
+		shed := a*(1-pFail[c]-pHang[c]) - okA
+
+		webMS := class.WebOps / s.Web.OpsPerNode * 1000 * inflation(st.WebUtil)
+		appOps := class.AppExtraOps
+		for e, inv := range s.pathInv[c] {
+			appOps += inv * s.App.ejbs[e].Def.AppOps
+		}
+		appMS := appOps / s.App.OpsPerNode * 1000 * inflation(st.AppUtil) / (1 - s.App.gcOverhead())
+		dbMS := classDBOps[c] / s.DB.OpsPerNode * 1000 * inflation(dbUtil)
+		ioMS := classReads[c] * missRatio * s.cfg.MissMS * inflation(st.DBIOUtil)
+		lat := webMS + appMS + dbMS + ioMS + classLock[c] + netMS + gcPauseMS
+
+		errs := a*pFail[c] + a*pHang[c] + shed
+		if lat >= s.cfg.TimeoutMS {
+			// The whole class times out: successes become failures.
+			lat = s.cfg.TimeoutMS
+			errs += okA
+			okA = 0
+		}
+		if s.Net.LossRate > 0 {
+			loss := math.Min(0.9, s.Net.LossRate*s.cfg.NetHops)
+			errs += okA * loss
+			okA *= 1 - loss
+		}
+		st.ClassRate[c] = okA
+		st.ClassErrors[c] = errs
+		st.ClassLatMS[c] = lat
+		st.Served += okA
+		st.Errors += errs
+		latSum += lat * (okA + 1e-9)
+		latWeight += okA + 1e-9
+		busyThreadS += okA * lat / 1000
+		if lat > s.cfg.SLOLatencyMS {
+			st.SLOViolations += okA
+		}
+	}
+	st.SLOViolations += st.Errors
+
+	// Thread occupancy: normal in-flight work plus requests parked on
+	// deadlocked components for the full timeout (Little's law).
+	hungThreads := 0.0
+	for c := range s.classes {
+		hungThreads += arrivals[c] * pHang[c] * s.cfg.TimeoutMS / 1000
+	}
+	st.ThreadUtil = (busyThreadS + hungThreads) / float64(s.App.Threads)
+	if st.ThreadUtil > 1 {
+		// Pool exhaustion starves every class.
+		f := 1 / st.ThreadUtil
+		for c := range s.classes {
+			dropped := st.ClassRate[c] * (1 - f)
+			st.ClassRate[c] -= dropped
+			st.ClassErrors[c] += dropped
+			st.ClassLatMS[c] = s.cfg.TimeoutMS
+			st.Served -= dropped
+			st.Errors += dropped
+			st.SLOViolations += dropped
+		}
+		st.AvgLatencyMS = s.cfg.TimeoutMS
+	} else if latWeight > 0 {
+		st.AvgLatencyMS = latSum / latWeight
+	}
+	st.P95LatencyMS = st.AvgLatencyMS * 2.2
+
+	lockTotal, lockQueries := 0.0, 0.0
+	for t := range st.TableLockMS {
+		lockTotal += st.TableLockMS[t]
+		lockQueries += st.TableQueries[t]
+	}
+	st.LockWaitAvgMS = safeDiv(lockTotal, lockQueries)
+
+	s.last = st
+	return st
+}
+
+func safeDiv(a, b float64) float64 {
+	if b <= 0 {
+		if a > 0 {
+			return 2 // demand against zero capacity: saturated
+		}
+		return 0
+	}
+	return a / b
+}
+
+func (s *Service) planSlowdownAvg() float64 {
+	sum, n := 0.0, 0.0
+	for _, t := range s.DB.tables {
+		if t.StatsStale {
+			sum += t.PlanSlowdown
+		} else {
+			sum += 1
+		}
+		n++
+	}
+	return sum / n
+}
+
+func (s *Service) ejbIndex(name string) int {
+	for i, e := range s.App.ejbs {
+		if e.Def.Name == name {
+			return i
+		}
+	}
+	panic("service: unknown EJB " + name)
+}
+
+func (s *Service) tableIndex(name string) int {
+	for i, t := range s.DB.tables {
+		if t.Def.Name == name {
+			return i
+		}
+	}
+	panic("service: unknown table " + name)
+}
+
+// Last returns the most recent tick's statistics.
+func (s *Service) Last() TickStats { return s.last }
+
+// CallMatrix returns the per-tick component call matrix: rows are request
+// classes followed by EJBs (callers), columns are EJBs (callees). The
+// returned slices are reused between ticks; callers must copy what they keep.
+func (s *Service) CallMatrix() [][]float64 { return s.callMatrix }
+
+// CallMatrixRows returns the number of caller rows (classes + EJBs).
+func (s *Service) CallMatrixRows() int { return len(s.classes) + len(s.App.ejbs) }

@@ -1,0 +1,190 @@
+package service_test
+
+import (
+	"testing"
+
+	"selfheal/internal/catalog"
+	"selfheal/internal/service"
+	"selfheal/internal/workload"
+)
+
+// TestBaselineRegime pins the simulator's healthy operating point: moderate
+// utilization everywhere, latency well under the SLO, negligible errors.
+func TestBaselineRegime(t *testing.T) {
+	svc := service.New(service.DefaultConfig())
+	gen := workload.NewGenerator(workload.BiddingMix(), 7)
+	var st service.TickStats
+	for i := 0; i < 300; i++ {
+		st = svc.Tick(gen.Arrivals(svc.Now()))
+	}
+	if st.Down {
+		t.Fatal("service down at baseline")
+	}
+	for name, u := range map[string]float64{
+		"web": st.WebUtil, "app": st.AppUtil, "dbcpu": st.DBCPUUtil,
+	} {
+		if u < 0.2 || u > 0.85 {
+			t.Errorf("%s utilization %.2f outside healthy band", name, u)
+		}
+	}
+	if st.AvgLatencyMS <= 0 || st.AvgLatencyMS > svc.Config().SLOLatencyMS {
+		t.Errorf("baseline latency %.1fms not under SLO %.0fms", st.AvgLatencyMS, svc.Config().SLOLatencyMS)
+	}
+	if st.Arrivals > 0 && st.Errors/st.Arrivals > 0.01 {
+		t.Errorf("baseline error rate %.3f too high", st.Errors/st.Arrivals)
+	}
+	if st.Served < 100 {
+		t.Errorf("baseline throughput %.0f too low", st.Served)
+	}
+	t.Logf("baseline: tput=%.0f lat=%.0fms err=%.2f web=%.2f app=%.2f db=%.2f io=%.2f thr=%.3f",
+		st.Served, st.AvgLatencyMS, st.Errors, st.WebUtil, st.AppUtil, st.DBCPUUtil, st.DBIOUtil, st.ThreadUtil)
+}
+
+// TestFaultSymptomsDistinct verifies each Table 1 fault moves the metrics it
+// is supposed to move — the basis of every learning experiment.
+func TestFaultSymptomsDistinct(t *testing.T) {
+	run := func(mutate func(s *service.Service)) service.TickStats {
+		svc := service.New(service.DefaultConfig())
+		gen := workload.NewGenerator(workload.BiddingMix(), 7)
+		for i := 0; i < 100; i++ {
+			svc.Tick(gen.Arrivals(svc.Now()))
+		}
+		mutate(svc)
+		var st service.TickStats
+		for i := 0; i < 60; i++ {
+			st = svc.Tick(gen.Arrivals(svc.Now()))
+		}
+		return st
+	}
+
+	base := run(func(*service.Service) {})
+
+	t.Run("deadlock-hangs-requests", func(t *testing.T) {
+		st := run(func(s *service.Service) { s.App.EJB("ItemBean").Deadlocked = true })
+		if st.Errors < 10*base.Errors+10 {
+			t.Errorf("deadlock errors %.1f not elevated vs base %.1f", st.Errors, base.Errors)
+		}
+		if st.ThreadUtil < 0.9 {
+			t.Errorf("deadlock on hot EJB should exhaust threads, got util %.2f", st.ThreadUtil)
+		}
+	})
+
+	t.Run("exception-errors-fast", func(t *testing.T) {
+		st := run(func(s *service.Service) { s.App.EJB("BidBean").ErrorRate = 0.8 })
+		if st.Errors < 5 {
+			t.Errorf("exception fault produced no errors: %.2f", st.Errors)
+		}
+		if st.ThreadUtil > 0.5 {
+			t.Errorf("exceptions should not exhaust threads, got %.2f", st.ThreadUtil)
+		}
+	})
+
+	t.Run("stale-stats-slows-db", func(t *testing.T) {
+		st := run(func(s *service.Service) {
+			tab := s.DB.Table("items")
+			tab.StatsStale = true
+			tab.PlanSlowdown = 5
+		})
+		if st.DBCPUUtil < 1.2*base.DBCPUUtil {
+			t.Errorf("stale stats db util %.2f not elevated vs %.2f", st.DBCPUUtil, base.DBCPUUtil)
+		}
+		if st.AvgLatencyMS < 1.5*base.AvgLatencyMS {
+			t.Errorf("stale stats latency %.1f not elevated vs %.1f", st.AvgLatencyMS, base.AvgLatencyMS)
+		}
+	})
+
+	t.Run("contention-adds-lockwait", func(t *testing.T) {
+		st := run(func(s *service.Service) { s.DB.Table("bids").Contention = 120 })
+		if st.LockWaitAvgMS <= base.LockWaitAvgMS {
+			t.Errorf("contention lockwait %.1f not above base %.1f", st.LockWaitAvgMS, base.LockWaitAvgMS)
+		}
+	})
+
+	t.Run("buffer-contention-hurts-hitratio", func(t *testing.T) {
+		st := run(func(s *service.Service) { s.DB.Buffer.EffectiveMB = 96 })
+		if st.BufferHit >= base.BufferHit {
+			t.Errorf("buffer hit %.3f not below base %.3f", st.BufferHit, base.BufferHit)
+		}
+		if st.DBIOUtil < 1.5*base.DBIOUtil {
+			t.Errorf("io util %.3f not elevated vs %.3f", st.DBIOUtil, base.DBIOUtil)
+		}
+	})
+
+	t.Run("aging-degrades-then-crashes", func(t *testing.T) {
+		svc := service.New(service.DefaultConfig())
+		gen := workload.NewGenerator(workload.BiddingMix(), 7)
+		for i := 0; i < 50; i++ {
+			svc.Tick(gen.Arrivals(svc.Now()))
+		}
+		svc.App.LeakMBTick = 30
+		svc.App.Aging.LeakRate = 0.02
+		down := false
+		for i := 0; i < 200; i++ {
+			st := svc.Tick(gen.Arrivals(svc.Now()))
+			if st.Down {
+				down = true
+				break
+			}
+		}
+		if !down {
+			t.Error("aging never crashed the tier")
+		}
+	})
+
+	t.Run("reboot-recovers-and-has-downtime", func(t *testing.T) {
+		svc := service.New(service.DefaultConfig())
+		gen := workload.NewGenerator(workload.BiddingMix(), 7)
+		for i := 0; i < 50; i++ {
+			svc.Tick(gen.Arrivals(svc.Now()))
+		}
+		// Unhandled-exception state clears on a tier restart (deadlocks,
+		// by design, do not — their lock collision re-establishes).
+		svc.App.EJB("ItemBean").ErrorRate = 0.8
+		for i := 0; i < 20; i++ {
+			svc.Tick(gen.Arrivals(svc.Now()))
+		}
+		svc.RebootTier(catalog.TierApp)
+		st := svc.Tick(gen.Arrivals(svc.Now()))
+		if !st.Down {
+			t.Error("tier reboot should cause downtime")
+		}
+		for i := 0; i < 60; i++ {
+			st = svc.Tick(gen.Arrivals(svc.Now()))
+		}
+		if st.Down {
+			t.Error("service still down long after reboot")
+		}
+		if st.Errors > 5 {
+			t.Errorf("errors persist after reboot: %.1f", st.Errors)
+		}
+	})
+
+	t.Run("provision-relieves-bottleneck", func(t *testing.T) {
+		svc := service.New(service.DefaultConfig())
+		gen := workload.NewGenerator(workload.BiddingMix(), 7)
+		gen.SetScale(1.9) // drives the tiers past their SLO operating point
+		var st service.TickStats
+		for i := 0; i < 80; i++ {
+			st = svc.Tick(gen.Arrivals(svc.Now()))
+		}
+		if st.Errors < 1 && st.AvgLatencyMS < svc.Config().SLOLatencyMS {
+			t.Skip("load did not bottleneck; model changed")
+		}
+		svc.ProvisionTier(catalog.TierApp)
+		svc.ProvisionTier(catalog.TierWeb)
+		svc.ProvisionTier(catalog.TierDB)
+		for i := 0; i < 80; i++ {
+			st = svc.Tick(gen.Arrivals(svc.Now()))
+		}
+		if st.AvgLatencyMS > svc.Config().SLOLatencyMS {
+			t.Errorf("latency %.0fms still over SLO after provisioning", st.AvgLatencyMS)
+		}
+	})
+
+	t.Run("operator-dropped-index", func(t *testing.T) {
+		st := run(func(s *service.Service) { s.BreakConfig(service.KnobDroppedIndex, "items", 1) })
+		if st.DBCPUUtil < 1.3*base.DBCPUUtil && st.AvgLatencyMS < 2*base.AvgLatencyMS {
+			t.Errorf("dropped index had no visible effect: db=%.2f lat=%.1f", st.DBCPUUtil, st.AvgLatencyMS)
+		}
+	})
+}

@@ -1,0 +1,142 @@
+package service
+
+// Metric emission: the service implements metrics.Source, contributing the
+// multidimensional attribute schema of the paper's §4.2 — status variables,
+// performance counters, per-EJB call counts, per-table query statistics,
+// and the count of requests that violated SLOs.
+
+// metricNames is built once; the order defines the row layout.
+func (s *Service) buildMetricNames() []string {
+	names := []string{
+		"svc.throughput",
+		"svc.errors",
+		"svc.errorrate",
+		"svc.latency.avg",
+		"svc.latency.p95",
+		"svc.slo.violations",
+		"svc.down",
+		"web.cpu.util",
+		"web.nodes.up",
+		"app.cpu.util",
+		"app.threads.util",
+		"app.heap.used",
+		"app.heap.occ",
+		"app.gc.overhead",
+		"app.nodes.up",
+		"db.cpu.util",
+		"db.io.util",
+		"db.conns.util",
+		"db.buffer.hitratio",
+		"db.buffer.effmb",
+		"db.lockwait.avgms",
+		"db.plan.slowdown",
+		"db.nodes.up",
+		"net.latency.ms",
+		"net.loss",
+	}
+	for _, c := range s.classes {
+		names = append(names, "web.req."+c.Name+".rate")
+	}
+	for _, c := range s.classes {
+		names = append(names, "web.req."+c.Name+".latms")
+	}
+	for _, c := range s.classes {
+		names = append(names, "web.req."+c.Name+".errors")
+	}
+	for _, e := range s.App.ejbs {
+		names = append(names, "app.ejb."+e.Def.Name+".calls")
+	}
+	for _, t := range s.DB.tables {
+		names = append(names, "db.table."+t.Def.Name+".queries")
+	}
+	for _, t := range s.DB.tables {
+		names = append(names, "db.table."+t.Def.Name+".lockms")
+	}
+	for _, t := range s.DB.tables {
+		names = append(names, "db.table."+t.Def.Name+".costops")
+	}
+	names = append(names, s.envNames()...)
+	return names
+}
+
+var _ = (*Service)(nil) // documentation anchor
+
+// MetricNames implements metrics.Source.
+func (s *Service) MetricNames() []string {
+	if s.metricNames == nil {
+		s.metricNames = s.buildMetricNames()
+	}
+	return s.metricNames
+}
+
+// ReadMetrics implements metrics.Source, writing the last tick's values.
+func (s *Service) ReadMetrics(dst []float64) {
+	st := &s.last
+	i := 0
+	put := func(v float64) {
+		dst[i] = v
+		i++
+	}
+	down := 0.0
+	if st.Down {
+		down = 1
+	}
+	errRate := 0.0
+	if st.Arrivals > 0 {
+		errRate = st.Errors / st.Arrivals
+	}
+	put(st.Served)
+	put(st.Errors)
+	put(errRate)
+	put(st.AvgLatencyMS)
+	put(st.P95LatencyMS)
+	put(st.SLOViolations)
+	put(down)
+	put(st.WebUtil)
+	put(float64(s.Web.UpNodes()))
+	put(st.AppUtil)
+	put(st.ThreadUtil)
+	put(st.HeapUsedMB)
+	put(s.App.heapOccupancy())
+	put(st.GCOverhead)
+	put(float64(s.App.UpNodes()))
+	put(st.DBCPUUtil)
+	put(st.DBIOUtil)
+	put(st.ConnUtil)
+	put(st.BufferHit)
+	put(s.DB.Buffer.EffectiveMB)
+	put(st.LockWaitAvgMS)
+	put(st.PlanSlowdownAvg)
+	put(float64(s.DB.UpNodes()))
+	put(s.cfg.NetLatencyMS + s.Net.ExtraLatencyMS)
+	put(s.Net.LossRate)
+	for c := range s.classes {
+		put(at(st.ClassRate, c))
+	}
+	for c := range s.classes {
+		put(at(st.ClassLatMS, c))
+	}
+	for c := range s.classes {
+		put(at(st.ClassErrors, c))
+	}
+	for e := range s.App.ejbs {
+		put(at(st.EJBCalls, e))
+	}
+	for t := range s.DB.tables {
+		put(at(st.TableQueries, t))
+	}
+	for t := range s.DB.tables {
+		put(at(st.TableLockMS, t))
+	}
+	for t := range s.DB.tables {
+		put(at(st.TableCostOps, t))
+	}
+	s.readEnv(dst[i:])
+}
+
+func at(xs []float64, i int) float64 {
+	if i < len(xs) {
+		return xs[i]
+	}
+	return 0
+}

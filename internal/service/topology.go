@@ -1,0 +1,132 @@
+package service
+
+// This file defines the static topology of the simulated service: the
+// RUBiS-like request classes served by the web tier, the EJBs of the
+// application tier and their call graph, and the tables of the database
+// tier. The names deliberately mirror the paper's Example 1 (RUBiS on
+// JBoss + MySQL) so that Example 2's "number of times an EJB of one type
+// calls an EJB of another type" is a literal metric of this simulator.
+
+// EJBCall is one edge of the component call graph: Count invocations of the
+// named callee per invocation of the caller (fractional counts model
+// conditional calls).
+type EJBCall struct {
+	Callee string
+	Count  float64
+}
+
+// QueryDef describes the database work one EJB invocation issues against a
+// table. Selective queries use the table's index when present; without the
+// index they degrade to scans.
+type QueryDef struct {
+	Table     string
+	Reads     float64 // rows read per invocation
+	Writes    float64 // rows written per invocation
+	Selective bool    // benefits from the table index
+}
+
+// EJBDef is a component of the application tier.
+type EJBDef struct {
+	Name    string
+	AppOps  float64 // CPU demand per invocation, in tier capacity units
+	Queries []QueryDef
+	CallsTo []EJBCall // nested EJB-to-EJB calls
+}
+
+// RequestClass is one user-visible request type (a servlet in Example 1).
+type RequestClass struct {
+	Name   string
+	WebOps float64 // web-tier CPU demand per request
+	// AppExtraOps is servlet-side application work independent of EJBs
+	// (session handling, password hashing, page assembly) — it gives
+	// classes distinct tier profiles so bottlenecks can strike one tier.
+	AppExtraOps float64
+	Calls       []EJBCall
+}
+
+// TableDef is a database-tier table.
+type TableDef struct {
+	Name         string
+	WorkingSetMB float64 // buffer-pool working set
+	HasIndex     bool
+}
+
+// Canonical topology; treated as immutable.
+var (
+	defaultClasses = []RequestClass{
+		{Name: "Home", WebOps: 1.0, AppExtraOps: 0.5, Calls: []EJBCall{{"CategoryBean", 1}, {"RegionBean", 1}}},
+		{Name: "Browse", WebOps: 1.2, Calls: []EJBCall{{"CategoryBean", 1}, {"ItemBean", 2}}},
+		{Name: "Search", WebOps: 1.0, Calls: []EJBCall{{"QueryBean", 1}}},
+		{Name: "ViewItem", WebOps: 1.0, Calls: []EJBCall{{"ItemBean", 1}, {"BidBean", 1}, {"CommentBean", 1}, {"UserBean", 1}}},
+		{Name: "ViewUser", WebOps: 0.8, AppExtraOps: 2.5, Calls: []EJBCall{{"UserBean", 1}, {"CommentBean", 1}}},
+		{Name: "Bid", WebOps: 1.3, Calls: []EJBCall{{"ItemBean", 1}, {"BidBean", 1}, {"UserBean", 1}, {"TransactionBean", 1}}},
+		{Name: "BuyNow", WebOps: 1.2, Calls: []EJBCall{{"ItemBean", 1}, {"BuyNowBean", 1}, {"TransactionBean", 1}}},
+		// Register is application-heavy: credential hashing and session
+		// setup dominate its cost.
+		{Name: "Register", WebOps: 1.0, AppExtraOps: 6.0, Calls: []EJBCall{{"UserBean", 1}, {"TransactionBean", 1}}},
+		{Name: "Sell", WebOps: 1.4, Calls: []EJBCall{{"ItemBean", 1}, {"CategoryBean", 1}, {"TransactionBean", 1}}},
+		// About serves static content: pure web-tier work.
+		{Name: "About", WebOps: 2.5},
+	}
+
+	defaultEJBs = []EJBDef{
+		{Name: "CategoryBean", AppOps: 0.5, Queries: []QueryDef{{Table: "categories", Reads: 5}}},
+		{Name: "RegionBean", AppOps: 0.5, Queries: []QueryDef{{Table: "regions", Reads: 5}}},
+		{Name: "ItemBean", AppOps: 1.0,
+			Queries: []QueryDef{{Table: "items", Reads: 20, Selective: true}},
+			CallsTo: []EJBCall{{"UserBean", 0.3}}},
+		{Name: "UserBean", AppOps: 0.6, Queries: []QueryDef{{Table: "users", Reads: 2, Selective: true}}},
+		{Name: "BidBean", AppOps: 0.8,
+			Queries: []QueryDef{{Table: "bids", Reads: 10, Writes: 0.8, Selective: true}},
+			CallsTo: []EJBCall{{"ItemBean", 0.2}}},
+		{Name: "BuyNowBean", AppOps: 0.7, Queries: []QueryDef{{Table: "buy_now", Reads: 2, Writes: 0.9}}},
+		{Name: "CommentBean", AppOps: 0.5, Queries: []QueryDef{{Table: "comments", Reads: 5, Writes: 0.1}}},
+		// QueryBean runs the analytic search scans: database-heavy.
+		{Name: "QueryBean", AppOps: 1.0,
+			Queries: []QueryDef{{Table: "items", Reads: 400, Selective: true}, {Table: "old_items", Reads: 200}},
+			CallsTo: []EJBCall{{"ItemBean", 0.5}}},
+		{Name: "TransactionBean", AppOps: 1.5,
+			Queries: []QueryDef{{Table: "items", Reads: 1, Writes: 0.8, Selective: true}, {Table: "users", Reads: 1, Writes: 0.2, Selective: true}}},
+	}
+
+	defaultTables = []TableDef{
+		{Name: "categories", WorkingSetMB: 10, HasIndex: true},
+		{Name: "regions", WorkingSetMB: 10, HasIndex: true},
+		{Name: "users", WorkingSetMB: 80, HasIndex: true},
+		{Name: "items", WorkingSetMB: 200, HasIndex: true},
+		{Name: "bids", WorkingSetMB: 150, HasIndex: true},
+		{Name: "buy_now", WorkingSetMB: 40, HasIndex: true},
+		{Name: "comments", WorkingSetMB: 60, HasIndex: true},
+		{Name: "old_items", WorkingSetMB: 120, HasIndex: false},
+	}
+)
+
+// ClassNames returns the canonical request-class names in simulation order.
+func ClassNames() []string {
+	out := make([]string, len(defaultClasses))
+	for i, c := range defaultClasses {
+		out[i] = c.Name
+	}
+	return out
+}
+
+// EJBNames returns the canonical EJB names in simulation order.
+func EJBNames() []string {
+	out := make([]string, len(defaultEJBs))
+	for i, e := range defaultEJBs {
+		out[i] = e.Name
+	}
+	return out
+}
+
+// TableNames returns the canonical table names in simulation order.
+func TableNames() []string {
+	out := make([]string, len(defaultTables))
+	for i, t := range defaultTables {
+		out[i] = t.Name
+	}
+	return out
+}
+
+// NumClasses returns the number of request classes.
+func NumClasses() int { return len(defaultClasses) }

@@ -1,0 +1,165 @@
+// Package sim provides the deterministic simulation substrate used by the
+// multitier-service simulator: a tick clock and a seeded random source with
+// the distributions the workload and fault models need.
+//
+// The paper's evaluation (§5.2) runs on "a simulator for a multitier service
+// that generates time-series data corresponding to different failed and
+// working service states"; determinism here is what makes every experiment
+// in this repository reproducible from a seed.
+package sim
+
+import (
+	"math"
+	"math/rand"
+)
+
+// Clock is a discrete simulation clock. One tick corresponds to one second
+// of simulated time throughout this repository.
+type Clock struct {
+	now int64
+}
+
+// Now returns the current tick.
+func (c *Clock) Now() int64 { return c.now }
+
+// Advance moves the clock forward by n ticks and returns the new time.
+// Advancing by a non-positive n is a no-op.
+func (c *Clock) Advance(n int64) int64 {
+	if n > 0 {
+		c.now += n
+	}
+	return c.now
+}
+
+// Reset rewinds the clock to zero.
+func (c *Clock) Reset() { c.now = 0 }
+
+// RNG is a seeded random source with the distributions used by the
+// simulator. It is not safe for concurrent use; each simulation owns one.
+type RNG struct {
+	r *rand.Rand
+}
+
+// NewRNG returns a deterministic RNG seeded with seed.
+func NewRNG(seed int64) *RNG {
+	return &RNG{r: rand.New(rand.NewSource(seed))}
+}
+
+// Float64 returns a uniform value in [0,1).
+func (g *RNG) Float64() float64 { return g.r.Float64() }
+
+// Intn returns a uniform int in [0,n). n must be positive.
+func (g *RNG) Intn(n int) int { return g.r.Intn(n) }
+
+// Int63 returns a non-negative uniform int64, useful for deriving sub-seeds.
+func (g *RNG) Int63() int64 { return g.r.Int63() }
+
+// Bool returns true with probability p.
+func (g *RNG) Bool(p float64) bool {
+	if p <= 0 {
+		return false
+	}
+	if p >= 1 {
+		return true
+	}
+	return g.r.Float64() < p
+}
+
+// Normal returns a sample from N(mu, sigma²).
+func (g *RNG) Normal(mu, sigma float64) float64 {
+	return mu + sigma*g.r.NormFloat64()
+}
+
+// Exp returns an exponential sample with the given mean. A non-positive
+// mean yields zero.
+func (g *RNG) Exp(mean float64) float64 {
+	if mean <= 0 {
+		return 0
+	}
+	return g.r.ExpFloat64() * mean
+}
+
+// LogNormal returns a log-normal sample where mu and sigma are the
+// parameters of the underlying normal distribution.
+func (g *RNG) LogNormal(mu, sigma float64) float64 {
+	return expApprox(mu + sigma*g.r.NormFloat64())
+}
+
+// Uniform returns a uniform sample in [lo, hi).
+func (g *RNG) Uniform(lo, hi float64) float64 {
+	if hi <= lo {
+		return lo
+	}
+	return lo + (hi-lo)*g.r.Float64()
+}
+
+// Poisson returns a Poisson sample with rate lambda. For large lambda it
+// uses a normal approximation, which is accurate enough for workload
+// arrival counts and far cheaper than exact inversion.
+func (g *RNG) Poisson(lambda float64) int {
+	switch {
+	case lambda <= 0:
+		return 0
+	case lambda > 30:
+		// Normal approximation with continuity correction.
+		n := g.r.NormFloat64()*sqrtApprox(lambda) + lambda + 0.5
+		if n < 0 {
+			return 0
+		}
+		return int(n)
+	default:
+		// Knuth's method.
+		l := expApprox(-lambda)
+		k := 0
+		p := 1.0
+		for {
+			p *= g.r.Float64()
+			if p <= l {
+				return k
+			}
+			k++
+		}
+	}
+}
+
+// Pick returns an index sampled proportionally to weights. Negative weights
+// are treated as zero. If all weights are zero, Pick returns uniformly.
+func (g *RNG) Pick(weights []float64) int {
+	if len(weights) == 0 {
+		return 0
+	}
+	total := 0.0
+	for _, w := range weights {
+		if w > 0 {
+			total += w
+		}
+	}
+	if total <= 0 {
+		return g.r.Intn(len(weights))
+	}
+	x := g.r.Float64() * total
+	for i, w := range weights {
+		if w <= 0 {
+			continue
+		}
+		x -= w
+		if x < 0 {
+			return i
+		}
+	}
+	return len(weights) - 1
+}
+
+// Shuffle permutes the n-element collection using swap.
+func (g *RNG) Shuffle(n int, swap func(i, j int)) { g.r.Shuffle(n, swap) }
+
+// Perm returns a random permutation of [0,n).
+func (g *RNG) Perm(n int) []int { return g.r.Perm(n) }
+
+// Fork derives an independent RNG from this one. Forked generators let
+// subsystems (workload, faults) consume randomness without perturbing each
+// other's streams.
+func (g *RNG) Fork() *RNG { return NewRNG(g.r.Int63()) }
+
+func expApprox(x float64) float64  { return math.Exp(x) }
+func sqrtApprox(x float64) float64 { return math.Sqrt(x) }

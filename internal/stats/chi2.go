@@ -1,0 +1,111 @@
+package stats
+
+import "math"
+
+// ChiSquare computes Pearson's χ² goodness-of-fit statistic between an
+// observed count vector and an expected count vector, plus the p-value under
+// the χ² distribution with len(observed)-1 degrees of freedom. Cells with
+// non-positive expectation are skipped (and reduce the degrees of freedom).
+//
+// This is the deviation test the paper's Example 2 uses to decide when the
+// current EJB call distribution has drifted from the baseline.
+func ChiSquare(observed, expected []float64) (statistic, pvalue float64) {
+	n := len(observed)
+	if len(expected) < n {
+		n = len(expected)
+	}
+	df := -1 // one constraint: totals match
+	for i := 0; i < n; i++ {
+		if expected[i] <= 0 {
+			continue
+		}
+		d := observed[i] - expected[i]
+		statistic += d * d / expected[i]
+		df++
+	}
+	if df < 1 {
+		return 0, 1
+	}
+	return statistic, ChiSquareSurvival(statistic, float64(df))
+}
+
+// ChiSquareSurvival returns P[X ≥ x] for X ~ χ²(df). It is the regularized
+// upper incomplete gamma function Q(df/2, x/2).
+func ChiSquareSurvival(x, df float64) float64 {
+	if x <= 0 || df <= 0 {
+		return 1
+	}
+	return regularizedGammaQ(df/2, x/2)
+}
+
+// regularizedGammaQ computes Q(a,x) = Γ(a,x)/Γ(a) using the series expansion
+// for x < a+1 and a continued fraction otherwise (Numerical Recipes style).
+func regularizedGammaQ(a, x float64) float64 {
+	if x < 0 || a <= 0 {
+		return 1
+	}
+	if x == 0 {
+		return 1
+	}
+	if x < a+1 {
+		return 1 - regularizedGammaP(a, x)
+	}
+	return gammaCF(a, x)
+}
+
+// regularizedGammaP computes P(a,x) by series expansion; valid for x < a+1.
+func regularizedGammaP(a, x float64) float64 {
+	const (
+		maxIter = 500
+		eps     = 1e-14
+	)
+	if x <= 0 {
+		return 0
+	}
+	ap := a
+	sum := 1.0 / a
+	del := sum
+	for i := 0; i < maxIter; i++ {
+		ap++
+		del *= x / ap
+		sum += del
+		if math.Abs(del) < math.Abs(sum)*eps {
+			break
+		}
+	}
+	lg, _ := math.Lgamma(a)
+	return sum * math.Exp(-x+a*math.Log(x)-lg)
+}
+
+// gammaCF computes Q(a,x) via Lentz's continued fraction; valid for x ≥ a+1.
+func gammaCF(a, x float64) float64 {
+	const (
+		maxIter = 500
+		eps     = 1e-14
+		tiny    = 1e-300
+	)
+	b := x + 1 - a
+	c := 1 / tiny
+	d := 1 / b
+	h := d
+	for i := 1; i <= maxIter; i++ {
+		an := -float64(i) * (float64(i) - a)
+		b += 2
+		d = an*d + b
+		if math.Abs(d) < tiny {
+			d = tiny
+		}
+		c = b + an/c
+		if math.Abs(c) < tiny {
+			c = tiny
+		}
+		d = 1 / d
+		del := d * c
+		h *= del
+		if math.Abs(del-1) < eps {
+			break
+		}
+	}
+	lg, _ := math.Lgamma(a)
+	return math.Exp(-x+a*math.Log(x)-lg) * h
+}

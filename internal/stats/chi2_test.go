@@ -1,0 +1,74 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestChiSquareSurvivalKnownValues(t *testing.T) {
+	// Textbook critical values: P[χ²(df) ≥ x].
+	cases := []struct{ x, df, want float64 }{
+		{3.841, 1, 0.05},
+		{5.991, 2, 0.05},
+		{6.635, 1, 0.01},
+		{9.210, 2, 0.01},
+		{18.307, 10, 0.05},
+		{0, 5, 1},
+	}
+	for _, c := range cases {
+		if got := ChiSquareSurvival(c.x, c.df); !almost(got, c.want, 2e-3) {
+			t.Errorf("Q(%v, df=%v) = %v want %v", c.x, c.df, got, c.want)
+		}
+	}
+}
+
+func TestChiSquareSurvivalMonotone(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 200}
+	if err := quick.Check(func(a, b float64) bool {
+		x1 := math.Mod(math.Abs(a), 100)
+		x2 := x1 + math.Mod(math.Abs(b), 50)
+		df := 4.0
+		p1 := ChiSquareSurvival(x1, df)
+		p2 := ChiSquareSurvival(x2, df)
+		return p2 <= p1+1e-9 && p1 >= 0 && p1 <= 1
+	}, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestChiSquareGoodnessOfFit(t *testing.T) {
+	// Observed matches expected exactly: statistic 0, p-value 1.
+	exp := []float64{100, 200, 300}
+	stat, p := ChiSquare(exp, exp)
+	if stat != 0 || p != 1 {
+		t.Errorf("exact fit stat=%v p=%v", stat, p)
+	}
+	// Mild noise: should not be significant.
+	obs := []float64{104, 195, 301}
+	_, p = ChiSquare(obs, exp)
+	if p < 0.2 {
+		t.Errorf("mild noise p=%v too significant", p)
+	}
+	// Gross distortion: highly significant.
+	obs = []float64{300, 200, 100}
+	_, p = ChiSquare(obs, exp)
+	if p > 1e-6 {
+		t.Errorf("gross distortion p=%v not significant", p)
+	}
+}
+
+func TestChiSquareSkipsEmptyCells(t *testing.T) {
+	obs := []float64{10, 20, 5}
+	exp := []float64{10, 20, 0} // zero-expectation cell skipped
+	stat, p := ChiSquare(obs, exp)
+	if stat != 0 {
+		t.Errorf("stat %v, cell with zero expectation should be skipped", stat)
+	}
+	_ = p
+	// All cells unusable → degenerate (stat 0, p 1).
+	stat, p = ChiSquare([]float64{1, 2}, []float64{0, 0})
+	if stat != 0 || p != 1 {
+		t.Errorf("degenerate stat=%v p=%v", stat, p)
+	}
+}

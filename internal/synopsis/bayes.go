@@ -1,0 +1,109 @@
+package synopsis
+
+import "math"
+
+// NaiveBayes is a Gaussian naive-Bayes synopsis. The paper singles out
+// Bayesian models as synopses "that give confidence estimates naturally
+// with predicted values" (§5.2) — this learner's posteriors are the
+// calibrated confidences the hybrid approach (§5.1) uses to rank fixes
+// across approaches.
+type NaiveBayes struct {
+	classes *classSet
+	ex      *exemplars
+	// per class: count, per-feature running mean and M2 (Welford).
+	count []float64
+	mean  [][]float64
+	m2    [][]float64
+	dim   int
+	n     int
+}
+
+// NewNaiveBayes returns an empty Gaussian NB synopsis.
+func NewNaiveBayes() *NaiveBayes {
+	return &NaiveBayes{classes: newClassSet(), ex: newExemplars()}
+}
+
+// Name implements Synopsis.
+func (s *NaiveBayes) Name() string { return "naive-bayes" }
+
+// TrainingSize implements Synopsis.
+func (s *NaiveBayes) TrainingSize() int { return s.n }
+
+// Add implements Synopsis. Only successful fixes update class likelihoods.
+func (s *NaiveBayes) Add(p Point) {
+	if !p.Success {
+		return
+	}
+	if s.dim == 0 {
+		s.dim = len(p.X)
+	}
+	c := s.classes.index(p.Action.Fix)
+	for len(s.count) <= c {
+		s.count = append(s.count, 0)
+		s.mean = append(s.mean, make([]float64, s.dim))
+		s.m2 = append(s.m2, make([]float64, s.dim))
+	}
+	s.count[c]++
+	n := s.count[c]
+	for f := 0; f < s.dim && f < len(p.X); f++ {
+		d := p.X[f] - s.mean[c][f]
+		s.mean[c][f] += d / n
+		s.m2[c][f] += d * (p.X[f] - s.mean[c][f])
+	}
+	s.ex.add(p)
+	s.n++
+}
+
+// rankFixes scores fixes by posterior probability under the
+// independent-Gaussian likelihood with a variance floor.
+func (s *NaiveBayes) rankFixes(x []float64) []fixScore {
+	k := s.classes.len()
+	if k == 0 || s.n == 0 {
+		return nil
+	}
+	const varFloor = 0.25
+	logps := make([]float64, 0, k)
+	idx := make([]int, 0, k)
+	for c := 0; c < k; c++ {
+		if s.count[c] == 0 {
+			continue
+		}
+		lp := math.Log(s.count[c] / float64(s.n))
+		for f := 0; f < s.dim && f < len(x); f++ {
+			v := varFloor
+			if s.count[c] > 1 {
+				v += s.m2[c][f] / s.count[c]
+			}
+			d := x[f] - s.mean[c][f]
+			lp += -0.5*math.Log(2*math.Pi*v) - d*d/(2*v)
+		}
+		logps = append(logps, lp)
+		idx = append(idx, c)
+	}
+	if len(logps) == 0 {
+		return nil
+	}
+	// Softmax in log space for numerical stability.
+	maxLP := logps[0]
+	for _, lp := range logps[1:] {
+		if lp > maxLP {
+			maxLP = lp
+		}
+	}
+	out := make([]fixScore, len(logps))
+	for i, lp := range logps {
+		out[i] = fixScore{fix: s.classes.fixes[idx[i]], score: math.Exp(lp - maxLP)}
+	}
+	sortFixScores(out)
+	return out
+}
+
+// Suggest implements Synopsis.
+func (s *NaiveBayes) Suggest(x []float64, exclude func(Action) bool) (Suggestion, bool) {
+	return suggestFrom(s.rankFixes(x), s.ex, x, exclude)
+}
+
+// Rank implements Synopsis.
+func (s *NaiveBayes) Rank(x []float64) []Suggestion {
+	return rankFrom(s.rankFixes(x), s.ex, x)
+}

@@ -1,0 +1,98 @@
+package synopsis
+
+import "selfheal/internal/catalog"
+
+// KMeans is the paper's second synopsis (§5.2): "partitioning the failure
+// data points collected so far into clusters based on the successful fix
+// found for each point. A representative data point is computed for each
+// cluster, e.g., the mean of all points in the cluster. Each new failure
+// data point f is mapped to the cluster whose representative point is
+// closest to f ... The clustering is redone after each failure is fixed
+// successfully."
+//
+// One centroid per fix is exactly why the paper measured k-means plateauing
+// near 87%: a fix whose symptoms are multimodal (microreboot serves both
+// deadlock and exception signatures; tier reboots serve aging and code
+// bugs) gets a centroid between its modes, and points near either mode can
+// fall closer to some other fix's centroid.
+type KMeans struct {
+	classes   *classSet
+	ex        *exemplars
+	centroids map[catalog.FixID][]float64
+}
+
+// NewKMeans returns the per-fix clustering synopsis.
+func NewKMeans() *KMeans {
+	return &KMeans{
+		classes:   newClassSet(),
+		ex:        newExemplars(),
+		centroids: make(map[catalog.FixID][]float64),
+	}
+}
+
+// Name implements Synopsis.
+func (s *KMeans) Name() string { return "k-means" }
+
+// TrainingSize implements Synopsis.
+func (s *KMeans) TrainingSize() int { return s.ex.n }
+
+// Add implements Synopsis. Unsuccessful attempts are ignored — this
+// synopsis clusters by the fix that worked.
+func (s *KMeans) Add(p Point) {
+	if !p.Success {
+		return
+	}
+	s.classes.index(p.Action.Fix)
+	s.ex.add(p)
+	s.recluster()
+}
+
+// Forget drops old observations and reclusters (for the online wrapper).
+func (s *KMeans) Forget(keep int) {
+	s.ex.forget(keep)
+	s.recluster()
+}
+
+// recluster recomputes every centroid from scratch — the "redone after each
+// failure is fixed" step.
+func (s *KMeans) recluster() {
+	for fix, pts := range s.ex.byFix {
+		if len(pts) == 0 {
+			delete(s.centroids, fix)
+			continue
+		}
+		dim := len(pts[0].X)
+		c := make([]float64, dim)
+		for _, p := range pts {
+			for d := 0; d < dim && d < len(p.X); d++ {
+				c[d] += p.X[d]
+			}
+		}
+		inv := 1 / float64(len(pts))
+		for d := range c {
+			c[d] *= inv
+		}
+		s.centroids[fix] = c
+	}
+}
+
+// rankFixes scores fixes by centroid proximity.
+func (s *KMeans) rankFixes(x []float64) []fixScore {
+	out := make([]fixScore, 0, len(s.centroids))
+	for fix, c := range s.centroids {
+		d := euclidean(x, c)
+		out = append(out, fixScore{fix: fix, score: 1 / (1 + d)})
+	}
+	sortFixScores(out)
+	return out
+}
+
+// Suggest implements Synopsis.
+func (s *KMeans) Suggest(x []float64, exclude func(Action) bool) (Suggestion, bool) {
+	return suggestFrom(s.rankFixes(x), s.ex, x, exclude)
+}
+
+// Rank implements Synopsis.
+func (s *KMeans) Rank(x []float64) []Suggestion {
+	return rankFrom(s.rankFixes(x), s.ex, x)
+}

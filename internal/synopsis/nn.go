@@ -1,0 +1,83 @@
+package synopsis
+
+// NearestNeighbor is the paper's first synopsis (§5.2): "a simple
+// machine-learning algorithm that maps a new failure data point f to the
+// data point f′ that is closest to f among all failure data points observed
+// so far. The fix recommended for f is the fix that worked for f′."
+//
+// With UseNegatives set, unsuccessful attempts also vote (negatively) —
+// the §5.2 "learning from negative training samples" extension.
+type NearestNeighbor struct {
+	// UseNegatives makes failed attempts repel their fix when a failure
+	// sits closer to the failed attempt than to any success of that fix.
+	UseNegatives bool
+
+	ex        *exemplars
+	negatives []Point
+}
+
+// NewNearestNeighbor returns the paper's plain nearest-neighbor synopsis.
+func NewNearestNeighbor() *NearestNeighbor {
+	return &NearestNeighbor{ex: newExemplars()}
+}
+
+// Name implements Synopsis.
+func (s *NearestNeighbor) Name() string { return "nearest-neighbor" }
+
+// TrainingSize implements Synopsis.
+func (s *NearestNeighbor) TrainingSize() int { return s.ex.n }
+
+// Add implements Synopsis.
+func (s *NearestNeighbor) Add(p Point) {
+	if p.Success {
+		s.ex.add(p)
+	} else if s.UseNegatives {
+		s.negatives = append(s.negatives, p)
+	}
+}
+
+// Forget drops old observations (for the online wrapper).
+func (s *NearestNeighbor) Forget(keep int) {
+	s.ex.forget(keep)
+	if len(s.negatives) > keep {
+		s.negatives = append([]Point(nil), s.negatives[len(s.negatives)-keep:]...)
+	}
+}
+
+// rankFixes scores each fix by its nearest successful exemplar.
+func (s *NearestNeighbor) rankFixes(x []float64) []fixScore {
+	out := make([]fixScore, 0, len(s.ex.byFix))
+	for fix := range s.ex.byFix {
+		_, d, ok := s.ex.resolve(x, fix, nil)
+		if !ok {
+			continue
+		}
+		score := 1 / (1 + d)
+		if s.UseNegatives {
+			// A failed attempt of this fix closer than its best success
+			// weakens the recommendation.
+			for _, n := range s.negatives {
+				if n.Action.Fix != fix {
+					continue
+				}
+				nd := euclidean(x, n.X)
+				if nd < d {
+					score *= (nd + 1e-9) / (d + 1e-9)
+				}
+			}
+		}
+		out = append(out, fixScore{fix: fix, score: score})
+	}
+	sortFixScores(out)
+	return out
+}
+
+// Suggest implements Synopsis.
+func (s *NearestNeighbor) Suggest(x []float64, exclude func(Action) bool) (Suggestion, bool) {
+	return suggestFrom(s.rankFixes(x), s.ex, x, exclude)
+}
+
+// Rank implements Synopsis.
+func (s *NearestNeighbor) Rank(x []float64) []Suggestion {
+	return rankFrom(s.rankFixes(x), s.ex, x)
+}

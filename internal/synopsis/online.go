@@ -1,0 +1,108 @@
+package synopsis
+
+// Online wraps a base synopsis with a sliding training window so it keeps
+// tracking a drifting service — the paper's §5.2 online-learning
+// requirement: "unless the synopses are kept up to date efficiently as new
+// data becomes available, accuracy can drop sharply in dynamic settings".
+type Online struct {
+	base interface {
+		Synopsis
+		Forget(keep int)
+	}
+	// Window is the number of recent successful observations retained.
+	Window int
+	added  int
+}
+
+// NewOnline wraps base with a sliding window of the given size. The base
+// must support Forget; NearestNeighbor, KMeans and AdaBoost all do.
+func NewOnline(base interface {
+	Synopsis
+	Forget(keep int)
+}, window int) *Online {
+	if window < 1 {
+		window = 1
+	}
+	return &Online{base: base, Window: window}
+}
+
+// Name implements Synopsis.
+func (s *Online) Name() string { return "online-" + s.base.Name() }
+
+// TrainingSize implements Synopsis.
+func (s *Online) TrainingSize() int { return s.base.TrainingSize() }
+
+// Add implements Synopsis, evicting old observations past the window.
+func (s *Online) Add(p Point) {
+	s.base.Add(p)
+	if p.Success {
+		s.added++
+		if s.added > s.Window {
+			s.base.Forget(s.Window)
+		}
+	}
+}
+
+// Suggest implements Synopsis.
+func (s *Online) Suggest(x []float64, exclude func(Action) bool) (Suggestion, bool) {
+	return s.base.Suggest(x, exclude)
+}
+
+// Rank implements Synopsis.
+func (s *Online) Rank(x []float64) []Suggestion { return s.base.Rank(x) }
+
+// Evaluation helpers shared by the experiments.
+
+// Accuracy returns the fraction of test points whose suggested fix class
+// matches the point's labeled fix. This is the y-axis of the paper's
+// Figure 4 ("accuracy of the current synopsis computed on a fixed test
+// set"): the synopses classify fixes, with targets resolved separately.
+func Accuracy(s Synopsis, test []Point) float64 {
+	if len(test) == 0 {
+		return 0
+	}
+	correct := 0
+	for i := range test {
+		sug, ok := s.Suggest(test[i].X, nil)
+		if ok && sug.Action.Fix == test[i].Action.Fix {
+			correct++
+		}
+	}
+	return float64(correct) / float64(len(test))
+}
+
+// ActionAccuracy is the stricter variant requiring the full action —
+// fix and target — to match.
+func ActionAccuracy(s Synopsis, test []Point) float64 {
+	if len(test) == 0 {
+		return 0
+	}
+	correct := 0
+	for i := range test {
+		sug, ok := s.Suggest(test[i].X, nil)
+		if ok && sug.Action == test[i].Action {
+			correct++
+		}
+	}
+	return float64(correct) / float64(len(test))
+}
+
+// ConfusionMatrix counts suggested-vs-true action pairs over a test set,
+// keyed by action keys.
+func ConfusionMatrix(s Synopsis, test []Point) map[string]map[string]int {
+	out := make(map[string]map[string]int)
+	for i := range test {
+		truth := test[i].Action.Key()
+		pred := "(none)"
+		if sug, ok := s.Suggest(test[i].X, nil); ok {
+			pred = sug.Action.Key()
+		}
+		row := out[truth]
+		if row == nil {
+			row = make(map[string]int)
+			out[truth] = row
+		}
+		row[pred]++
+	}
+	return out
+}

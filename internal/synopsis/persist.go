@@ -1,0 +1,109 @@
+package synopsis
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"selfheal/internal/catalog"
+)
+
+// Persistence turns a learned synopsis into the portable knowledge base
+// the paper's §5.1 asks for ("generate a knowledge-base that a
+// practitioner can use"): the training observations are serialized, and
+// any synopsis can be rebuilt from them — including a different learner
+// over the same history.
+
+// Exporter is implemented by synopses that can surrender their training
+// observations.
+type Exporter interface {
+	Export() []Point
+}
+
+// snapshot is the on-disk format.
+type snapshot struct {
+	Version int         `json:"version"`
+	Name    string      `json:"synopsis"`
+	Points  []jsonPoint `json:"points"`
+}
+
+type jsonPoint struct {
+	X       []float64 `json:"x"`
+	Fix     string    `json:"fix"`
+	Target  string    `json:"target,omitempty"`
+	Success bool      `json:"success"`
+}
+
+// fixByName resolves a serialized fix name.
+func fixByName(name string) (catalog.FixID, bool) {
+	for _, f := range catalog.FixIDs() {
+		if f.String() == name {
+			return f, true
+		}
+	}
+	return catalog.FixNone, false
+}
+
+// Save serializes the synopsis's training history as JSON.
+func Save(w io.Writer, s Synopsis) error {
+	ex, ok := s.(Exporter)
+	if !ok {
+		return fmt.Errorf("synopsis: %s cannot export its training data", s.Name())
+	}
+	snap := snapshot{Version: 1, Name: s.Name()}
+	for _, p := range ex.Export() {
+		snap.Points = append(snap.Points, jsonPoint{
+			X: p.X, Fix: p.Action.Fix.String(), Target: p.Action.Target, Success: p.Success,
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(snap)
+}
+
+// Load replays a serialized training history into the synopsis (which need
+// not be the same learner that produced it).
+func Load(r io.Reader, into Synopsis) error {
+	var snap snapshot
+	if err := json.NewDecoder(r).Decode(&snap); err != nil {
+		return fmt.Errorf("synopsis: decoding snapshot: %w", err)
+	}
+	if snap.Version != 1 {
+		return fmt.Errorf("synopsis: unsupported snapshot version %d", snap.Version)
+	}
+	for i, jp := range snap.Points {
+		fix, ok := fixByName(jp.Fix)
+		if !ok {
+			return fmt.Errorf("synopsis: point %d has unknown fix %q", i, jp.Fix)
+		}
+		into.Add(Point{
+			X:       jp.X,
+			Action:  Action{Fix: fix, Target: jp.Target},
+			Success: jp.Success,
+		})
+	}
+	return nil
+}
+
+// Export implements Exporter: successes in arrival order, then negatives.
+func (s *NearestNeighbor) Export() []Point {
+	out := append([]Point(nil), s.ex.all...)
+	return append(out, s.negatives...)
+}
+
+// Export implements Exporter.
+func (s *KMeans) Export() []Point { return append([]Point(nil), s.ex.all...) }
+
+// Export implements Exporter.
+func (s *AdaBoost) Export() []Point { return append([]Point(nil), s.points...) }
+
+// Export implements Exporter.
+func (s *NaiveBayes) Export() []Point { return append([]Point(nil), s.ex.all...) }
+
+// Export implements Exporter (the base's view of the window).
+func (s *Online) Export() []Point {
+	if ex, ok := s.base.(Exporter); ok {
+		return ex.Export()
+	}
+	return nil
+}

@@ -1,0 +1,111 @@
+package synopsis
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"selfheal/internal/catalog"
+	"selfheal/internal/sim"
+)
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	rng := sim.NewRNG(21)
+	train := twoClusterData(rng, 30, 4)
+	test := twoClusterData(rng, 40, 4)
+
+	orig := NewNearestNeighbor()
+	for _, p := range train {
+		orig.Add(p)
+	}
+	var buf bytes.Buffer
+	if err := Save(&buf, orig); err != nil {
+		t.Fatal(err)
+	}
+
+	restored := NewNearestNeighbor()
+	if err := Load(&buf, restored); err != nil {
+		t.Fatal(err)
+	}
+	if restored.TrainingSize() != orig.TrainingSize() {
+		t.Fatalf("restored %d points, want %d", restored.TrainingSize(), orig.TrainingSize())
+	}
+	for _, p := range test {
+		a, okA := orig.Suggest(p.X, nil)
+		b, okB := restored.Suggest(p.X, nil)
+		if okA != okB || (okA && a.Action != b.Action) {
+			t.Fatal("restored synopsis diverges from original")
+		}
+	}
+}
+
+func TestLoadIntoDifferentLearner(t *testing.T) {
+	// The knowledge base is learner-agnostic: a history exported from NN
+	// can train AdaBoost.
+	rng := sim.NewRNG(23)
+	train := twoClusterData(rng, 30, 4)
+	nn := NewNearestNeighbor()
+	for _, p := range train {
+		nn.Add(p)
+	}
+	var buf bytes.Buffer
+	if err := Save(&buf, nn); err != nil {
+		t.Fatal(err)
+	}
+	ada := NewAdaBoost(15)
+	if err := Load(&buf, ada); err != nil {
+		t.Fatal(err)
+	}
+	if acc := Accuracy(ada, twoClusterData(rng, 40, 4)); acc < 0.9 {
+		t.Errorf("adaboost trained from exported history: accuracy %.2f", acc)
+	}
+}
+
+func TestSaveNegativesRoundTrip(t *testing.T) {
+	nn := NewNearestNeighbor()
+	nn.UseNegatives = true
+	nn.Add(Point{X: []float64{1, 0}, Action: Action{Fix: catalog.FixUpdateStats, Target: "items"}, Success: true})
+	nn.Add(Point{X: []float64{0, 0}, Action: Action{Fix: catalog.FixUpdateStats, Target: "items"}, Success: false})
+	var buf bytes.Buffer
+	if err := Save(&buf, nn); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `"success": false`) {
+		t.Error("negative observation not serialized")
+	}
+	back := NewNearestNeighbor()
+	back.UseNegatives = true
+	if err := Load(bytes.NewReader(buf.Bytes()), back); err != nil {
+		t.Fatal(err)
+	}
+	if len(back.negatives) != 1 {
+		t.Errorf("restored %d negatives, want 1", len(back.negatives))
+	}
+}
+
+func TestLoadErrors(t *testing.T) {
+	if err := Load(strings.NewReader("not json"), NewKMeans()); err == nil {
+		t.Error("garbage accepted")
+	}
+	if err := Load(strings.NewReader(`{"version":9,"points":[]}`), NewKMeans()); err == nil {
+		t.Error("future version accepted")
+	}
+	bad := `{"version":1,"points":[{"x":[1],"fix":"no-such-fix","success":true}]}`
+	if err := Load(strings.NewReader(bad), NewKMeans()); err == nil {
+		t.Error("unknown fix accepted")
+	}
+}
+
+func TestOnlineExportReflectsWindow(t *testing.T) {
+	on := NewOnline(NewNearestNeighbor(), 3)
+	for i := 0; i < 6; i++ {
+		on.Add(Point{X: []float64{float64(i)}, Action: Action{Fix: catalog.FixUpdateStats, Target: "items"}, Success: true})
+	}
+	pts := on.Export()
+	if len(pts) != 3 {
+		t.Fatalf("exported %d points, want the 3-point window", len(pts))
+	}
+	if pts[0].X[0] != 3 {
+		t.Errorf("window kept wrong points: %v", pts[0].X)
+	}
+}

@@ -1,0 +1,223 @@
+// Package synopsis implements the learned "synopses" of the paper's §5.2:
+// models that map failure symptoms to fixes. It provides the three
+// techniques the paper evaluates in Figure 4 and Table 3 — nearest
+// neighbor, k-means clustering (one cluster per successful fix), and
+// AdaBoost (SAMME ensemble of decision stumps, 60 weak learners) — plus a
+// Gaussian naive-Bayes synopsis for confidence estimates and ranking, and a
+// sliding-window online wrapper for drifting workloads.
+//
+// Learners classify at the fix level (the paper's classes: microreboot,
+// update statistics, repartition, ...) and resolve the fix's target
+// (which EJB, which table) from the nearest successful exemplar of that
+// fix — the signature lookup of §4.3.4.
+//
+// All learners consume Points: symptom vectors labeled with the action
+// attempted and whether it worked, exactly the data FixSym's loop produces
+// (Figure 3 lines 14–15).
+package synopsis
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"selfheal/internal/catalog"
+)
+
+// Action is a concrete recovery action: a fix and its target (e.g.
+// microreboot-ejb on ItemBean).
+type Action struct {
+	Fix    catalog.FixID
+	Target string
+}
+
+// Key returns a stable string identity for the action.
+func (a Action) Key() string { return fmt.Sprintf("%s|%s", a.Fix, a.Target) }
+
+// String renders the action for logs.
+func (a Action) String() string {
+	if a.Target == "" {
+		return a.Fix.String()
+	}
+	return a.Fix.String() + "(" + a.Target + ")"
+}
+
+// Point is one training observation: the symptom vector of a failure, the
+// action attempted against it, and whether the action recovered the
+// service.
+type Point struct {
+	X       []float64
+	Action  Action
+	Success bool
+}
+
+// Suggestion is a recommended action with a confidence in [0,1].
+type Suggestion struct {
+	Action     Action
+	Confidence float64
+}
+
+// Synopsis is the interface every learner implements. Add folds in one
+// observation; Suggest recommends the best non-excluded action for a
+// symptom vector; Rank returns candidate actions ordered by confidence
+// (the §5.2 ranking extension).
+type Synopsis interface {
+	Name() string
+	Add(p Point)
+	Suggest(x []float64, exclude func(Action) bool) (Suggestion, bool)
+	Rank(x []float64) []Suggestion
+	// TrainingSize returns the number of successful observations held.
+	TrainingSize() int
+}
+
+// euclidean returns the L2 distance between two equal-length vectors
+// (shorter length governs if they differ).
+func euclidean(a, b []float64) float64 {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	s := 0.0
+	for i := 0; i < n; i++ {
+		d := a[i] - b[i]
+		s += d * d
+	}
+	return math.Sqrt(s)
+}
+
+// classSet assigns dense indexes to the fixes seen so far.
+type classSet struct {
+	byFix map[catalog.FixID]int
+	fixes []catalog.FixID
+}
+
+func newClassSet() *classSet {
+	return &classSet{byFix: make(map[catalog.FixID]int)}
+}
+
+func (c *classSet) index(f catalog.FixID) int {
+	if i, ok := c.byFix[f]; ok {
+		return i
+	}
+	i := len(c.fixes)
+	c.byFix[f] = i
+	c.fixes = append(c.fixes, f)
+	return i
+}
+
+func (c *classSet) len() int { return len(c.fixes) }
+
+// exemplars stores successful observations per fix for target resolution:
+// given a symptom and a fix class, the recommended target is the target
+// that worked for the nearest matching signature. Arrival order is kept so
+// the online wrapper's sliding window evicts the globally oldest points.
+type exemplars struct {
+	all   []Point
+	byFix map[catalog.FixID][]Point
+	n     int
+}
+
+func newExemplars() *exemplars {
+	return &exemplars{byFix: make(map[catalog.FixID][]Point)}
+}
+
+func (e *exemplars) add(p Point) {
+	e.all = append(e.all, p)
+	e.byFix[p.Action.Fix] = append(e.byFix[p.Action.Fix], p)
+	e.n++
+}
+
+// forget keeps only the most recent keep points (strictly by arrival
+// order) and rebuilds the per-fix index.
+func (e *exemplars) forget(keep int) {
+	if e.n <= keep {
+		return
+	}
+	e.all = append([]Point(nil), e.all[len(e.all)-keep:]...)
+	e.byFix = make(map[catalog.FixID][]Point, len(e.byFix))
+	for _, p := range e.all {
+		e.byFix[p.Action.Fix] = append(e.byFix[p.Action.Fix], p)
+	}
+	e.n = len(e.all)
+}
+
+// resolve returns the action of the nearest non-excluded exemplar of fix,
+// with the exemplar's distance.
+func (e *exemplars) resolve(x []float64, fix catalog.FixID, exclude func(Action) bool) (Action, float64, bool) {
+	best := Action{}
+	bestD := math.Inf(1)
+	found := false
+	for _, p := range e.byFix[fix] {
+		if exclude != nil && exclude(p.Action) {
+			continue
+		}
+		d := euclidean(x, p.X)
+		if d < bestD {
+			best, bestD, found = p.Action, d, true
+		}
+	}
+	return best, bestD, found
+}
+
+// fixScore is a fix-level classification score.
+type fixScore struct {
+	fix   catalog.FixID
+	score float64
+}
+
+// sortFixScores orders scores descending, ties by fix id for determinism.
+func sortFixScores(fs []fixScore) {
+	sort.Slice(fs, func(i, j int) bool {
+		if fs[i].score != fs[j].score {
+			return fs[i].score > fs[j].score
+		}
+		return fs[i].fix < fs[j].fix
+	})
+}
+
+// suggestFrom converts a ranked fix list into the best concrete action that
+// is not excluded, resolving targets through the exemplar store.
+func suggestFrom(ranked []fixScore, ex *exemplars, x []float64, exclude func(Action) bool) (Suggestion, bool) {
+	total := 0.0
+	for _, r := range ranked {
+		if r.score > 0 {
+			total += r.score
+		}
+	}
+	for _, r := range ranked {
+		action, _, ok := ex.resolve(x, r.fix, exclude)
+		if !ok {
+			continue
+		}
+		conf := r.score
+		if total > 0 {
+			conf = r.score / total
+		}
+		return Suggestion{Action: action, Confidence: conf}, true
+	}
+	return Suggestion{}, false
+}
+
+// rankFrom converts a ranked fix list into resolved suggestions (no
+// exclusions) with normalized confidences.
+func rankFrom(ranked []fixScore, ex *exemplars, x []float64) []Suggestion {
+	total := 0.0
+	for _, r := range ranked {
+		if r.score > 0 {
+			total += r.score
+		}
+	}
+	out := make([]Suggestion, 0, len(ranked))
+	for _, r := range ranked {
+		action, _, ok := ex.resolve(x, r.fix, nil)
+		if !ok {
+			continue
+		}
+		conf := r.score
+		if total > 0 {
+			conf = r.score / total
+		}
+		out = append(out, Suggestion{Action: action, Confidence: conf})
+	}
+	return out
+}

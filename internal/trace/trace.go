@@ -1,0 +1,179 @@
+// Package trace implements request-path data collection and Pinpoint-style
+// failure-path inference (the paper's refs [5] and [8]): "the path (control
+// and data flow), resource utilization, and timing of requests through the
+// multitier service" (§4.2). Paths are sampled from the simulator's call
+// graph and component state; the FPI analyzer ranks components by their
+// association with failed paths, an alternative localization signal to the
+// χ² call-matrix test.
+package trace
+
+import (
+	"sort"
+
+	"selfheal/internal/service"
+	"selfheal/internal/sim"
+)
+
+// Hop is one component visit on a request path.
+type Hop struct {
+	Tier      string
+	Component string
+	// Failed marks the hop where the request died (hang or exception).
+	Failed bool
+}
+
+// Path is the control-flow of one request through the service.
+type Path struct {
+	Class string
+	Hops  []Hop
+	// Failed reports whether the request failed anywhere on the path.
+	Failed bool
+}
+
+// Sampler draws representative request paths from the live service state.
+type Sampler struct {
+	svc *service.Service
+	rng *sim.RNG
+}
+
+// NewSampler builds a path sampler over svc.
+func NewSampler(svc *service.Service, seed int64) *Sampler {
+	return &Sampler{svc: svc, rng: sim.NewRNG(seed)}
+}
+
+// Sample draws one path for the request class with the given index,
+// following the class's EJB calls and each EJB's nested calls, and marking
+// the first failure encountered (deadlock hang or thrown exception).
+func (s *Sampler) Sample(classIdx int) Path {
+	classes := s.svc.Classes()
+	if classIdx < 0 || classIdx >= len(classes) {
+		classIdx = 0
+	}
+	class := classes[classIdx]
+	p := Path{Class: class.Name}
+	p.Hops = append(p.Hops, Hop{Tier: "web", Component: class.Name})
+	for _, call := range class.Calls {
+		n := s.count(call.Count)
+		for i := 0; i < n && !p.Failed; i++ {
+			s.visit(&p, call.Callee, 0)
+		}
+		if p.Failed {
+			break
+		}
+	}
+	return p
+}
+
+// visit walks one EJB invocation and its nested calls.
+func (s *Sampler) visit(p *Path, ejbName string, depth int) {
+	if depth > 4 || p.Failed {
+		return
+	}
+	e := s.svc.App.EJB(ejbName)
+	hop := Hop{Tier: "app", Component: ejbName}
+	if e.Deadlocked {
+		hop.Failed = true
+		p.Failed = true
+		p.Hops = append(p.Hops, hop)
+		return
+	}
+	if r := e.ErrorRate + e.BugErrorRate; r > 0 && s.rng.Bool(r) {
+		hop.Failed = true
+		p.Failed = true
+		p.Hops = append(p.Hops, hop)
+		return
+	}
+	p.Hops = append(p.Hops, hop)
+	for _, q := range e.Def.Queries {
+		p.Hops = append(p.Hops, Hop{Tier: "db", Component: q.Table})
+	}
+	for _, call := range e.Def.CallsTo {
+		n := s.count(call.Count)
+		for i := 0; i < n && !p.Failed; i++ {
+			s.visit(p, call.Callee, depth+1)
+		}
+	}
+}
+
+// count converts a fractional expected call count into a sampled integer.
+func (s *Sampler) count(c float64) int {
+	n := int(c)
+	if s.rng.Bool(c - float64(n)) {
+		n++
+	}
+	return n
+}
+
+// ComponentScore is one component's failure association.
+type ComponentScore struct {
+	Component string
+	// Score is P(component on path | failed) - P(component on path | ok):
+	// positive values indicate the component travels with failures.
+	Score float64
+	FailN int
+	OkN   int
+}
+
+// FPI accumulates paths and infers failure-associated components
+// (Automatic Failure-Path Inference, ref [5]).
+type FPI struct {
+	failPaths int
+	okPaths   int
+	failSeen  map[string]int
+	okSeen    map[string]int
+}
+
+// NewFPI returns an empty analyzer.
+func NewFPI() *FPI {
+	return &FPI{failSeen: make(map[string]int), okSeen: make(map[string]int)}
+}
+
+// Add folds one observed path into the analyzer.
+func (f *FPI) Add(p Path) {
+	seen := make(map[string]bool, len(p.Hops))
+	for _, h := range p.Hops {
+		if h.Tier != "app" {
+			continue // localize application components, as in [5]
+		}
+		seen[h.Component] = true
+	}
+	if p.Failed {
+		f.failPaths++
+		for c := range seen {
+			f.failSeen[c]++
+		}
+	} else {
+		f.okPaths++
+		for c := range seen {
+			f.okSeen[c]++
+		}
+	}
+}
+
+// Paths returns the numbers of failed and successful paths seen.
+func (f *FPI) Paths() (failed, ok int) { return f.failPaths, f.okPaths }
+
+// Ranked returns components ordered by failure association, strongest
+// first. Components never seen on a failed path are omitted.
+func (f *FPI) Ranked() []ComponentScore {
+	if f.failPaths == 0 {
+		return nil
+	}
+	var out []ComponentScore
+	for c, fn := range f.failSeen {
+		on := f.okSeen[c]
+		pf := float64(fn) / float64(f.failPaths)
+		po := 0.0
+		if f.okPaths > 0 {
+			po = float64(on) / float64(f.okPaths)
+		}
+		out = append(out, ComponentScore{Component: c, Score: pf - po, FailN: fn, OkN: on})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Score != out[j].Score {
+			return out[i].Score > out[j].Score
+		}
+		return out[i].Component < out[j].Component
+	})
+	return out
+}

@@ -1,0 +1,115 @@
+package trace
+
+import (
+	"testing"
+
+	"selfheal/internal/service"
+	"selfheal/internal/workload"
+)
+
+func newService() *service.Service {
+	svc := service.New(service.DefaultConfig())
+	gen := workload.NewGenerator(workload.BiddingMix(), 3)
+	for i := 0; i < 20; i++ {
+		svc.Tick(gen.Arrivals(svc.Now()))
+	}
+	return svc
+}
+
+func classIndex(t *testing.T, name string) int {
+	t.Helper()
+	for i, n := range service.ClassNames() {
+		if n == name {
+			return i
+		}
+	}
+	t.Fatalf("class %s not found", name)
+	return -1
+}
+
+func TestHealthyPathsSucceed(t *testing.T) {
+	svc := newService()
+	s := NewSampler(svc, 5)
+	for c := 0; c < service.NumClasses(); c++ {
+		p := s.Sample(c)
+		if p.Failed {
+			t.Errorf("healthy path for class %d failed: %+v", c, p)
+		}
+		if len(p.Hops) == 0 {
+			t.Errorf("class %d path has no hops", c)
+		}
+		if p.Hops[0].Tier != "web" {
+			t.Errorf("path does not start at the web tier: %+v", p.Hops[0])
+		}
+	}
+}
+
+func TestPathStructureMatchesTopology(t *testing.T) {
+	svc := newService()
+	s := NewSampler(svc, 5)
+	p := s.Sample(classIndex(t, "ViewItem"))
+	var apps, dbs int
+	for _, h := range p.Hops {
+		switch h.Tier {
+		case "app":
+			apps++
+		case "db":
+			dbs++
+		}
+	}
+	if apps < 4 { // ItemBean, BidBean, CommentBean, UserBean at least
+		t.Errorf("ViewItem visited %d EJBs", apps)
+	}
+	if dbs < 4 {
+		t.Errorf("ViewItem touched %d tables", dbs)
+	}
+}
+
+func TestDeadlockedComponentFailsPaths(t *testing.T) {
+	svc := newService()
+	svc.App.EJB("BidBean").Deadlocked = true
+	s := NewSampler(svc, 5)
+	p := s.Sample(classIndex(t, "ViewItem"))
+	if !p.Failed {
+		t.Fatal("path through a deadlocked EJB did not fail")
+	}
+	last := p.Hops[len(p.Hops)-1]
+	if last.Component != "BidBean" || !last.Failed {
+		t.Errorf("failure not attributed to BidBean: %+v", last)
+	}
+	// A class that avoids BidBean still succeeds.
+	if s.Sample(classIndex(t, "Search")).Failed {
+		t.Error("Search should not touch BidBean")
+	}
+}
+
+func TestFPILocalizesFaultyComponent(t *testing.T) {
+	svc := newService()
+	svc.App.EJB("CommentBean").ErrorRate = 0.9
+	s := NewSampler(svc, 7)
+	fpi := NewFPI()
+	for i := 0; i < 400; i++ {
+		fpi.Add(s.Sample(i % service.NumClasses()))
+	}
+	failed, ok := fpi.Paths()
+	if failed == 0 || ok == 0 {
+		t.Fatalf("degenerate path mix: failed=%d ok=%d", failed, ok)
+	}
+	ranked := fpi.Ranked()
+	if len(ranked) == 0 {
+		t.Fatal("no ranked components")
+	}
+	if ranked[0].Component != "CommentBean" {
+		t.Errorf("FPI top suspect %s, want CommentBean (%+v)", ranked[0].Component, ranked[:2])
+	}
+	if ranked[0].Score <= 0 {
+		t.Errorf("suspect score %v not positive", ranked[0].Score)
+	}
+}
+
+func TestFPIEmptyBehaviour(t *testing.T) {
+	fpi := NewFPI()
+	if fpi.Ranked() != nil {
+		t.Error("ranked components without failed paths")
+	}
+}

@@ -1,0 +1,184 @@
+// Package workload generates per-tick request arrivals for the simulated
+// service: RUBiS-like browsing and bidding mixes, diurnal modulation, load
+// surges and slow drift. These are the "different types and rates of
+// workloads" the paper's §4.2 recommends for active stimulation during
+// preproduction, and the drift knob drives the §5.2 online-learning
+// scenarios.
+package workload
+
+import (
+	"fmt"
+
+	"selfheal/internal/service"
+	"selfheal/internal/sim"
+)
+
+// Mix is a named request mix: per-class base rates in requests/second,
+// aligned with service.ClassNames() order.
+type Mix struct {
+	Name  string
+	Rates []float64
+}
+
+// BiddingMix returns RUBiS's read-write bidding mix (~15% writes) at the
+// default intensity (~150 req/s).
+func BiddingMix() Mix {
+	return mixFor(map[string]float64{
+		"Home": 15, "Browse": 30, "Search": 25, "ViewItem": 35, "ViewUser": 10,
+		"Bid": 15, "BuyNow": 5, "Register": 5, "Sell": 10, "About": 10,
+	}, "bidding")
+}
+
+// BrowsingMix returns RUBiS's read-only browsing mix.
+func BrowsingMix() Mix {
+	return mixFor(map[string]float64{
+		"Home": 25, "Browse": 45, "Search": 35, "ViewItem": 35, "ViewUser": 10,
+		"Bid": 0, "BuyNow": 0, "Register": 0, "Sell": 0, "About": 15,
+	}, "browsing")
+}
+
+func mixFor(rates map[string]float64, name string) Mix {
+	names := service.ClassNames()
+	m := Mix{Name: name, Rates: make([]float64, len(names))}
+	seen := 0
+	for i, n := range names {
+		if r, ok := rates[n]; ok {
+			m.Rates[i] = r
+			seen++
+		}
+	}
+	if seen != len(rates) {
+		panic(fmt.Sprintf("workload: mix %q names do not match service classes", name))
+	}
+	return m
+}
+
+// Surge is a temporary multiplicative load increase on a set of classes —
+// the offered-load component of the paper's "bottlenecked tier" failure.
+type Surge struct {
+	Start, End int64
+	Factor     float64
+	// Classes limits the surge to these class indexes; empty means all.
+	Classes []int
+}
+
+func (s Surge) active(t int64) bool { return t >= s.Start && t < s.End }
+
+// Generator produces per-tick arrivals.
+type Generator struct {
+	mix     Mix
+	rng     *sim.RNG
+	scale   float64
+	diurnal bool
+	// driftPerTick shifts the mix from its base toward heavier search/browse
+	// traffic over time (workload evolution, §5.2).
+	driftPerTick float64
+	drift        float64
+	surges       []Surge
+	buf          []float64
+}
+
+// NewGenerator builds a generator over mix with the given seed.
+func NewGenerator(mix Mix, seed int64) *Generator {
+	return &Generator{
+		mix:   mix,
+		rng:   sim.NewRNG(seed),
+		scale: 1,
+		buf:   make([]float64, len(mix.Rates)),
+	}
+}
+
+// SetScale applies a constant multiplier to the whole mix.
+func (g *Generator) SetScale(f float64) { g.scale = f }
+
+// Scale returns the current constant multiplier.
+func (g *Generator) Scale() float64 { return g.scale }
+
+// EnableDiurnal turns on a ±25% day/night modulation (period 24 simulated
+// hours).
+func (g *Generator) EnableDiurnal() { g.diurnal = true }
+
+// SetDrift makes the mix drift by f per tick: positive drift steadily
+// shifts traffic toward the read-heavy classes, changing the baseline the
+// learners trained on.
+func (g *Generator) SetDrift(f float64) { g.driftPerTick = f }
+
+// AddSurge schedules a load surge.
+func (g *Generator) AddSurge(s Surge) { g.surges = append(g.surges, s) }
+
+// ClearSurges removes all scheduled surges.
+func (g *Generator) ClearSurges() { g.surges = nil }
+
+// Rates returns the expected (noise-free) per-class rates at tick t.
+func (g *Generator) Rates(t int64) []float64 {
+	out := make([]float64, len(g.mix.Rates))
+	mod := g.scale
+	if g.diurnal {
+		mod *= 1 + 0.25*sinDay(t)
+	}
+	g.drift += g.driftPerTick
+	for i, r := range g.mix.Rates {
+		v := r * mod
+		if g.drift != 0 {
+			// Drift: browse/search/view classes grow, write classes shrink.
+			switch service.ClassNames()[i] {
+			case "Browse", "Search", "ViewItem":
+				v *= 1 + g.drift
+			case "Bid", "BuyNow", "Sell", "Register":
+				v *= 1 / (1 + g.drift)
+			}
+		}
+		for _, s := range g.surges {
+			if !s.active(t) {
+				continue
+			}
+			if len(s.Classes) == 0 {
+				v *= s.Factor
+				continue
+			}
+			for _, c := range s.Classes {
+				if c == i {
+					v *= s.Factor
+				}
+			}
+		}
+		out[i] = v
+	}
+	return out
+}
+
+// Arrivals returns Poisson-sampled per-class arrivals for tick t. The
+// returned slice is reused between calls.
+func (g *Generator) Arrivals(t int64) []float64 {
+	rates := g.Rates(t)
+	for i, r := range rates {
+		g.buf[i] = float64(g.rng.Poisson(r))
+	}
+	return g.buf
+}
+
+// sinDay is a 24-hour sine with period 86400 ticks.
+func sinDay(t int64) float64 {
+	const period = 86400.0
+	x := float64(t%86400) / period
+	// Small-angle-free sine via the math import would be fine; a cheap
+	// parabolic approximation keeps this hot path trivial and smooth.
+	return parabolicSine(x)
+}
+
+// parabolicSine approximates sin(2πx) for x in [0,1) within ~6% — plenty
+// for workload shaping.
+func parabolicSine(x float64) float64 {
+	x = x - 0.25 // shift so peak is at midday
+	if x < 0 {
+		x += 1
+	}
+	// Triangle-to-parabola shaping.
+	var y float64
+	if x < 0.5 {
+		y = 1 - 16*(x-0.25)*(x-0.25)
+	} else {
+		y = -1 + 16*(x-0.75)*(x-0.75)
+	}
+	return y
+}

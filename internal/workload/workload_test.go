@@ -1,0 +1,148 @@
+package workload
+
+import (
+	"math"
+	"testing"
+
+	"selfheal/internal/service"
+)
+
+func TestMixesAlignWithServiceClasses(t *testing.T) {
+	for _, mix := range []Mix{BiddingMix(), BrowsingMix()} {
+		if len(mix.Rates) != service.NumClasses() {
+			t.Errorf("%s has %d rates, service has %d classes", mix.Name, len(mix.Rates), service.NumClasses())
+		}
+	}
+	// Bidding mix carries write traffic; browsing does not.
+	names := service.ClassNames()
+	bid := BiddingMix()
+	browse := BrowsingMix()
+	for i, n := range names {
+		if n == "Bid" {
+			if bid.Rates[i] == 0 {
+				t.Error("bidding mix has no Bid traffic")
+			}
+			if browse.Rates[i] != 0 {
+				t.Error("browsing mix has Bid traffic")
+			}
+		}
+	}
+}
+
+func TestArrivalsMeanTracksRate(t *testing.T) {
+	g := NewGenerator(BiddingMix(), 9)
+	sums := make([]float64, service.NumClasses())
+	const n = 2000
+	for i := 0; i < n; i++ {
+		arr := g.Arrivals(int64(i))
+		for c, a := range arr {
+			sums[c] += a
+		}
+	}
+	for c, want := range BiddingMix().Rates {
+		mean := sums[c] / n
+		if want == 0 {
+			if mean != 0 {
+				t.Errorf("class %d mean %v, want 0", c, mean)
+			}
+			continue
+		}
+		if math.Abs(mean-want) > 5*math.Sqrt(want/n)+0.5 {
+			t.Errorf("class %d mean %.2f want %.2f", c, mean, want)
+		}
+	}
+}
+
+func TestScale(t *testing.T) {
+	g := NewGenerator(BiddingMix(), 1)
+	g.SetScale(2)
+	rates := g.Rates(0)
+	for i, r := range rates {
+		if want := BiddingMix().Rates[i] * 2; math.Abs(r-want) > 1e-9 {
+			t.Fatalf("class %d rate %v want %v", i, r, want)
+		}
+	}
+	if g.Scale() != 2 {
+		t.Error("scale getter")
+	}
+}
+
+func TestSurgeWindowAndClasses(t *testing.T) {
+	g := NewGenerator(BiddingMix(), 1)
+	g.AddSurge(Surge{Start: 100, End: 200, Factor: 3, Classes: []int{0}})
+	before := g.Rates(99)
+	during := g.Rates(150)
+	after := g.Rates(200)
+	if during[0] != before[0]*3 {
+		t.Errorf("surge class rate %v want %v", during[0], before[0]*3)
+	}
+	if during[1] != before[1] {
+		t.Error("surge leaked to unlisted class")
+	}
+	if after[0] != before[0] {
+		t.Error("surge persisted past End")
+	}
+	g.ClearSurges()
+	if got := g.Rates(150); got[0] != before[0] {
+		t.Error("ClearSurges did not clear")
+	}
+}
+
+func TestSurgeAllClasses(t *testing.T) {
+	g := NewGenerator(BiddingMix(), 1)
+	g.AddSurge(Surge{Start: 0, End: 10, Factor: 2})
+	r := g.Rates(5)
+	for i, base := range BiddingMix().Rates {
+		if math.Abs(r[i]-base*2) > 1e-9 {
+			t.Fatalf("class %d not surged", i)
+		}
+	}
+}
+
+func TestDriftDirection(t *testing.T) {
+	g := NewGenerator(BiddingMix(), 1)
+	g.SetDrift(0.001)
+	names := service.ClassNames()
+	idx := func(name string) int {
+		for i, n := range names {
+			if n == name {
+				return i
+			}
+		}
+		t.Fatalf("class %s missing", name)
+		return -1
+	}
+	early := g.Rates(0)
+	for i := 0; i < 500; i++ {
+		g.Rates(int64(i))
+	}
+	late := g.Rates(501)
+	if late[idx("Browse")] <= early[idx("Browse")] {
+		t.Error("drift should grow Browse traffic")
+	}
+	if late[idx("Bid")] >= early[idx("Bid")] {
+		t.Error("drift should shrink Bid traffic")
+	}
+}
+
+func TestDiurnalBounds(t *testing.T) {
+	g := NewGenerator(BiddingMix(), 1)
+	g.EnableDiurnal()
+	lo, hi := math.Inf(1), math.Inf(-1)
+	base := BiddingMix().Rates[0]
+	for tick := int64(0); tick < 86400; tick += 600 {
+		r := g.Rates(tick)[0]
+		if r < lo {
+			lo = r
+		}
+		if r > hi {
+			hi = r
+		}
+	}
+	if lo < base*0.7 || hi > base*1.3 {
+		t.Errorf("diurnal out of ±30%% band: lo=%v hi=%v base=%v", lo, hi, base)
+	}
+	if hi-lo < base*0.2 {
+		t.Error("diurnal modulation too weak to be meaningful")
+	}
+}

@@ -1,0 +1,266 @@
+// Package selfheal is a reproduction of "Toward Self-Healing Multitier
+// Services" (Cook, Babu, Candea, Duan — ICDE 2007): an automated,
+// learning-based healing stack for database-centric multitier services,
+// together with the simulated RUBiS-style service, fault and fix catalogs,
+// detection machinery and experiment harnesses the paper's evaluation
+// needs.
+//
+// The package exposes the whole system behind a small facade:
+//
+//	sys := selfheal.NewSystem(selfheal.Options{Approach: selfheal.ApproachHybrid})
+//	ep := sys.HealEpisode(selfheal.NewStaleStats("items", 8))
+//	fmt.Println(ep.Recovered, ep.TTR())
+//
+// Everything underneath lives in internal/ packages: the analytical
+// service simulator (internal/service), Table 1's faults and fixes
+// (internal/faults, internal/fixes), SLO and χ² detection
+// (internal/detect), the learned synopses (internal/synopsis), the
+// diagnosis-based approaches (internal/diagnose), and the FixSym healing
+// loop with its hybrid and proactive extensions (internal/core).
+package selfheal
+
+import (
+	"fmt"
+
+	"selfheal/internal/catalog"
+	"selfheal/internal/core"
+	"selfheal/internal/diagnose"
+	"selfheal/internal/faults"
+	"selfheal/internal/service"
+	"selfheal/internal/synopsis"
+	"selfheal/internal/workload"
+)
+
+// Re-exported core types: the facade's vocabulary.
+type (
+	// Action is a fix plus its target (e.g. microreboot-ejb on ItemBean).
+	Action = core.Action
+	// Approach is a fix-identification technique (§4.3 of the paper).
+	Approach = core.Approach
+	// Episode is the outcome of healing one failure.
+	Episode = core.Episode
+	// Fault is one injectable failure (Table 1 + Figure 1 categories).
+	Fault = faults.Fault
+	// Harness couples the simulated service with monitoring and healing.
+	Harness = core.Harness
+	// FailureContext is what approaches observe about a detected failure.
+	FailureContext = core.FailureContext
+	// Synopsis is a learned symptom→fix model (§5.2).
+	Synopsis = synopsis.Synopsis
+	// FixID identifies one of Table 1's candidate fixes.
+	FixID = catalog.FixID
+	// FaultKind identifies one of Table 1's failure types.
+	FaultKind = catalog.FaultKind
+	// Tier identifies a service tier.
+	Tier = catalog.Tier
+)
+
+// Fault constructors, re-exported from the fault catalog.
+var (
+	NewDeadlock         = faults.NewDeadlock
+	NewException        = faults.NewException
+	NewAging            = faults.NewAging
+	NewStaleStats       = faults.NewStaleStats
+	NewBlockContention  = faults.NewBlockContention
+	NewBufferContention = faults.NewBufferContention
+	NewBottleneck       = faults.NewBottleneck
+	NewCodeBug          = faults.NewCodeBug
+	NewHardware         = faults.NewHardware
+	NewNetwork          = faults.NewNetwork
+)
+
+// Tier constants.
+const (
+	TierWeb = catalog.TierWeb
+	TierApp = catalog.TierApp
+	TierDB  = catalog.TierDB
+)
+
+// ApproachKind selects the fix-identification technique a System heals
+// with.
+type ApproachKind string
+
+// The available approaches (§3–§4.3 of the paper).
+const (
+	// ApproachManual is the static rule-based baseline of §3.
+	ApproachManual ApproachKind = "manual"
+	// ApproachAnomaly is diagnosis via anomaly detection (§4.3.1).
+	ApproachAnomaly ApproachKind = "anomaly"
+	// ApproachCorrelation is diagnosis via correlation analysis (§4.3.2).
+	ApproachCorrelation ApproachKind = "correlation"
+	// ApproachBottleneck is diagnosis via bottleneck analysis (§4.3.3).
+	ApproachBottleneck ApproachKind = "bottleneck"
+	// ApproachFixSymNN is FixSym over a nearest-neighbor synopsis (§4.3.4).
+	ApproachFixSymNN ApproachKind = "fixsym-nn"
+	// ApproachFixSymKMeans is FixSym over per-fix k-means clustering.
+	ApproachFixSymKMeans ApproachKind = "fixsym-kmeans"
+	// ApproachFixSymAdaBoost is FixSym over a 60-learner AdaBoost ensemble.
+	ApproachFixSymAdaBoost ApproachKind = "fixsym-adaboost"
+	// ApproachFixSymBayes is FixSym over Gaussian naive Bayes (confidence
+	// estimates, §5.2).
+	ApproachFixSymBayes ApproachKind = "fixsym-bayes"
+	// ApproachPathAnalysis is path-based failure management (refs [5],[8]).
+	ApproachPathAnalysis ApproachKind = "path-analysis"
+	// ApproachHybrid combines FixSym with the diagnosis approaches (§5.1).
+	ApproachHybrid ApproachKind = "hybrid"
+)
+
+// ApproachKinds lists every selectable approach.
+func ApproachKinds() []ApproachKind {
+	return []ApproachKind{
+		ApproachManual, ApproachAnomaly, ApproachCorrelation, ApproachBottleneck,
+		ApproachPathAnalysis, ApproachFixSymNN, ApproachFixSymKMeans,
+		ApproachFixSymAdaBoost, ApproachFixSymBayes, ApproachHybrid,
+	}
+}
+
+// NewApproach constructs a fresh approach of the given kind.
+func NewApproach(kind ApproachKind) (Approach, error) {
+	switch kind {
+	case ApproachManual:
+		return diagnose.NewManualRules(), nil
+	case ApproachAnomaly:
+		return diagnose.NewAnomaly(), nil
+	case ApproachCorrelation:
+		return diagnose.NewCorrelation(), nil
+	case ApproachBottleneck:
+		return diagnose.NewBottleneck(), nil
+	case ApproachFixSymNN:
+		return core.NewFixSym(synopsis.NewNearestNeighbor()), nil
+	case ApproachFixSymKMeans:
+		return core.NewFixSym(synopsis.NewKMeans()), nil
+	case ApproachFixSymAdaBoost:
+		return core.NewFixSym(synopsis.NewAdaBoost(60)), nil
+	case ApproachFixSymBayes:
+		return core.NewFixSym(synopsis.NewNaiveBayes()), nil
+	case ApproachPathAnalysis:
+		return diagnose.NewPathAnalysis(), nil
+	case ApproachHybrid:
+		return core.NewHybrid(
+			core.NewFixSym(synopsis.NewNearestNeighbor()),
+			diagnose.NewAnomaly(),
+			diagnose.NewBottleneck(),
+		), nil
+	default:
+		return nil, fmt.Errorf("selfheal: unknown approach %q", kind)
+	}
+}
+
+// Options configures a System.
+type Options struct {
+	// Seed makes the whole run deterministic. Zero means 42.
+	Seed int64
+	// Approach picks the healing technique; empty means ApproachHybrid.
+	Approach ApproachKind
+	// Browsing switches to the read-only RUBiS browsing mix.
+	Browsing bool
+	// Threshold overrides the Figure 3 THRESHOLD (failed attempts before
+	// escalation); zero keeps the default.
+	Threshold int
+	// AdminDelayTicks overrides the human response time; zero keeps the
+	// default (600 simulated seconds).
+	AdminDelayTicks int
+	// NoEscalationRestart disables the full restart at escalation.
+	NoEscalationRestart bool
+}
+
+// System is a simulated multitier service with a healing loop attached.
+type System struct {
+	*core.Harness
+	Healer   *core.Healer
+	approach Approach
+}
+
+// NewSystem builds and warms up a system.
+func NewSystem(opts Options) (*System, error) {
+	if opts.Seed == 0 {
+		opts.Seed = 42
+	}
+	if opts.Approach == "" {
+		opts.Approach = ApproachHybrid
+	}
+	hcfg := core.DefaultHarnessConfig()
+	hcfg.Seed = opts.Seed
+	hcfg.Service.Seed = opts.Seed*7919 + 17
+	if opts.Browsing {
+		hcfg.Mix = workload.BrowsingMix()
+	}
+	h := core.NewHarness(hcfg)
+	approach, err := NewApproach(opts.Approach)
+	if err != nil {
+		return nil, err
+	}
+	cfg := core.DefaultHealerConfig()
+	if opts.Threshold > 0 {
+		cfg.Threshold = opts.Threshold
+	}
+	if opts.AdminDelayTicks > 0 {
+		cfg.AdminDelayTicks = opts.AdminDelayTicks
+	}
+	if opts.NoEscalationRestart {
+		cfg.EscalateRestart = false
+	}
+	hl := core.NewHealer(h, approach, cfg)
+	hl.AdminOracle = core.OracleFromInjector(h.Inj)
+	return &System{Harness: h, Healer: hl, approach: approach}, nil
+}
+
+// MustNewSystem is NewSystem panicking on configuration errors, for
+// examples and tests.
+func MustNewSystem(opts Options) *System {
+	s, err := NewSystem(opts)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Approach returns the system's healing approach.
+func (s *System) Approach() Approach { return s.approach }
+
+// HealEpisode injects the fault and drives the Figure 3 loop until the
+// service recovers (or escalation completes).
+func (s *System) HealEpisode(f Fault) Episode { return s.Healer.RunEpisode(f) }
+
+// ServiceConfig returns the simulated service's configuration.
+func (s *System) ServiceConfig() service.Config { return s.Svc.Config() }
+
+// NewProactive attaches a §5.3 forecast-driven healer to the system.
+func (s *System) NewProactive() *core.Proactive { return core.NewProactive(s.Harness) }
+
+// RandomFaults returns a deterministic random fault generator over the
+// given kinds (all Table 1 kinds when empty).
+func RandomFaults(seed int64, kinds ...FaultKind) *faults.Generator {
+	return faults.NewGenerator(seed, kinds...)
+}
+
+// CandidateFixes re-exports the Table 1 fault→fix map.
+func CandidateFixes(k FaultKind) []FixID { return catalog.CandidateFixes(k) }
+
+// Knowledge-base construction and portability.
+
+// BootstrapPlan is the §4.2 active-stimulation schedule used to pre-train
+// an approach during preproduction.
+type BootstrapPlan = core.BootstrapPlan
+
+// Bootstrap and persistence functions, plus the synopsis constructors for
+// callers that assemble FixSym approaches by hand.
+var (
+	// Bootstrap runs a preproduction fault-injection campaign and feeds
+	// ground-truth-labeled outcomes to the approach.
+	Bootstrap = core.Bootstrap
+	// DefaultBootstrapPlan exercises every learning kind twice.
+	DefaultBootstrapPlan = core.DefaultBootstrapPlan
+	// NewFixSym builds a FixSym approach over any synopsis.
+	NewFixSym = core.NewFixSym
+	// SaveSynopsis serializes a synopsis's training history (the §5.1
+	// knowledge base) as JSON.
+	SaveSynopsis = synopsis.Save
+	// LoadSynopsis replays a serialized history into any synopsis.
+	LoadSynopsis = synopsis.Load
+	// Synopsis constructors.
+	NewNNSynopsis         = synopsis.NewNearestNeighbor
+	NewKMeansSynopsis     = synopsis.NewKMeans
+	NewAdaBoostSynopsis   = synopsis.NewAdaBoost
+	NewNaiveBayesSynopsis = synopsis.NewNaiveBayes
+)

@@ -1,0 +1,105 @@
+package selfheal_test
+
+import (
+	"testing"
+
+	"selfheal"
+)
+
+func TestNewSystemEveryApproach(t *testing.T) {
+	for _, kind := range selfheal.ApproachKinds() {
+		sys, err := selfheal.NewSystem(selfheal.Options{Seed: 5, Approach: kind})
+		if err != nil {
+			t.Errorf("approach %q: %v", kind, err)
+			continue
+		}
+		if sys.Approach().Name() == "" {
+			t.Errorf("approach %q has no name", kind)
+		}
+		st := sys.StepN(5)
+		if st.Down {
+			t.Errorf("approach %q: fresh system is down", kind)
+		}
+	}
+	if _, err := selfheal.NewSystem(selfheal.Options{Approach: "nope"}); err == nil {
+		t.Error("unknown approach accepted")
+	}
+}
+
+func TestSystemDefaults(t *testing.T) {
+	sys, err := selfheal.NewSystem(selfheal.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sys.Approach().Name() != "hybrid" {
+		t.Errorf("default approach %q", sys.Approach().Name())
+	}
+}
+
+func TestSystemDeterminism(t *testing.T) {
+	run := func() int64 {
+		sys := selfheal.MustNewSystem(selfheal.Options{Seed: 11, Approach: selfheal.ApproachAnomaly})
+		ep := sys.HealEpisode(selfheal.NewBufferContention(0.8))
+		return ep.TTR()
+	}
+	if a, b := run(), run(); a != b {
+		t.Errorf("same seed, different outcomes: %d vs %d", a, b)
+	}
+}
+
+func TestHealEpisodeEndToEnd(t *testing.T) {
+	sys := selfheal.MustNewSystem(selfheal.Options{Seed: 13, Approach: selfheal.ApproachBottleneck})
+	ep := sys.HealEpisode(selfheal.NewBottleneck(selfheal.TierDB, 3.9, 1200))
+	if !ep.Detected {
+		t.Fatal("db bottleneck not detected")
+	}
+	if !ep.Recovered {
+		t.Fatal("db bottleneck not recovered")
+	}
+	if ep.Escalated {
+		t.Error("bottleneck analysis should not need the administrator for a saturated tier")
+	}
+}
+
+func TestRandomFaultsCoverKinds(t *testing.T) {
+	gen := selfheal.RandomFaults(3)
+	seen := map[selfheal.FaultKind]bool{}
+	for i := 0; i < 300; i++ {
+		seen[gen.Next().Kind()] = true
+	}
+	if len(seen) < 8 {
+		t.Errorf("only %d kinds generated in 300 draws", len(seen))
+	}
+}
+
+func TestCandidateFixesExported(t *testing.T) {
+	gen := selfheal.RandomFaults(5)
+	f := gen.Next()
+	cands := selfheal.CandidateFixes(f.Kind())
+	if len(cands) == 0 {
+		t.Fatalf("no candidates for %v", f.Kind())
+	}
+	fix, _ := f.CorrectFix()
+	found := false
+	for _, c := range cands {
+		if c == fix {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("correct fix %v not among Table 1 candidates %v", fix, cands)
+	}
+}
+
+func TestProactiveAttachment(t *testing.T) {
+	sys := selfheal.MustNewSystem(selfheal.Options{Seed: 17})
+	p := sys.NewProactive()
+	sys.Inj.Inject(selfheal.NewAging(selfheal.TierApp, 0.004))
+	actions, bad := p.RunWithProactive(1500)
+	if actions == 0 {
+		t.Error("forecaster never acted on a steady leak")
+	}
+	if bad > 200 {
+		t.Errorf("proactive run had %d bad ticks; forecaster too slow", bad)
+	}
+}
