@@ -7,6 +7,7 @@ package selfheal_test
 // regenerates every artifact's shape in one run.
 
 import (
+	"context"
 	"testing"
 
 	"selfheal"
@@ -151,7 +152,7 @@ func BenchmarkAblationControl(b *testing.B) {
 // BenchmarkServiceTick measures the simulator's per-tick cost — the unit
 // everything above is built from.
 func BenchmarkServiceTick(b *testing.B) {
-	sys := selfheal.MustNewSystem(selfheal.Options{Seed: 3})
+	sys := selfheal.MustNew(context.Background(), selfheal.WithSeed(3))
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		sys.Step()
@@ -161,11 +162,36 @@ func BenchmarkServiceTick(b *testing.B) {
 // BenchmarkHealEpisode measures one full detect→diagnose→fix→verify
 // episode.
 func BenchmarkHealEpisode(b *testing.B) {
+	ctx := context.Background()
 	for i := 0; i < b.N; i++ {
-		sys := selfheal.MustNewSystem(selfheal.Options{Seed: int64(i + 1), Approach: selfheal.ApproachAnomaly})
-		ep := sys.HealEpisode(selfheal.NewStaleStats("items", 8))
+		sys := selfheal.MustNew(ctx, selfheal.WithSeed(int64(i+1)), selfheal.WithApproach(selfheal.ApproachAnomaly))
+		ep := sys.HealEpisode(ctx, selfheal.NewStaleStats("items", 8))
 		if !ep.Recovered {
 			b.Fatal("episode did not recover")
 		}
+	}
+}
+
+// BenchmarkFleetCampaign is the parallel-campaign baseline: 8 replicas
+// healing a 32-episode random-fault campaign into one shared knowledge
+// base. Construction (warmup of 8 simulators) is included deliberately —
+// it is part of standing a fleet up.
+func BenchmarkFleetCampaign(b *testing.B) {
+	ctx := context.Background()
+	for i := 0; i < b.N; i++ {
+		shared := selfheal.NewSharedSynopsis(selfheal.NewNNSynopsis())
+		fleet, err := selfheal.NewFleet(ctx, 8,
+			selfheal.WithSeed(int64(i+1)),
+			selfheal.WithSynopsis(shared),
+		)
+		if err != nil {
+			b.Fatal(err)
+		}
+		res, err := fleet.RunCampaign(ctx, selfheal.Campaign{Episodes: 32})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(100*res.Stats.RecoveryRate(), "recovered-%")
+		b.ReportMetric(res.Stats.MeanTTR, "mean-ttr-ticks")
 	}
 }

@@ -1,81 +1,119 @@
-// Command selfheald runs the simulated multitier service under a random
-// fault campaign with a self-healing loop attached, streaming an episode
-// log: what failed, what the healer tried, and how long recovery took.
+// Command selfheald runs simulated multitier service replicas under a
+// random fault campaign with self-healing loops attached. It is a pure
+// consumer of the healing event stream: every line below comes from the
+// typed events (FaultInjected, Detected, AttemptApplied, Escalated,
+// Recovered) the healers emit, not from dissecting episode records.
 //
 //	selfheald -episodes 20 -approach hybrid -seed 7
+//	selfheald -episodes 64 -replicas 8 -workers 4 -share
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"sync"
 
 	"selfheal"
 )
 
+// console prints the event stream and keeps the operator's tallies. It is
+// mutex-guarded because fleet replicas emit concurrently.
+type console struct {
+	mu        sync.Mutex
+	injected  int
+	detected  int
+	recovered int
+	escalated int
+	firstTry  int
+	ttrSum    int64
+}
+
+func (c *console) Emit(ev selfheal.Event) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	tag := fmt.Sprintf("[r%02d ep%03d t=%-7d]", ev.Replica, ev.Episode, ev.Tick)
+	switch ev.Kind {
+	case selfheal.EventFaultInjected:
+		c.injected++
+		target := ev.Fault.Target()
+		if target == "" {
+			target = "—"
+		}
+		fmt.Printf("%s fault %-26s target=%s\n", tag, ev.Fault.Kind(), target)
+	case selfheal.EventDetected:
+		c.detected++
+		fmt.Printf("%s detected\n", tag)
+	case selfheal.EventAttemptApplied:
+		mark := "✗"
+		if ev.Success {
+			mark = "✓"
+		}
+		if ev.Success && ev.Attempt == 1 {
+			c.firstTry++
+		}
+		fmt.Printf("%s   %s attempt %d: %v (confidence %.2f)\n", tag, mark, ev.Attempt, ev.Action, ev.Confidence)
+	case selfheal.EventEscalated:
+		c.escalated++
+		fmt.Printf("%s   escalated to administrator\n", tag)
+	case selfheal.EventRecovered:
+		c.recovered++
+		c.ttrSum += ev.TTR
+		fmt.Printf("%s recovered in %ds\n", tag, ev.TTR)
+	}
+}
+
+func (c *console) summary() string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	s := fmt.Sprintf("summary: recovered %d/%d detected (%d injected), first-attempt %d, escalated %d",
+		c.recovered, c.detected, c.injected, c.firstTry, c.escalated)
+	if c.recovered > 0 {
+		s += fmt.Sprintf(", mean TTR %.0fs", float64(c.ttrSum)/float64(c.recovered))
+	}
+	return s
+}
+
 func main() {
 	var (
-		episodes = flag.Int("episodes", 12, "failure episodes to inject and heal")
-		approach = flag.String("approach", string(selfheal.ApproachHybrid), "healing approach (manual|anomaly|correlation|bottleneck|path-analysis|fixsym-nn|fixsym-kmeans|fixsym-adaboost|fixsym-bayes|hybrid)")
+		episodes = flag.Int("episodes", 12, "total failure episodes to inject and heal")
+		replicas = flag.Int("replicas", 1, "service replicas healing concurrently")
+		workers  = flag.Int("workers", 0, "max concurrently-healing replicas (0 = all)")
+		approach = flag.String("approach", string(selfheal.ApproachHybrid), "healing approach (see ApproachKinds)")
 		seed     = flag.Int64("seed", 7, "deterministic seed")
+		share    = flag.Bool("share", false, "replicas learn into one shared knowledge base")
 	)
 	flag.Parse()
+	ctx := context.Background()
 
-	sys, err := selfheal.NewSystem(selfheal.Options{
-		Seed:     *seed,
-		Approach: selfheal.ApproachKind(*approach),
-	})
+	sink := &console{}
+	opts := []selfheal.Option{
+		selfheal.WithSeed(*seed),
+		selfheal.WithApproach(selfheal.ApproachKind(*approach)),
+		selfheal.WithEventSink(sink),
+	}
+	if *share {
+		// A shared knowledge base means FixSym over one synopsis; the
+		// -approach flag is superseded.
+		opts = append(opts, selfheal.WithSynopsis(selfheal.NewSharedSynopsis(selfheal.NewNNSynopsis())))
+	}
+	if *workers != 0 {
+		opts = append(opts, selfheal.WithWorkers(*workers))
+	}
+
+	fleet, err := selfheal.NewFleet(ctx, *replicas, opts...)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "selfheald:", err)
 		os.Exit(2)
 	}
-	gen := selfheal.RandomFaults(*seed + 1)
+	fmt.Printf("selfheald: %d episodes over %d replica(s), approach=%s, seed=%d, shared-kb=%v\n\n",
+		*episodes, *replicas, fleet.Replica(0).Approach().Name(), *seed, *share)
 
-	fmt.Printf("selfheald: %d episodes, approach=%s, seed=%d\n", *episodes, *approach, *seed)
-	var recovered, escalated, firstTry int
-	var ttrSum int64
-	for i := 0; i < *episodes; i++ {
-		f := gen.Next()
-		ep := sys.HealEpisode(f)
-		status := "recovered"
-		if !ep.Detected {
-			status = "not SLO-visible"
-		} else if !ep.Recovered {
-			status = "NOT RECOVERED"
-		}
-		fmt.Printf("[ep %02d] t=%-7d %-28s target=%-12s %s", i, ep.InjectedAt, f.Kind(), orDash(f.Target()), status)
-		if ep.Recovered {
-			recovered++
-			ttrSum += ep.TTR()
-			fmt.Printf(" in %ds", ep.TTR())
-		}
-		if ep.Escalated {
-			escalated++
-			fmt.Printf(" (escalated to administrator)")
-		} else if ep.CorrectFirst {
-			firstTry++
-			fmt.Printf(" (first attempt)")
-		}
-		fmt.Println()
-		for _, a := range ep.Attempts {
-			mark := "✗"
-			if a.Success {
-				mark = "✓"
-			}
-			fmt.Printf("         %s %v (confidence %.2f)\n", mark, a.Action, a.Confidence)
-		}
-		sys.StepN(120) // settle between episodes
-	}
-	fmt.Printf("\nsummary: recovered %d/%d, first-attempt %d, escalated %d", recovered, *episodes, firstTry, escalated)
-	if recovered > 0 {
-		fmt.Printf(", mean TTR %.0fs", float64(ttrSum)/float64(recovered))
+	if _, err := fleet.RunCampaign(ctx, selfheal.Campaign{Episodes: *episodes}); err != nil {
+		fmt.Fprintln(os.Stderr, "selfheald:", err)
+		os.Exit(1)
 	}
 	fmt.Println()
-}
-
-func orDash(s string) string {
-	if s == "" {
-		return "—"
-	}
-	return s
+	fmt.Println(sink.summary())
 }

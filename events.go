@@ -1,0 +1,37 @@
+package selfheal
+
+import "selfheal/internal/core"
+
+// The episode event stream: a Healer narrates each episode as typed events
+// through a pluggable sink, so consoles and fleet aggregators consume a
+// stream instead of dissecting Episode structs after the fact. Attach a
+// sink with WithEventSink; Fleet replicas stamp their events with a
+// replica id automatically.
+
+// Event stream types, re-exported from internal/core.
+type (
+	// Event is one moment in a healing episode.
+	Event = core.Event
+	// EventKind discriminates healing-loop events.
+	EventKind = core.EventKind
+	// EventSink receives healing events; fleet sinks must be
+	// concurrency-safe.
+	EventSink = core.EventSink
+	// EventFunc adapts a function to the EventSink interface.
+	EventFunc = core.EventFunc
+)
+
+// The event vocabulary of one healing episode, in emission order.
+const (
+	EventFaultInjected  = core.EventFaultInjected
+	EventDetected       = core.EventDetected
+	EventAttemptApplied = core.EventAttemptApplied
+	EventEscalated      = core.EventEscalated
+	EventRecovered      = core.EventRecovered
+)
+
+// MultiSink fans one event stream out to several sinks in order.
+func MultiSink(sinks ...EventSink) EventSink { return core.MultiSink(sinks...) }
+
+// ReplicaSink stamps events with a replica id before forwarding.
+func ReplicaSink(replica int, sink EventSink) EventSink { return core.ReplicaSink(replica, sink) }

@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -15,10 +16,11 @@ import (
 )
 
 func main() {
-	sys, err := selfheal.NewSystem(selfheal.Options{
-		Seed:     20070415,
-		Approach: selfheal.ApproachHybrid,
-	})
+	ctx := context.Background()
+	sys, err := selfheal.New(ctx,
+		selfheal.WithSeed(20070415),
+		selfheal.WithApproach(selfheal.ApproachHybrid),
+	)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -37,7 +39,7 @@ func main() {
 	var ledger []row
 	for i := 0; i < episodes; i++ {
 		f := gen.Next()
-		ep := sys.HealEpisode(f)
+		ep := sys.HealEpisode(ctx, f)
 		r := row{kind: f.Kind().String(), ttr: -1, escalated: ep.Escalated, attempts: len(ep.Attempts)}
 		if ep.Recovered {
 			r.ttr = ep.TTR()

@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -18,10 +19,11 @@ func main() {
 		selfheal.ApproachAnomaly,
 		selfheal.ApproachHybrid,
 	}
+	ctx := context.Background()
 	fmt.Println("cold-start stream of 10 failures, three ways (§5.1)")
 	fmt.Println()
 	for _, kind := range kinds {
-		sys, err := selfheal.NewSystem(selfheal.Options{Seed: 6, Approach: kind})
+		sys, err := selfheal.New(ctx, selfheal.WithSeed(6), selfheal.WithApproach(kind))
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -29,7 +31,7 @@ func main() {
 		var recovered, escalated, firstTry int
 		var ttr int64
 		for i := 0; i < 10; i++ {
-			ep := sys.HealEpisode(gen.Next())
+			ep := sys.HealEpisode(ctx, gen.Next())
 			if ep.Recovered {
 				recovered++
 				ttr += ep.TTR()

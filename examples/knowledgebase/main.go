@@ -7,6 +7,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"log"
 
@@ -16,11 +17,12 @@ import (
 func main() {
 	// 1. Preproduction: the domain expert schedules fault injections on a
 	//    staging environment (§4.2 active stimulation).
+	ctx := context.Background()
 	fmt.Println("1. preproduction: active stimulation on staging")
 	staging := selfheal.NewNNSynopsis()
 	plan := selfheal.DefaultBootstrapPlan()
 	plan.PerKind = 2
-	n := selfheal.Bootstrap(plan, selfheal.NewFixSym(staging))
+	n := selfheal.Bootstrap(ctx, plan, selfheal.NewFixSym(staging))
 	fmt.Printf("   learned %d labeled failure signatures\n", n)
 
 	// 2. Persist the knowledge base (§5.1: "a knowledge-base that a
@@ -41,13 +43,13 @@ func main() {
 		production.TrainingSize(), production.Name())
 
 	// 4. First production failure: handled from shipped knowledge.
-	sys, err := selfheal.NewSystem(selfheal.Options{Seed: 77})
+	sys, err := selfheal.New(ctx, selfheal.WithSeed(77))
 	if err != nil {
 		log.Fatal(err)
 	}
 	healer := sys.Healer
 	healer.Approach = selfheal.NewFixSym(production)
-	ep := sys.HealEpisode(selfheal.NewBlockContention("bids", 220))
+	ep := sys.HealEpisode(ctx, selfheal.NewBlockContention("bids", 220))
 	fmt.Printf("4. first production failure: recovered=%v escalated=%v ttr=%ds\n",
 		ep.Recovered, ep.Escalated, ep.TTR())
 	for _, a := range ep.Attempts {

@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -17,11 +18,12 @@ func main() {
 	fmt.Println()
 
 	// Reactive: heal after the failure is user-visible.
-	reactive, err := selfheal.NewSystem(selfheal.Options{Seed: 4, Approach: selfheal.ApproachFixSymNN})
+	ctx := context.Background()
+	reactive, err := selfheal.New(ctx, selfheal.WithSeed(4), selfheal.WithApproach(selfheal.ApproachFixSymNN))
 	if err != nil {
 		log.Fatal(err)
 	}
-	ep := reactive.HealEpisode(selfheal.NewAging(selfheal.TierApp, 0.004))
+	ep := reactive.HealEpisode(ctx, selfheal.NewAging(selfheal.TierApp, 0.004))
 	fmt.Printf("reactive:  failure detected %ds after leak onset; recovery took %ds",
 		ep.DetectedAt-ep.InjectedAt, ep.TTR())
 	if ep.Escalated {
@@ -31,7 +33,7 @@ func main() {
 
 	// Proactive: the forecaster watches app.heap.occ, fits a line, and
 	// reboots before the forecast crossing.
-	sys, err := selfheal.NewSystem(selfheal.Options{Seed: 4})
+	sys, err := selfheal.New(ctx, selfheal.WithSeed(4))
 	if err != nil {
 		log.Fatal(err)
 	}

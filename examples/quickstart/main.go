@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -15,22 +16,23 @@ import (
 )
 
 func main() {
-	sys, err := selfheal.NewSystem(selfheal.Options{
-		Seed:     1,
-		Approach: selfheal.ApproachFixSymNN,
-	})
+	ctx := context.Background()
+	sys, err := selfheal.New(ctx,
+		selfheal.WithSeed(1),
+		selfheal.WithApproach(selfheal.ApproachFixSymNN),
+	)
 	if err != nil {
 		log.Fatal(err)
 	}
 
 	fmt.Println("== first occurrence: stale optimizer statistics on the items table ==")
-	ep1 := sys.HealEpisode(selfheal.NewStaleStats("items", 8))
+	ep1 := sys.HealEpisode(ctx, selfheal.NewStaleStats("items", 8))
 	report(ep1)
 
 	sys.StepN(200) // service settles back to its baseline
 
 	fmt.Println("\n== recurrence: same failure, signature now known ==")
-	ep2 := sys.HealEpisode(selfheal.NewStaleStats("items", 7))
+	ep2 := sys.HealEpisode(ctx, selfheal.NewStaleStats("items", 7))
 	report(ep2)
 
 	if ep1.TTR() > 0 && ep2.TTR() > 0 {

@@ -1,0 +1,225 @@
+package selfheal
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"selfheal/internal/core"
+)
+
+// Fleet is N independent deterministic service replicas, each with its own
+// simulated service and Figure 3 healing loop, healing concurrent fault
+// campaigns through a worker pool. Replicas are isolated by construction —
+// replica i's outcomes depend only on its derived seed, never on
+// scheduling — unless the fleet is given a shared synopsis (WithSynopsis +
+// NewSharedSynopsis), in which case every replica's escalations and
+// successful fixes train one fleet-wide knowledge base.
+type Fleet struct {
+	cfg      config
+	replicas []*System
+	seeds    []int64
+}
+
+// replicaSeedStride separates replica seed streams; replica 0 keeps the
+// base seed, so a Fleet of one is the sequential System, byte for byte.
+const replicaSeedStride = 1_000_003
+
+// replicaFaultStride separates replica fault streams the same way.
+const replicaFaultStride = 7_907
+
+// NewFleet builds and warms up n replicas configured by the same options
+// New accepts, plus WithWorkers. Replica i runs at seed base+i*stride and,
+// unless a shared synopsis or per-replica factory supplies one, gets a
+// fresh approach instance of the configured kind.
+func NewFleet(ctx context.Context, n int, opts ...Option) (*Fleet, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("selfheal: fleet of %d replicas", n)
+	}
+	cfg := defaultConfig()
+	for _, opt := range opts {
+		if err := opt(&cfg); err != nil {
+			return nil, err
+		}
+	}
+	if cfg.approach != nil {
+		return nil, fmt.Errorf("selfheal: WithApproachInstance cannot be shared across %d replicas; use WithSynopsis(NewSharedSynopsis(...)) or WithApproach", n)
+	}
+	if cfg.syn != nil && n > 1 {
+		if _, shared := cfg.syn.(*SharedSynopsis); !shared {
+			return nil, fmt.Errorf("selfheal: %d replicas learning into one synopsis need NewSharedSynopsis to guard it", n)
+		}
+	}
+	fl := &Fleet{cfg: cfg}
+	for i := 0; i < n; i++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		seed := cfg.seed + int64(i)*replicaSeedStride
+		sink := cfg.sink
+		if sink != nil {
+			sink = core.ReplicaSink(i, sink)
+		}
+		sys, err := newSystem(&cfg, seed, sink)
+		if err != nil {
+			return nil, fmt.Errorf("selfheal: building replica %d: %w", i, err)
+		}
+		fl.replicas = append(fl.replicas, sys)
+		fl.seeds = append(fl.seeds, seed)
+	}
+	return fl, nil
+}
+
+// Size returns the number of replicas.
+func (fl *Fleet) Size() int { return len(fl.replicas) }
+
+// Replica returns replica i's System, for inspection after a campaign.
+func (fl *Fleet) Replica(i int) *System { return fl.replicas[i] }
+
+// ReplicaSeed returns the seed replica i runs at — the seed a standalone
+// System needs to reproduce that replica's campaign sequentially.
+func (fl *Fleet) ReplicaSeed(i int) int64 { return fl.seeds[i] }
+
+// Campaign describes a random-fault healing campaign over a fleet.
+type Campaign struct {
+	// Episodes is the total episode count, distributed as evenly as
+	// possible across replicas (earlier replicas take the remainder).
+	Episodes int
+	// FaultSeed seeds the per-replica fault generators; zero derives it
+	// from the fleet seed. Replica i draws from FaultSeed+i*7907.
+	FaultSeed int64
+	// Kinds restricts injected faults (nil means all Table 1 kinds).
+	Kinds []FaultKind
+	// SettleTicks is the healthy-run length between a replica's episodes;
+	// zero means 120.
+	SettleTicks int
+}
+
+// ReplicaResult is one replica's share of a campaign.
+type ReplicaResult struct {
+	Replica  int
+	Seed     int64
+	Episodes []Episode
+}
+
+// FleetStats aggregates recovery and time-to-repair over a campaign.
+type FleetStats struct {
+	Episodes     int
+	Detected     int
+	Recovered    int
+	Escalated    int
+	CorrectFirst int
+	// MeanTTR averages injection-through-recovery over recovered episodes.
+	MeanTTR float64
+	// MaxTTR is the worst recovered episode's TTR.
+	MaxTTR int64
+}
+
+// RecoveryRate returns recovered/detected episodes (1 when none were
+// detected: an invisible fault costs no downtime).
+func (s FleetStats) RecoveryRate() float64 {
+	if s.Detected == 0 {
+		return 1
+	}
+	return float64(s.Recovered) / float64(s.Detected)
+}
+
+// FleetResult is the outcome of one fleet campaign.
+type FleetResult struct {
+	Replicas []ReplicaResult
+	Stats    FleetStats
+}
+
+// RunCampaign injects c.Episodes random faults across the fleet and heals
+// them concurrently, at most WithWorkers replicas at a time (default: all).
+// Each replica's episode sequence is deterministic in the fleet seed and
+// c.FaultSeed alone. Cancelling the context stops every replica at its
+// next step; the partial result is returned alongside ctx's error.
+func (fl *Fleet) RunCampaign(ctx context.Context, c Campaign) (*FleetResult, error) {
+	if c.Episodes < 1 {
+		return nil, fmt.Errorf("selfheal: campaign of %d episodes", c.Episodes)
+	}
+	faultSeed := c.FaultSeed
+	if faultSeed == 0 {
+		faultSeed = fl.cfg.seed + 1
+	}
+	settle := c.SettleTicks
+	if settle == 0 {
+		settle = 120
+	}
+
+	n := len(fl.replicas)
+	per, extra := c.Episodes/n, c.Episodes%n
+	results := make([]ReplicaResult, n)
+
+	workers := fl.cfg.workers
+	if workers < 1 || workers > n {
+		workers = n
+	}
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				results[i] = fl.runReplica(ctx, i, per+boolToInt(i < extra), faultSeed, c.Kinds, settle)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+
+	res := &FleetResult{Replicas: results}
+	for _, rr := range results {
+		for _, ep := range rr.Episodes {
+			res.Stats.Episodes++
+			if ep.Detected {
+				res.Stats.Detected++
+			}
+			if ep.Escalated {
+				res.Stats.Escalated++
+			}
+			if ep.CorrectFirst {
+				res.Stats.CorrectFirst++
+			}
+			if ep.Recovered {
+				res.Stats.Recovered++
+				ttr := ep.TTR()
+				res.Stats.MeanTTR += float64(ttr)
+				if ttr > res.Stats.MaxTTR {
+					res.Stats.MaxTTR = ttr
+				}
+			}
+		}
+	}
+	if res.Stats.Recovered > 0 {
+		res.Stats.MeanTTR /= float64(res.Stats.Recovered)
+	}
+	return res, ctx.Err()
+}
+
+// runReplica drives one replica's share of the campaign.
+func (fl *Fleet) runReplica(ctx context.Context, i, episodes int, faultSeed int64, kinds []FaultKind, settle int) ReplicaResult {
+	sys := fl.replicas[i]
+	gen := RandomFaults(faultSeed+int64(i)*replicaFaultStride, kinds...)
+	rr := ReplicaResult{Replica: i, Seed: fl.seeds[i]}
+	for e := 0; e < episodes; e++ {
+		if ctx.Err() != nil {
+			break
+		}
+		rr.Episodes = append(rr.Episodes, sys.HealEpisode(ctx, gen.Next()))
+		sys.StepN(settle)
+	}
+	return rr
+}
+
+func boolToInt(b bool) int {
+	if b {
+		return 1
+	}
+	return 0
+}

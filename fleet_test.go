@@ -1,0 +1,213 @@
+package selfheal_test
+
+import (
+	"context"
+	"fmt"
+	"reflect"
+	"sync"
+	"testing"
+
+	"selfheal"
+)
+
+// TestFleetDeterminismUnderConcurrency is the fleet's core guarantee: 8
+// replicas healing a 64-episode random-fault campaign concurrently produce,
+// per replica, exactly the episodes that replica's seed produces when run
+// sequentially on a standalone System.
+func TestFleetDeterminismUnderConcurrency(t *testing.T) {
+	ctx := context.Background()
+	const (
+		replicas  = 8
+		episodes  = 64
+		seed      = 42
+		faultSeed = 43 // fleet default: seed+1
+	)
+	fleet, err := selfheal.NewFleet(ctx, replicas,
+		selfheal.WithSeed(seed),
+		selfheal.WithApproach(selfheal.ApproachAnomaly),
+		selfheal.WithWorkers(replicas),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := fleet.RunCampaign(ctx, selfheal.Campaign{Episodes: episodes})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.Episodes != episodes {
+		t.Fatalf("campaign ran %d episodes, want %d", res.Stats.Episodes, episodes)
+	}
+	if res.Stats.Recovered == 0 {
+		t.Fatal("campaign recovered nothing; fleet is not healing")
+	}
+
+	// Sequential ground truth: replay each replica's share on a standalone
+	// System at the replica's seed, with the fleet's fault stream and
+	// settle cadence.
+	per := episodes / replicas
+	for i := 0; i < replicas; i++ {
+		sys := selfheal.MustNew(ctx,
+			selfheal.WithSeed(fleet.ReplicaSeed(i)),
+			selfheal.WithApproach(selfheal.ApproachAnomaly),
+		)
+		gen := selfheal.RandomFaults(faultSeed + int64(i)*7907)
+		var want []selfheal.Episode
+		for e := 0; e < per; e++ {
+			want = append(want, sys.HealEpisode(ctx, gen.Next()))
+			sys.StepN(120)
+		}
+		got := res.Replicas[i].Episodes
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("replica %d: concurrent episodes diverge from sequential replay", i)
+		}
+	}
+}
+
+// TestFleetOfOneMatchesSequentialSystem is the migration guarantee: a
+// Fleet of one is the old sequential System, byte for byte.
+func TestFleetOfOneMatchesSequentialSystem(t *testing.T) {
+	ctx := context.Background()
+	const episodes = 6
+	fleet, err := selfheal.NewFleet(ctx, 1, selfheal.WithSeed(11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := fleet.RunCampaign(ctx, selfheal.Campaign{Episodes: episodes})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	sys := selfheal.MustNew(ctx, selfheal.WithSeed(11))
+	gen := selfheal.RandomFaults(12) // fleet default fault seed: seed+1
+	var want []selfheal.Episode
+	for e := 0; e < episodes; e++ {
+		want = append(want, sys.HealEpisode(ctx, gen.Next()))
+		sys.StepN(120)
+	}
+	got := res.Replicas[0].Episodes
+	if len(got) != len(want) {
+		t.Fatalf("fleet ran %d episodes, sequential ran %d", len(got), len(want))
+	}
+	// renderEpisode dereferences the fault so the comparison is over
+	// values, not pointer addresses.
+	render := func(ep selfheal.Episode) string {
+		return fmt.Sprintf("fault=%+v inj=%d det=%v@%d attempts=%+v esc=%v rec=%v@%d first=%v",
+			reflect.Indirect(reflect.ValueOf(ep.Fault)), ep.InjectedAt, ep.Detected, ep.DetectedAt,
+			ep.Attempts, ep.Escalated, ep.Recovered, ep.RecoveredAt, ep.CorrectFirst)
+	}
+	for e := range want {
+		if !reflect.DeepEqual(got[e], want[e]) {
+			t.Errorf("episode %d diverges:\nfleet:      %s\nsequential: %s", e, render(got[e]), render(want[e]))
+		}
+	}
+}
+
+// TestFleetSharedSynopsis runs 8 replicas learning into one shared
+// knowledge base. Primarily a -race exercise over the Fleet + Shared
+// machinery; it also checks the shared synopsis actually accumulated every
+// replica's lessons.
+func TestFleetSharedSynopsis(t *testing.T) {
+	ctx := context.Background()
+	shared := selfheal.NewSharedSynopsis(selfheal.NewNNSynopsis())
+	var mu sync.Mutex
+	perReplica := map[int]int{}
+	fleet, err := selfheal.NewFleet(ctx, 8,
+		selfheal.WithSeed(7),
+		selfheal.WithSynopsis(shared),
+		selfheal.WithEventSink(selfheal.EventFunc(func(ev selfheal.Event) {
+			mu.Lock()
+			perReplica[ev.Replica]++
+			mu.Unlock()
+		})),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := fleet.RunCampaign(ctx, selfheal.Campaign{Episodes: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.Episodes != 16 {
+		t.Fatalf("ran %d episodes, want 16", res.Stats.Episodes)
+	}
+	if shared.TrainingSize() == 0 {
+		t.Error("shared synopsis learned nothing from the campaign")
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(perReplica) != 8 {
+		t.Errorf("events arrived from %d replicas, want 8", len(perReplica))
+	}
+}
+
+// TestFleetApproachInstanceRejected: one mutable approach instance must
+// not be silently shared across replicas.
+func TestFleetApproachInstanceRejected(t *testing.T) {
+	a, _ := selfheal.NewApproach(selfheal.ApproachAnomaly)
+	if _, err := selfheal.NewFleet(context.Background(), 2, selfheal.WithApproachInstance(a)); err == nil {
+		t.Fatal("fleet accepted a shared approach instance")
+	}
+}
+
+// TestFleetBareSynopsisRejected: an unwrapped synopsis shared across
+// replicas would race; the fleet must demand the Shared wrapper. A fleet
+// of one has no concurrency, so the bare synopsis stays legal there.
+func TestFleetBareSynopsisRejected(t *testing.T) {
+	ctx := context.Background()
+	if _, err := selfheal.NewFleet(ctx, 2, selfheal.WithSynopsis(selfheal.NewNNSynopsis())); err == nil {
+		t.Fatal("fleet of 2 accepted an unguarded shared synopsis")
+	}
+	if _, err := selfheal.NewFleet(ctx, 1, selfheal.WithSynopsis(selfheal.NewNNSynopsis())); err != nil {
+		t.Errorf("fleet of 1 rejected a bare synopsis: %v", err)
+	}
+}
+
+// TestFleetCampaignDistribution checks uneven episode counts spread as
+// evenly as possible.
+func TestFleetCampaignDistribution(t *testing.T) {
+	ctx := context.Background()
+	fleet, err := selfheal.NewFleet(ctx, 4,
+		selfheal.WithSeed(3),
+		selfheal.WithApproach(selfheal.ApproachManual),
+		selfheal.WithWorkers(2),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := fleet.RunCampaign(ctx, selfheal.Campaign{
+		Episodes:    10,
+		Kinds:       []selfheal.FaultKind{selfheal.NewStaleStats("items", 6).Kind()},
+		SettleTicks: 40,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int{3, 3, 2, 2}
+	for i, rr := range res.Replicas {
+		if len(rr.Episodes) != want[i] {
+			t.Errorf("replica %d ran %d episodes, want %d", i, len(rr.Episodes), want[i])
+		}
+		if rr.Replica != i {
+			t.Errorf("result %d labeled replica %d", i, rr.Replica)
+		}
+	}
+}
+
+// TestFleetCancelledCampaign: a cancelled context surfaces as the
+// campaign error and stops the replicas early.
+func TestFleetCancelledCampaign(t *testing.T) {
+	ctx := context.Background()
+	fleet, err := selfheal.NewFleet(ctx, 2, selfheal.WithSeed(5), selfheal.WithApproach(selfheal.ApproachManual))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cancelled, cancel := context.WithCancel(ctx)
+	cancel()
+	res, err := fleet.RunCampaign(cancelled, selfheal.Campaign{Episodes: 8})
+	if err == nil {
+		t.Fatal("cancelled campaign reported no error")
+	}
+	if res.Stats.Episodes != 0 {
+		t.Errorf("cancelled campaign still ran %d episodes", res.Stats.Episodes)
+	}
+}

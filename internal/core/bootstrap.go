@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+
 	"selfheal/internal/catalog"
 	"selfheal/internal/faults"
 )
@@ -42,8 +44,8 @@ func DefaultBootstrapPlan() BootstrapPlan {
 // Bootstrap runs the preproduction campaign and feeds ground-truth-labeled
 // outcomes to the approach (in preproduction the injected fault is known,
 // so labels are free). It returns the number of training observations
-// produced.
-func Bootstrap(plan BootstrapPlan, approach Approach) int {
+// produced. Cancelling the context abandons the remaining schedule.
+func Bootstrap(ctx context.Context, plan BootstrapPlan, approach Approach) int {
 	kinds := plan.Kinds
 	if len(kinds) == 0 {
 		kinds = []catalog.FaultKind{
@@ -71,6 +73,9 @@ func Bootstrap(plan BootstrapPlan, approach Approach) int {
 		gen := faults.NewGenerator(plan.Seed+int64(kind)*131, kind)
 		for rep := 0; rep < perKind; rep++ {
 			for _, scale := range scales {
+				if ctx.Err() != nil {
+					return trained
+				}
 				seq++
 				cfg := DefaultHarnessConfig()
 				cfg.Seed = plan.Seed + seq*977
@@ -80,12 +85,12 @@ func Bootstrap(plan BootstrapPlan, approach Approach) int {
 				h.StepN(40) // settle at the stimulated load
 				f := gen.NextOfKind(kind)
 				h.Inj.Inject(f)
-				if !h.RunUntilFailing(budget) {
+				if !h.RunUntilFailing(ctx, budget) {
 					continue
 				}
-				ctx := h.BuildContext()
+				fctx := h.BuildContext()
 				fix, target := f.CorrectFix()
-				approach.Observe(ctx, Action{Fix: fix, Target: target}, true)
+				approach.Observe(fctx, Action{Fix: fix, Target: target}, true)
 				trained++
 			}
 		}

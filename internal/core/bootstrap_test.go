@@ -1,6 +1,8 @@
 package core_test
 
 import (
+	"context"
+
 	"testing"
 
 	"selfheal/internal/catalog"
@@ -23,7 +25,7 @@ func TestBootstrapPretrainsApproach(t *testing.T) {
 		Kinds:   []catalog.FaultKind{catalog.FaultStaleStats, catalog.FaultBufferContention},
 		PerKind: 2,
 	}
-	n := core.Bootstrap(plan, fs)
+	n := core.Bootstrap(context.Background(), plan, fs)
 	if n < 3 {
 		t.Fatalf("bootstrap produced only %d observations", n)
 	}
@@ -35,7 +37,7 @@ func TestBootstrapPretrainsApproach(t *testing.T) {
 	h := core.NewHarness(core.DefaultHarnessConfig())
 	hl := core.NewHealer(h, fs, core.DefaultHealerConfig())
 	hl.AdminOracle = core.OracleFromInjector(h.Inj)
-	ep := hl.RunEpisode(faults.NewBufferContention(0.8))
+	ep := hl.RunEpisode(context.Background(), faults.NewBufferContention(0.8))
 	if !ep.Recovered {
 		t.Fatal("bootstrapped healer did not recover")
 	}
@@ -54,7 +56,7 @@ func TestBootstrapColdComparison(t *testing.T) {
 	h := core.NewHarness(core.DefaultHarnessConfig())
 	hl := core.NewHealer(h, cold, core.DefaultHealerConfig())
 	hl.AdminOracle = core.OracleFromInjector(h.Inj)
-	ep := hl.RunEpisode(faults.NewBufferContention(0.8))
+	ep := hl.RunEpisode(context.Background(), faults.NewBufferContention(0.8))
 	if !ep.Escalated {
 		t.Error("cold healer should have escalated on its first-ever failure")
 	}
@@ -69,7 +71,7 @@ func TestBootstrapDefaults(t *testing.T) {
 	plan.PerKind = 1
 	plan.LoadScales = []float64{1.0}
 	fs := core.NewFixSym(synopsis.NewKMeans())
-	if n := core.Bootstrap(plan, fs); n < 6 {
+	if n := core.Bootstrap(context.Background(), plan, fs); n < 6 {
 		t.Errorf("default plan trained only %d observations", n)
 	}
 }

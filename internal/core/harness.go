@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+
 	"selfheal/internal/detect"
 	"selfheal/internal/faults"
 	"selfheal/internal/fixes"
@@ -184,10 +186,14 @@ func (h *Harness) Symptom() []float64 {
 	return h.Builder.Vector(h.Coll.Series().Tail(h.Cfg.WindowTicks))
 }
 
-// RunUntilFailing steps until the monitor declares a failure or maxTicks
-// elapse; it reports whether a failure was detected.
-func (h *Harness) RunUntilFailing(maxTicks int) bool {
+// RunUntilFailing steps until the monitor declares a failure, maxTicks
+// elapse, or the context is done; it reports whether a failure was
+// detected.
+func (h *Harness) RunUntilFailing(ctx context.Context, maxTicks int) bool {
 	for i := 0; i < maxTicks; i++ {
+		if ctx.Err() != nil {
+			break
+		}
 		h.Step()
 		if h.Monitor.Failing() {
 			return true
@@ -196,12 +202,16 @@ func (h *Harness) RunUntilFailing(maxTicks int) bool {
 	return h.Monitor.Failing()
 }
 
-// RunUntilRecovered steps until the monitor sees a full clean window or
-// maxTicks elapse; it reports whether the service recovered.
-func (h *Harness) RunUntilRecovered(maxTicks int) bool {
+// RunUntilRecovered steps until the monitor sees a full clean window,
+// maxTicks elapse, or the context is done; it reports whether the service
+// recovered.
+func (h *Harness) RunUntilRecovered(ctx context.Context, maxTicks int) bool {
 	for i := 0; i < maxTicks; i++ {
 		if h.Monitor.Recovered() {
 			return true
+		}
+		if ctx.Err() != nil {
+			break
 		}
 		h.Step()
 	}

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+
 	"selfheal/internal/catalog"
 	"selfheal/internal/faults"
 	"selfheal/internal/fixes"
@@ -60,13 +62,27 @@ type Episode struct {
 	CorrectFirst bool
 }
 
-// TTR returns the episode's time to recover in ticks (detection through
-// recovery, including fix attempts and any human escalation).
+// TTR returns the episode's time to repair in ticks, measured from fault
+// injection through recovery — the full user-impact window, including the
+// detection lag, every fix attempt, and any human escalation. For the
+// paper's narrower detection-through-recovery metric see
+// DetectionToRecovery. Returns -1 when the episode never recovered.
 func (e Episode) TTR() int64 {
 	if !e.Recovered {
 		return -1
 	}
 	return e.RecoveredAt - e.InjectedAt
+}
+
+// DetectionToRecovery returns ticks from SLO detection through recovery —
+// the paper's recovery metric, which excludes the pre-detection latency
+// TTR includes. Returns -1 when the episode was never detected or never
+// recovered.
+func (e Episode) DetectionToRecovery() int64 {
+	if !e.Detected || !e.Recovered {
+		return -1
+	}
+	return e.RecoveredAt - e.DetectedAt
 }
 
 // Healer drives the Figure 3 loop: wait for a failure, query the approach
@@ -77,11 +93,16 @@ type Healer struct {
 	H        *Harness
 	Approach Approach
 
+	// Sink, when non-nil, receives the episode event stream (see Event).
+	Sink EventSink
+
 	// AdminOracle plays the administrator of Figure 3 lines 19–20: it
 	// returns the correct fix for the live fault. Wired to the fault
 	// injector's ground truth by the experiment harnesses; nil means the
 	// administrator merely restarts and the episode ends unlabeled.
 	AdminOracle func() (Action, bool)
+
+	episodes int
 }
 
 // NewHealer builds a healer over an environment and an approach.
@@ -104,34 +125,51 @@ func OracleFromInjector(inj *faults.Injector) func() (Action, bool) {
 	}
 }
 
-// RunEpisode injects f and heals the resulting failure to completion.
-func (hl *Healer) RunEpisode(f faults.Fault) Episode {
+// emit sends ev to the sink, stamping the episode number.
+func (hl *Healer) emit(ev Event) {
+	if hl.Sink == nil {
+		return
+	}
+	ev.Episode = hl.episodes
+	hl.Sink.Emit(ev)
+}
+
+// RunEpisode injects f and heals the resulting failure to completion. The
+// context cancels the episode: on cancellation or deadline the loop stops
+// stepping, reaps the fault, and returns the episode as observed so far.
+func (hl *Healer) RunEpisode(ctx context.Context, f faults.Fault) Episode {
 	h := hl.H
+	hl.episodes++
 	ep := Episode{Fault: f, InjectedAt: h.Svc.Now()}
 	h.Inj.Inject(f)
+	hl.emit(Event{Kind: EventFaultInjected, Tick: ep.InjectedAt, Fault: f})
 
 	budget := hl.Cfg.EpisodeBudget
-	if !h.RunUntilFailing(budget) {
+	if !h.RunUntilFailing(ctx, budget) {
 		// The fault never became SLO-visible; let it age out quietly.
 		h.Inj.Reap()
 		return ep
 	}
 	ep.Detected = true
 	ep.DetectedAt = h.Svc.Now()
+	hl.emit(Event{Kind: EventDetected, Tick: ep.DetectedAt})
 
-	ctx := h.BuildContext()
+	fctx := h.BuildContext()
 	var tried []Action
 	for count := 0; ; count++ {
+		if ctx.Err() != nil {
+			break
+		}
 		if h.Svc.Now()-ep.InjectedAt > int64(budget) {
 			break
 		}
 		if count >= hl.Cfg.Threshold {
-			hl.escalate(ctx, &ep)
+			hl.escalate(ctx, fctx, &ep)
 			break
 		}
-		action, conf, ok := hl.Approach.Recommend(ctx, tried)
+		action, conf, ok := hl.Approach.Recommend(fctx, tried)
 		if !ok {
-			hl.escalate(ctx, &ep)
+			hl.escalate(ctx, fctx, &ep)
 			break
 		}
 		tried = append(tried, action)
@@ -142,10 +180,20 @@ func (hl *Healer) RunEpisode(f faults.Fault) Episode {
 		}
 		// Check fix: the service must hold a full clean window (§4.1
 		// "Detecting success/failure of fixes").
-		recovered := h.RunUntilRecovered(hl.Cfg.CheckTicks)
+		recovered := h.RunUntilRecovered(ctx, hl.Cfg.CheckTicks)
+		if ctx.Err() != nil && !recovered {
+			// Cancelled mid-check: the attempt's outcome is unknown, not a
+			// failure. Recording it — or worse, teaching the approach a
+			// negative label — would poison the synopsis with noise.
+			break
+		}
 		att.Success = recovered
 		ep.Attempts = append(ep.Attempts, att)
-		hl.Approach.Observe(ctx, action, recovered)
+		hl.Approach.Observe(fctx, action, recovered)
+		hl.emit(Event{
+			Kind: EventAttemptApplied, Tick: h.Svc.Now(),
+			Action: action, Confidence: conf, Attempt: count + 1, Success: recovered,
+		})
 		if recovered {
 			ep.Recovered = true
 			ep.RecoveredAt = h.Svc.Now()
@@ -154,13 +202,16 @@ func (hl *Healer) RunEpisode(f faults.Fault) Episode {
 		}
 	}
 	h.Inj.Reap()
+	if ep.Recovered {
+		hl.emit(Event{Kind: EventRecovered, Tick: ep.RecoveredAt, TTR: ep.TTR()})
+	}
 	return ep
 }
 
 // escalate applies the paper's general costly fix: full restart, notify the
 // administrator, wait at human timescale, and learn from the
 // administrator's fix (Figure 3 lines 18–21).
-func (hl *Healer) escalate(ctx *FailureContext, ep *Episode) {
+func (hl *Healer) escalate(ctx context.Context, fctx *FailureContext, ep *Episode) {
 	h := hl.H
 	ep.Escalated = true
 	// The administrator's diagnosis is taken from the live failure state:
@@ -170,6 +221,7 @@ func (hl *Healer) escalate(ctx *FailureContext, ep *Episode) {
 	if hl.AdminOracle != nil {
 		adminAction, haveAdmin = hl.AdminOracle()
 	}
+	hl.emit(Event{Kind: EventEscalated, Tick: h.Svc.Now(), Action: adminAction})
 	if hl.Cfg.EscalateRestart {
 		if _, err := h.Act.Apply(catalog.FixFullRestart, ""); err == nil {
 			h.StepN(int(fixes.ProfileFor(catalog.FixFullRestart).SettleTicks))
@@ -183,9 +235,9 @@ func (hl *Healer) escalate(ctx *FailureContext, ep *Episode) {
 			h.StepN(int(app.SettleTicks))
 		}
 		// "Update synopsis S with fix found by the administrator."
-		hl.Approach.Observe(ctx, adminAction, true)
+		hl.Approach.Observe(fctx, adminAction, true)
 	}
-	if h.RunUntilRecovered(hl.Cfg.CheckTicks * 4) {
+	if h.RunUntilRecovered(ctx, hl.Cfg.CheckTicks*4) {
 		ep.Recovered = true
 		ep.RecoveredAt = h.Svc.Now()
 	}
@@ -195,19 +247,19 @@ func (hl *Healer) escalate(ctx *FailureContext, ep *Episode) {
 // test sets: inject f, wait for detection, snapshot the symptom, then apply
 // the correct fix so the service returns to health. Used to build the fixed
 // 1000-point test set of Figure 4 without polluting any learner.
-func LabeledFailure(h *Harness, f faults.Fault, budget int) (synopsis.Point, bool) {
+func LabeledFailure(ctx context.Context, h *Harness, f faults.Fault, budget int) (synopsis.Point, bool) {
 	h.Inj.Inject(f)
-	if !h.RunUntilFailing(budget) {
+	if !h.RunUntilFailing(ctx, budget) {
 		h.Inj.Reap()
 		return synopsis.Point{}, false
 	}
-	ctx := h.BuildContext()
+	fctx := h.BuildContext()
 	fix, target := f.CorrectFix()
 	action := Action{Fix: fix, Target: target}
 	if app, err := h.Act.Apply(fix, target); err == nil {
 		h.StepN(int(app.SettleTicks))
 	}
-	h.RunUntilRecovered(240)
+	h.RunUntilRecovered(ctx, 240)
 	h.Inj.Reap()
-	return synopsis.Point{X: ctx.Symptom, Action: action, Success: true}, true
+	return synopsis.Point{X: fctx.Symptom, Action: action, Success: true}, true
 }

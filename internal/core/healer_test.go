@@ -1,6 +1,8 @@
 package core_test
 
 import (
+	"context"
+
 	"testing"
 
 	"selfheal/internal/catalog"
@@ -20,7 +22,7 @@ func TestEpisodeLifecycle(t *testing.T) {
 	hl.AdminOracle = core.OracleFromInjector(h.Inj)
 
 	// First occurrence: nothing learned yet → escalation path.
-	ep1 := hl.RunEpisode(faults.NewStaleStats("items", 6))
+	ep1 := hl.RunEpisode(context.Background(), faults.NewStaleStats("items", 6))
 	if !ep1.Detected {
 		t.Fatal("stale-stats failure not detected")
 	}
@@ -38,7 +40,7 @@ func TestEpisodeLifecycle(t *testing.T) {
 	h.StepN(120)
 
 	// Recurrence: the signature is known → fixed without escalation.
-	ep2 := hl.RunEpisode(faults.NewStaleStats("items", 5))
+	ep2 := hl.RunEpisode(context.Background(), faults.NewStaleStats("items", 5))
 	if !ep2.Detected {
 		t.Fatal("recurrence not detected")
 	}
@@ -71,7 +73,7 @@ func TestEpisodeDistinctFaults(t *testing.T) {
 		faults.NewException("BidBean", 0.7),
 	}
 	for _, f := range teach {
-		ep := hl.RunEpisode(f)
+		ep := hl.RunEpisode(context.Background(), f)
 		if !ep.Recovered {
 			t.Fatalf("teaching episode for %s did not recover", f.Kind())
 		}
@@ -85,7 +87,7 @@ func TestEpisodeDistinctFaults(t *testing.T) {
 	}
 	wrong := 0
 	for _, f := range probe {
-		ep := hl.RunEpisode(f)
+		ep := hl.RunEpisode(context.Background(), f)
 		if !ep.Recovered {
 			t.Fatalf("probe episode for %s did not recover", f.Kind())
 		}
@@ -106,7 +108,7 @@ func TestDeadlockCallMatrixLocalization(t *testing.T) {
 	h := core.NewHarness(core.DefaultHarnessConfig())
 	h.StepN(200) // grow the call baseline
 	h.Inj.Inject(faults.NewDeadlock("ItemBean"))
-	if !h.RunUntilFailing(200) {
+	if !h.RunUntilFailing(context.Background(), 200) {
 		t.Fatal("deadlock not detected")
 	}
 	ctx := h.BuildContext()

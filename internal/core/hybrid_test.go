@@ -1,6 +1,8 @@
 package core_test
 
 import (
+	"context"
+
 	"strings"
 	"testing"
 
@@ -111,7 +113,7 @@ func TestHarnessDeterminism(t *testing.T) {
 		cfg.Seed = 123
 		h := core.NewHarness(cfg)
 		h.Inj.Inject(faults.NewStaleStats("items", 8))
-		h.RunUntilFailing(600)
+		h.RunUntilFailing(context.Background(), 600)
 		return h.BuildContext().Symptom
 	}
 	a, b := run(), run()

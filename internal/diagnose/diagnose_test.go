@@ -1,6 +1,8 @@
 package diagnose
 
 import (
+	"context"
+
 	"testing"
 
 	"selfheal/internal/catalog"
@@ -17,7 +19,7 @@ func failingContext(t *testing.T, seed int64, f faults.Fault) *core.FailureConte
 	cfg.Service.Seed = seed*7919 + 17
 	h := core.NewHarness(cfg)
 	h.Inj.Inject(f)
-	if !h.RunUntilFailing(2500) {
+	if !h.RunUntilFailing(context.Background(), 2500) {
 		t.Fatalf("fault %v never became SLO-visible", f.Kind())
 	}
 	return h.BuildContext()

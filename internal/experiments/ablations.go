@@ -1,6 +1,8 @@
 package experiments
 
 import (
+	"context"
+
 	"fmt"
 	"strings"
 
@@ -50,7 +52,7 @@ func RunHybridAblation(seed int64, episodes int) HybridAblation {
 			h := episodeEnv(seed + int64(i)*211)
 			hl := core.NewHealer(h, a, hcfg)
 			hl.AdminOracle = core.OracleFromInjector(h.Inj)
-			stats.AddEpisode(hl.RunEpisode(gen.Next()))
+			stats.AddEpisode(hl.RunEpisode(context.Background(), gen.Next()))
 		}
 		res.Names = append(res.Names, a.Name())
 		res.Escalated = append(res.Escalated, stats.EscalationRate())
@@ -104,7 +106,7 @@ func RunOnlineDriftAblation(seed int64, episodes int) OnlineDriftAblation {
 		h.StepN(60)
 		h.Builder = ref // stale deployment-time baseline
 		h.Inj.Inject(f)
-		if !h.RunUntilFailing(2500) {
+		if !h.RunUntilFailing(context.Background(), 2500) {
 			continue
 		}
 		ctx := h.BuildContext()
@@ -165,7 +167,7 @@ func RunConfidenceAblation(seed int64, episodes int) ConfidenceAblation {
 			h := episodeEnv(seed + int64(i)*307)
 			hl := core.NewHealer(h, a, hcfg)
 			hl.AdminOracle = core.OracleFromInjector(h.Inj)
-			stats.AddEpisode(hl.RunEpisode(gen2.Next()))
+			stats.AddEpisode(hl.RunEpisode(context.Background(), gen2.Next()))
 		}
 		return stats.MeanAttempts()
 	}
@@ -361,7 +363,7 @@ func RunControlAblation(seed int64) ControlAblation {
 		h := episodeEnv(seed)
 		target := h.Coll.Series().Tail(60).ColMeans()[h.Coll.Schema().MustIndex("svc.latency.avg")]
 		h.Inj.Inject(faults.NewStaleStats("items", 8))
-		h.RunUntilFailing(600)
+		h.RunUntilFailing(context.Background(), 600)
 		h.Act.Apply(catalog.FixUpdateStats, "items")
 		var lat []float64
 		idx := h.Coll.Schema().MustIndex("svc.latency.avg")
@@ -383,7 +385,7 @@ func RunControlAblation(seed int64) ControlAblation {
 	{
 		h := episodeEnv(seed + 1)
 		h.Inj.Inject(faults.NewDeadlock("ItemBean"))
-		h.RunUntilFailing(600)
+		h.RunUntilFailing(context.Background(), 600)
 		var events []control.FixEvent
 		for i := 0; i < 12; i++ {
 			if app, err := h.Act.Apply(catalog.FixKillHungQuery, ""); err == nil {

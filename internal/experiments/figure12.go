@@ -1,6 +1,8 @@
 package experiments
 
 import (
+	"context"
+
 	"fmt"
 	"strings"
 
@@ -84,7 +86,7 @@ func RunFigure1(seed int64, perProfile int) Figure1Result {
 			f := gen.Next()
 			h := episodeEnv(seed + int64(pi)*100000 + int64(i)*37)
 			h.Inj.Inject(f)
-			if h.RunUntilFailing(1800) {
+			if h.RunUntilFailing(context.Background(), 1800) {
 				counts[f.Cause()]++
 				detected++
 			}
@@ -171,7 +173,7 @@ func RunFigure2(seed int64, perProfile int) Figure2Result {
 			hcfg.AdminDelayTicks = int(base * rng.LogNormal(0, 0.35))
 			hl := core.NewHealer(h, diagnose.NewManualRules(), hcfg)
 			hl.AdminOracle = core.OracleFromInjector(h.Inj)
-			ep := hl.RunEpisode(f)
+			ep := hl.RunEpisode(context.Background(), f)
 			if !ep.Detected || !ep.Recovered {
 				continue
 			}

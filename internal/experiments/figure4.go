@@ -1,6 +1,8 @@
 package experiments
 
 import (
+	"context"
+
 	"fmt"
 	"strings"
 	"time"
@@ -124,7 +126,7 @@ func runLearning(cfg Figure4Config, name string, syn synopsis.Synopsis, test []s
 		hl := core.NewHealer(h, approach, hcfg)
 		hl.AdminOracle = core.OracleFromInjector(h.Inj)
 		before := ts.TrainingSize()
-		hl.RunEpisode(gen.Next())
+		hl.RunEpisode(context.Background(), gen.Next())
 		after := ts.TrainingSize()
 		if after == before {
 			continue // undetected or unlabeled episode

@@ -1,6 +1,8 @@
 package experiments
 
 import (
+	"context"
+
 	"testing"
 
 	"selfheal/internal/core"
@@ -31,7 +33,7 @@ func TestLoopLabelQuality(t *testing.T) {
 		hl.AdminOracle = core.OracleFromInjector(h.Inj)
 		f := gen.Next()
 		before := syn.TrainingSize()
-		ep := hl.RunEpisode(f)
+		ep := hl.RunEpisode(context.Background(), f)
 		pk := perKind[f.Kind().String()]
 		pk[0]++
 		if syn.TrainingSize() > before {

@@ -1,6 +1,8 @@
 package experiments
 
 import (
+	"context"
+
 	"fmt"
 	"strings"
 
@@ -106,7 +108,7 @@ func tryFix(rowSeed, trial int64, kind catalog.FaultKind, fix catalog.FixID, con
 	injectedAt := h.Svc.Now()
 	h.Inj.Inject(f)
 	out := FixOutcome{Fix: fix, Control: control}
-	if !h.RunUntilFailing(2500) {
+	if !h.RunUntilFailing(context.Background(), 2500) {
 		out.TTR = -1
 		return out
 	}
@@ -122,7 +124,7 @@ func tryFix(rowSeed, trial int64, kind catalog.FaultKind, fix catalog.FixID, con
 	if app, err := h.Act.Apply(fix, target); err == nil {
 		h.StepN(int(app.SettleTicks))
 	}
-	if h.RunUntilRecovered(80) {
+	if h.RunUntilRecovered(context.Background(), 80) {
 		out.Recovered = true
 		out.TTR = h.Svc.Now() - injectedAt
 	} else {

@@ -1,6 +1,8 @@
 package experiments
 
 import (
+	"context"
+
 	"fmt"
 	"strings"
 
@@ -136,7 +138,7 @@ func runScenario(cfg Table2Config, scen string, approach core.Approach) Table2Ce
 		}
 		hl := core.NewHealer(h, approach, hcfg)
 		hl.AdminOracle = core.OracleFromInjector(h.Inj)
-		ep := hl.RunEpisode(f)
+		ep := hl.RunEpisode(context.Background(), f)
 		if i < warmup {
 			continue
 		}

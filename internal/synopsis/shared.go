@@ -1,0 +1,67 @@
+package synopsis
+
+import "sync"
+
+// Shared wraps any synopsis behind a mutex so many healer replicas can
+// learn into one knowledge base concurrently — the fleet-scale reading of
+// §5.1's portability argument: every replica's administrator escalation or
+// successful fix becomes training data for all of them. Updates are
+// coordinate-wise and serialized, the regime in which concurrent learners
+// over a shared model are known to behave (cyclic block-coordinate
+// descent); the wrapper makes no fairness guarantee beyond the mutex's.
+type Shared struct {
+	mu   sync.Mutex
+	base Synopsis
+}
+
+// NewShared wraps base for concurrent use. The base must no longer be used
+// directly while the wrapper is live.
+func NewShared(base Synopsis) *Shared {
+	return &Shared{base: base}
+}
+
+// Name implements Synopsis.
+func (s *Shared) Name() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return "shared-" + s.base.Name()
+}
+
+// Add implements Synopsis.
+func (s *Shared) Add(p Point) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.base.Add(p)
+}
+
+// Suggest implements Synopsis.
+func (s *Shared) Suggest(x []float64, exclude func(Action) bool) (Suggestion, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.base.Suggest(x, exclude)
+}
+
+// Rank implements Synopsis.
+func (s *Shared) Rank(x []float64) []Suggestion {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.base.Rank(x)
+}
+
+// TrainingSize implements Synopsis.
+func (s *Shared) TrainingSize() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.base.TrainingSize()
+}
+
+// Export implements Exporter when the wrapped synopsis does, so a shared
+// knowledge base can still be persisted with Save.
+func (s *Shared) Export() []Point {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if ex, ok := s.base.(Exporter); ok {
+		return ex.Export()
+	}
+	return nil
+}

@@ -1,0 +1,76 @@
+package synopsis
+
+import (
+	"sync"
+	"testing"
+
+	"selfheal/internal/catalog"
+)
+
+// TestSharedConcurrentAddSuggest hammers one Shared synopsis from 8
+// goroutines mixing Add, Suggest, Rank and TrainingSize. It is primarily a
+// -race exercise; afterwards every observation must be present.
+func TestSharedConcurrentAddSuggest(t *testing.T) {
+	sh := NewShared(NewNearestNeighbor())
+	const workers = 8
+	const perWorker = 200
+
+	fixesPool := []catalog.FixID{
+		catalog.FixUpdateStats, catalog.FixMicrorebootEJB, catalog.FixRebootAppTier,
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				x := []float64{float64(w), float64(i), float64(w * i)}
+				sh.Add(Point{
+					X:       x,
+					Action:  Action{Fix: fixesPool[(w+i)%len(fixesPool)], Target: "t"},
+					Success: true,
+				})
+				if sug, ok := sh.Suggest(x, nil); ok && sug.Action.Fix == catalog.FixNone {
+					t.Errorf("worker %d: suggestion with no fix", w)
+				}
+				sh.Rank(x)
+				sh.TrainingSize()
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	if got, want := sh.TrainingSize(), workers*perWorker; got != want {
+		t.Errorf("TrainingSize = %d, want %d", got, want)
+	}
+	if len(sh.Export()) != workers*perWorker {
+		t.Errorf("Export returned %d points, want %d", len(sh.Export()), workers*perWorker)
+	}
+}
+
+// TestSharedIsTransparent verifies the wrapper changes nothing but the
+// name: a Shared NN and a bare NN fed the same points agree on every
+// suggestion.
+func TestSharedIsTransparent(t *testing.T) {
+	bare := NewNearestNeighbor()
+	sh := NewShared(NewNearestNeighbor())
+	pts := []Point{
+		{X: []float64{1, 0, 0}, Action: Action{Fix: catalog.FixUpdateStats, Target: "items"}, Success: true},
+		{X: []float64{0, 1, 0}, Action: Action{Fix: catalog.FixMicrorebootEJB, Target: "ItemBean"}, Success: true},
+		{X: []float64{0, 0, 1}, Action: Action{Fix: catalog.FixRebootAppTier, Target: "app"}, Success: true},
+	}
+	for _, p := range pts {
+		bare.Add(p)
+		sh.Add(p)
+	}
+	for _, p := range pts {
+		a, aok := bare.Suggest(p.X, nil)
+		b, bok := sh.Suggest(p.X, nil)
+		if aok != bok || a != b {
+			t.Errorf("Suggest(%v): bare=(%v,%v) shared=(%v,%v)", p.X, a, aok, b, bok)
+		}
+	}
+	if sh.Name() != "shared-"+bare.Name() {
+		t.Errorf("Name = %q", sh.Name())
+	}
+}

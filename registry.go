@@ -1,0 +1,124 @@
+package selfheal
+
+import (
+	"fmt"
+	"sync"
+
+	"selfheal/internal/core"
+	"selfheal/internal/diagnose"
+	"selfheal/internal/synopsis"
+)
+
+// ApproachKind names a fix-identification technique a System heals with.
+type ApproachKind string
+
+// The built-in approaches (§3–§4.3 of the paper).
+const (
+	// ApproachManual is the static rule-based baseline of §3.
+	ApproachManual ApproachKind = "manual"
+	// ApproachAnomaly is diagnosis via anomaly detection (§4.3.1).
+	ApproachAnomaly ApproachKind = "anomaly"
+	// ApproachCorrelation is diagnosis via correlation analysis (§4.3.2).
+	ApproachCorrelation ApproachKind = "correlation"
+	// ApproachBottleneck is diagnosis via bottleneck analysis (§4.3.3).
+	ApproachBottleneck ApproachKind = "bottleneck"
+	// ApproachFixSymNN is FixSym over a nearest-neighbor synopsis (§4.3.4).
+	ApproachFixSymNN ApproachKind = "fixsym-nn"
+	// ApproachFixSymKMeans is FixSym over per-fix k-means clustering.
+	ApproachFixSymKMeans ApproachKind = "fixsym-kmeans"
+	// ApproachFixSymAdaBoost is FixSym over a 60-learner AdaBoost ensemble.
+	ApproachFixSymAdaBoost ApproachKind = "fixsym-adaboost"
+	// ApproachFixSymBayes is FixSym over Gaussian naive Bayes (confidence
+	// estimates, §5.2).
+	ApproachFixSymBayes ApproachKind = "fixsym-bayes"
+	// ApproachPathAnalysis is path-based failure management (refs [5],[8]).
+	ApproachPathAnalysis ApproachKind = "path-analysis"
+	// ApproachHybrid combines FixSym with the diagnosis approaches (§5.1).
+	ApproachHybrid ApproachKind = "hybrid"
+)
+
+// ApproachFactory constructs a fresh, unshared approach instance. A Fleet
+// calls the factory once per replica, so factories must not capture
+// mutable state.
+type ApproachFactory func() (Approach, error)
+
+var approachRegistry = struct {
+	sync.RWMutex
+	factories map[ApproachKind]ApproachFactory
+	order     []ApproachKind
+}{factories: make(map[ApproachKind]ApproachFactory)}
+
+// RegisterApproach installs a new fix-identification technique under kind,
+// making it available to New, NewFleet and every cmd/ tool without editing
+// the facade. Registering an empty kind, a nil factory, or a kind that is
+// already taken returns an error.
+func RegisterApproach(kind ApproachKind, factory ApproachFactory) error {
+	if kind == "" {
+		return fmt.Errorf("selfheal: cannot register an empty approach kind")
+	}
+	if factory == nil {
+		return fmt.Errorf("selfheal: approach %q registered with a nil factory", kind)
+	}
+	approachRegistry.Lock()
+	defer approachRegistry.Unlock()
+	if _, dup := approachRegistry.factories[kind]; dup {
+		return fmt.Errorf("selfheal: approach %q already registered", kind)
+	}
+	approachRegistry.factories[kind] = factory
+	approachRegistry.order = append(approachRegistry.order, kind)
+	return nil
+}
+
+// MustRegisterApproach is RegisterApproach panicking on error, for
+// package-init registration of extensions.
+func MustRegisterApproach(kind ApproachKind, factory ApproachFactory) {
+	if err := RegisterApproach(kind, factory); err != nil {
+		panic(err)
+	}
+}
+
+// NewApproach constructs a fresh approach of the given registered kind.
+func NewApproach(kind ApproachKind) (Approach, error) {
+	approachRegistry.RLock()
+	factory, ok := approachRegistry.factories[kind]
+	approachRegistry.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("selfheal: unknown approach %q (registered: %v)", kind, ApproachKinds())
+	}
+	return factory()
+}
+
+// ApproachKinds lists every registered approach in registration order (the
+// built-ins first, in the paper's order).
+func ApproachKinds() []ApproachKind {
+	approachRegistry.RLock()
+	defer approachRegistry.RUnlock()
+	return append([]ApproachKind(nil), approachRegistry.order...)
+}
+
+func init() {
+	builtins := []struct {
+		kind    ApproachKind
+		factory ApproachFactory
+	}{
+		{ApproachManual, func() (Approach, error) { return diagnose.NewManualRules(), nil }},
+		{ApproachAnomaly, func() (Approach, error) { return diagnose.NewAnomaly(), nil }},
+		{ApproachCorrelation, func() (Approach, error) { return diagnose.NewCorrelation(), nil }},
+		{ApproachBottleneck, func() (Approach, error) { return diagnose.NewBottleneck(), nil }},
+		{ApproachPathAnalysis, func() (Approach, error) { return diagnose.NewPathAnalysis(), nil }},
+		{ApproachFixSymNN, func() (Approach, error) { return core.NewFixSym(synopsis.NewNearestNeighbor()), nil }},
+		{ApproachFixSymKMeans, func() (Approach, error) { return core.NewFixSym(synopsis.NewKMeans()), nil }},
+		{ApproachFixSymAdaBoost, func() (Approach, error) { return core.NewFixSym(synopsis.NewAdaBoost(60)), nil }},
+		{ApproachFixSymBayes, func() (Approach, error) { return core.NewFixSym(synopsis.NewNaiveBayes()), nil }},
+		{ApproachHybrid, func() (Approach, error) {
+			return core.NewHybrid(
+				core.NewFixSym(synopsis.NewNearestNeighbor()),
+				diagnose.NewAnomaly(),
+				diagnose.NewBottleneck(),
+			), nil
+		}},
+	}
+	for _, b := range builtins {
+		MustRegisterApproach(b.kind, b.factory)
+	}
+}

@@ -1,0 +1,89 @@
+package selfheal_test
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"selfheal"
+)
+
+// TestRegistryRoundTrip checks every registered kind constructs through
+// NewApproach and powers a working System.
+func TestRegistryRoundTrip(t *testing.T) {
+	kinds := selfheal.ApproachKinds()
+	if len(kinds) < 10 {
+		t.Fatalf("only %d registered approaches, want the 10 built-ins", len(kinds))
+	}
+	seen := map[selfheal.ApproachKind]bool{}
+	for _, kind := range kinds {
+		if seen[kind] {
+			t.Errorf("kind %q listed twice", kind)
+		}
+		seen[kind] = true
+		a, err := selfheal.NewApproach(kind)
+		if err != nil {
+			t.Errorf("NewApproach(%q): %v", kind, err)
+			continue
+		}
+		if a == nil || a.Name() == "" {
+			t.Errorf("NewApproach(%q) returned unusable approach %v", kind, a)
+		}
+	}
+}
+
+// TestRegisterApproach exercises extension registration: a new kind plugs
+// into NewApproach, ApproachKinds and New without facade edits.
+func TestRegisterApproach(t *testing.T) {
+	const kind = selfheal.ApproachKind("test-custom")
+	factory := func() (selfheal.Approach, error) {
+		return selfheal.NewFixSym(selfheal.NewNNSynopsis()), nil
+	}
+	if err := selfheal.RegisterApproach(kind, factory); err != nil {
+		t.Fatalf("registering %q: %v", kind, err)
+	}
+	found := false
+	for _, k := range selfheal.ApproachKinds() {
+		if k == kind {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("%q missing from ApproachKinds", kind)
+	}
+	if _, err := selfheal.NewApproach(kind); err != nil {
+		t.Errorf("NewApproach(%q): %v", kind, err)
+	}
+	if _, err := selfheal.New(context.Background(), selfheal.WithApproach(kind)); err != nil {
+		t.Errorf("New with registered custom kind: %v", err)
+	}
+}
+
+func TestRegisterApproachDuplicate(t *testing.T) {
+	err := selfheal.RegisterApproach(selfheal.ApproachHybrid, func() (selfheal.Approach, error) {
+		return nil, nil
+	})
+	if err == nil {
+		t.Fatal("duplicate registration of built-in kind accepted")
+	}
+	if !strings.Contains(err.Error(), "already registered") {
+		t.Errorf("duplicate error %q does not name the conflict", err)
+	}
+}
+
+func TestRegisterApproachInvalid(t *testing.T) {
+	if err := selfheal.RegisterApproach("", func() (selfheal.Approach, error) { return nil, nil }); err == nil {
+		t.Error("empty kind accepted")
+	}
+	if err := selfheal.RegisterApproach("test-nil-factory", nil); err == nil {
+		t.Error("nil factory accepted")
+	}
+}
+
+func TestNewApproachUnknown(t *testing.T) {
+	if _, err := selfheal.NewApproach("no-such-approach"); err == nil {
+		t.Fatal("unknown kind constructed")
+	} else if !strings.Contains(err.Error(), "no-such-approach") {
+		t.Errorf("error %q does not name the unknown kind", err)
+	}
+}

@@ -1,15 +1,31 @@
 // Package selfheal is a reproduction of "Toward Self-Healing Multitier
-// Services" (Cook, Babu, Candea, Duan — ICDE 2007): an automated,
-// learning-based healing stack for database-centric multitier services,
-// together with the simulated RUBiS-style service, fault and fix catalogs,
-// detection machinery and experiment harnesses the paper's evaluation
-// needs.
+// Services" (Cook, Babu, Candea, Duan — ICDE 2007) grown toward fleet
+// scale: an automated, learning-based healing stack for database-centric
+// multitier services, together with the simulated RUBiS-style service,
+// fault and fix catalogs, detection machinery and experiment harnesses the
+// paper's evaluation needs.
 //
-// The package exposes the whole system behind a small facade:
+// The facade is built from three primitives:
 //
-//	sys := selfheal.NewSystem(selfheal.Options{Approach: selfheal.ApproachHybrid})
-//	ep := sys.HealEpisode(selfheal.NewStaleStats("items", 8))
+// A System is one simulated service with a Figure 3 healing loop attached,
+// configured with functional options and driven under a context:
+//
+//	sys, err := selfheal.New(ctx,
+//		selfheal.WithSeed(42),
+//		selfheal.WithApproach(selfheal.ApproachHybrid))
+//	ep := sys.HealEpisode(ctx, selfheal.NewStaleStats("items", 8))
 //	fmt.Println(ep.Recovered, ep.TTR())
+//
+// The healing loop narrates itself as an event stream (FaultInjected,
+// Detected, AttemptApplied, Escalated, Recovered) through any EventSink
+// attached with WithEventSink — cmd/selfheald is nothing but a consumer of
+// that stream.
+//
+// A Fleet is N independent deterministic replicas healing concurrent fault
+// campaigns through a worker pool, optionally learning into one shared,
+// mutex-guarded knowledge base (§5.1's portable synopsis, WithSynopsis +
+// NewSharedSynopsis). New techniques plug into everything above through
+// RegisterApproach, without editing this package.
 //
 // Everything underneath lives in internal/ packages: the analytical
 // service simulator (internal/service), Table 1's faults and fixes
@@ -20,11 +36,11 @@
 package selfheal
 
 import (
+	"context"
 	"fmt"
 
 	"selfheal/internal/catalog"
 	"selfheal/internal/core"
-	"selfheal/internal/diagnose"
 	"selfheal/internal/faults"
 	"selfheal/internal/service"
 	"selfheal/internal/synopsis"
@@ -47,6 +63,8 @@ type (
 	FailureContext = core.FailureContext
 	// Synopsis is a learned symptom→fix model (§5.2).
 	Synopsis = synopsis.Synopsis
+	// SharedSynopsis is a mutex-guarded synopsis many replicas learn into.
+	SharedSynopsis = synopsis.Shared
 	// FixID identifies one of Table 1's candidate fixes.
 	FixID = catalog.FixID
 	// FaultKind identifies one of Table 1's failure types.
@@ -76,93 +94,140 @@ const (
 	TierDB  = catalog.TierDB
 )
 
-// ApproachKind selects the fix-identification technique a System heals
-// with.
-type ApproachKind string
+// config is the resolved option set shared by New and NewFleet.
+type config struct {
+	seed                int64
+	approachKind        ApproachKind
+	approach            Approach
+	syn                 Synopsis
+	browsing            bool
+	threshold           int
+	adminDelayTicks     int
+	noEscalationRestart bool
+	sink                EventSink
+	workers             int
+}
 
-// The available approaches (§3–§4.3 of the paper).
-const (
-	// ApproachManual is the static rule-based baseline of §3.
-	ApproachManual ApproachKind = "manual"
-	// ApproachAnomaly is diagnosis via anomaly detection (§4.3.1).
-	ApproachAnomaly ApproachKind = "anomaly"
-	// ApproachCorrelation is diagnosis via correlation analysis (§4.3.2).
-	ApproachCorrelation ApproachKind = "correlation"
-	// ApproachBottleneck is diagnosis via bottleneck analysis (§4.3.3).
-	ApproachBottleneck ApproachKind = "bottleneck"
-	// ApproachFixSymNN is FixSym over a nearest-neighbor synopsis (§4.3.4).
-	ApproachFixSymNN ApproachKind = "fixsym-nn"
-	// ApproachFixSymKMeans is FixSym over per-fix k-means clustering.
-	ApproachFixSymKMeans ApproachKind = "fixsym-kmeans"
-	// ApproachFixSymAdaBoost is FixSym over a 60-learner AdaBoost ensemble.
-	ApproachFixSymAdaBoost ApproachKind = "fixsym-adaboost"
-	// ApproachFixSymBayes is FixSym over Gaussian naive Bayes (confidence
-	// estimates, §5.2).
-	ApproachFixSymBayes ApproachKind = "fixsym-bayes"
-	// ApproachPathAnalysis is path-based failure management (refs [5],[8]).
-	ApproachPathAnalysis ApproachKind = "path-analysis"
-	// ApproachHybrid combines FixSym with the diagnosis approaches (§5.1).
-	ApproachHybrid ApproachKind = "hybrid"
-)
+func defaultConfig() config {
+	return config{seed: 42, approachKind: ApproachHybrid}
+}
 
-// ApproachKinds lists every selectable approach.
-func ApproachKinds() []ApproachKind {
-	return []ApproachKind{
-		ApproachManual, ApproachAnomaly, ApproachCorrelation, ApproachBottleneck,
-		ApproachPathAnalysis, ApproachFixSymNN, ApproachFixSymKMeans,
-		ApproachFixSymAdaBoost, ApproachFixSymBayes, ApproachHybrid,
+// Option configures a System or a Fleet.
+type Option func(*config) error
+
+// WithSeed makes the whole run deterministic (default 42 when the option
+// is absent). A Fleet derives each replica's seed from this base; replica
+// 0 uses it unchanged.
+func WithSeed(seed int64) Option {
+	return func(c *config) error {
+		c.seed = seed
+		return nil
 	}
 }
 
-// NewApproach constructs a fresh approach of the given kind.
-func NewApproach(kind ApproachKind) (Approach, error) {
-	switch kind {
-	case ApproachManual:
-		return diagnose.NewManualRules(), nil
-	case ApproachAnomaly:
-		return diagnose.NewAnomaly(), nil
-	case ApproachCorrelation:
-		return diagnose.NewCorrelation(), nil
-	case ApproachBottleneck:
-		return diagnose.NewBottleneck(), nil
-	case ApproachFixSymNN:
-		return core.NewFixSym(synopsis.NewNearestNeighbor()), nil
-	case ApproachFixSymKMeans:
-		return core.NewFixSym(synopsis.NewKMeans()), nil
-	case ApproachFixSymAdaBoost:
-		return core.NewFixSym(synopsis.NewAdaBoost(60)), nil
-	case ApproachFixSymBayes:
-		return core.NewFixSym(synopsis.NewNaiveBayes()), nil
-	case ApproachPathAnalysis:
-		return diagnose.NewPathAnalysis(), nil
-	case ApproachHybrid:
-		return core.NewHybrid(
-			core.NewFixSym(synopsis.NewNearestNeighbor()),
-			diagnose.NewAnomaly(),
-			diagnose.NewBottleneck(),
-		), nil
-	default:
-		return nil, fmt.Errorf("selfheal: unknown approach %q", kind)
+// WithApproach picks the healing technique by registered kind (default
+// ApproachHybrid). A Fleet constructs a fresh instance per replica.
+func WithApproach(kind ApproachKind) Option {
+	return func(c *config) error {
+		if kind == "" {
+			kind = ApproachHybrid
+		}
+		c.approachKind = kind
+		return nil
 	}
 }
 
-// Options configures a System.
-type Options struct {
-	// Seed makes the whole run deterministic. Zero means 42.
-	Seed int64
-	// Approach picks the healing technique; empty means ApproachHybrid.
-	Approach ApproachKind
-	// Browsing switches to the read-only RUBiS browsing mix.
-	Browsing bool
-	// Threshold overrides the Figure 3 THRESHOLD (failed attempts before
-	// escalation); zero keeps the default.
-	Threshold int
-	// AdminDelayTicks overrides the human response time; zero keeps the
-	// default (600 simulated seconds).
-	AdminDelayTicks int
-	// NoEscalationRestart disables the full restart at escalation.
-	NoEscalationRestart bool
+// WithApproachInstance heals with an already-constructed approach — e.g. a
+// FixSym rebuilt from a persisted knowledge base. Single System only: a
+// Fleet rejects it, because one mutable instance must not be shared across
+// replicas (use WithSynopsis for that).
+func WithApproachInstance(a Approach) Option {
+	return func(c *config) error {
+		if a == nil {
+			return fmt.Errorf("selfheal: WithApproachInstance(nil)")
+		}
+		c.approach = a
+		return nil
+	}
 }
+
+// WithSynopsis heals with a FixSym approach over the given synopsis. Pass
+// a NewSharedSynopsis-wrapped synopsis to a Fleet and every replica learns
+// into the same knowledge base; a Fleet of more than one replica rejects
+// an unwrapped synopsis, which its concurrent episodes would race on.
+func WithSynopsis(s Synopsis) Option {
+	return func(c *config) error {
+		if s == nil {
+			return fmt.Errorf("selfheal: WithSynopsis(nil)")
+		}
+		c.syn = s
+		return nil
+	}
+}
+
+// WithBrowsingMix switches the workload to the read-only RUBiS browsing
+// mix.
+func WithBrowsingMix() Option {
+	return func(c *config) error { c.browsing = true; return nil }
+}
+
+// WithThreshold overrides the Figure 3 THRESHOLD: failed attempts before
+// escalation.
+func WithThreshold(n int) Option {
+	return func(c *config) error {
+		if n < 1 {
+			return fmt.Errorf("selfheal: threshold %d < 1", n)
+		}
+		c.threshold = n
+		return nil
+	}
+}
+
+// WithAdminDelayTicks overrides the human response time after NotifyAdmin
+// (default 600 simulated seconds).
+func WithAdminDelayTicks(n int) Option {
+	return func(c *config) error {
+		if n < 1 {
+			return fmt.Errorf("selfheal: admin delay %d < 1", n)
+		}
+		c.adminDelayTicks = n
+		return nil
+	}
+}
+
+// WithoutEscalationRestart disables the full restart at escalation.
+func WithoutEscalationRestart() Option {
+	return func(c *config) error { c.noEscalationRestart = true; return nil }
+}
+
+// WithEventSink attaches an episode event stream consumer. A sink given to
+// a Fleet receives events from all replicas concurrently and must be safe
+// for concurrent use; each event carries its replica id.
+func WithEventSink(s EventSink) Option {
+	return func(c *config) error {
+		if s == nil {
+			return fmt.Errorf("selfheal: WithEventSink(nil)")
+		}
+		c.sink = s
+		return nil
+	}
+}
+
+// WithWorkers bounds a Fleet's concurrently-healing replicas (default: all
+// replicas at once). A single System ignores it.
+func WithWorkers(n int) Option {
+	return func(c *config) error {
+		if n < 1 {
+			return fmt.Errorf("selfheal: workers %d < 1", n)
+		}
+		c.workers = n
+		return nil
+	}
+}
+
+// NewSharedSynopsis wraps base behind a mutex so fleet replicas can learn
+// into one knowledge base concurrently.
+func NewSharedSynopsis(base Synopsis) *SharedSynopsis { return synopsis.NewShared(base) }
 
 // System is a simulated multitier service with a healing loop attached.
 type System struct {
@@ -171,44 +236,70 @@ type System struct {
 	approach Approach
 }
 
-// NewSystem builds and warms up a system.
-func NewSystem(opts Options) (*System, error) {
-	if opts.Seed == 0 {
-		opts.Seed = 42
+// New builds and warms up a system. The context only gates construction;
+// pass a context again to each HealEpisode call to bound or cancel
+// healing.
+func New(ctx context.Context, opts ...Option) (*System, error) {
+	cfg := defaultConfig()
+	for _, opt := range opts {
+		if err := opt(&cfg); err != nil {
+			return nil, err
+		}
 	}
-	if opts.Approach == "" {
-		opts.Approach = ApproachHybrid
+	if err := ctx.Err(); err != nil {
+		return nil, err
 	}
-	hcfg := core.DefaultHarnessConfig()
-	hcfg.Seed = opts.Seed
-	hcfg.Service.Seed = opts.Seed*7919 + 17
-	if opts.Browsing {
-		hcfg.Mix = workload.BrowsingMix()
-	}
-	h := core.NewHarness(hcfg)
-	approach, err := NewApproach(opts.Approach)
+	return newSystem(&cfg, cfg.seed, cfg.sink)
+}
+
+// newSystem realizes one replica of cfg at the given seed. Fleet replicas
+// share cfg but differ in seed and sink.
+func newSystem(cfg *config, seed int64, sink EventSink) (*System, error) {
+	approach, err := resolveApproach(cfg)
 	if err != nil {
 		return nil, err
 	}
-	cfg := core.DefaultHealerConfig()
-	if opts.Threshold > 0 {
-		cfg.Threshold = opts.Threshold
+	hcfg := core.DefaultHarnessConfig()
+	hcfg.Seed = seed
+	hcfg.Service.Seed = seed*7919 + 17
+	if cfg.browsing {
+		hcfg.Mix = workload.BrowsingMix()
 	}
-	if opts.AdminDelayTicks > 0 {
-		cfg.AdminDelayTicks = opts.AdminDelayTicks
+	h := core.NewHarness(hcfg)
+	hlcfg := core.DefaultHealerConfig()
+	if cfg.threshold > 0 {
+		hlcfg.Threshold = cfg.threshold
 	}
-	if opts.NoEscalationRestart {
-		cfg.EscalateRestart = false
+	if cfg.adminDelayTicks > 0 {
+		hlcfg.AdminDelayTicks = cfg.adminDelayTicks
 	}
-	hl := core.NewHealer(h, approach, cfg)
+	if cfg.noEscalationRestart {
+		hlcfg.EscalateRestart = false
+	}
+	hl := core.NewHealer(h, approach, hlcfg)
 	hl.AdminOracle = core.OracleFromInjector(h.Inj)
+	hl.Sink = sink
 	return &System{Harness: h, Healer: hl, approach: approach}, nil
 }
 
-// MustNewSystem is NewSystem panicking on configuration errors, for
-// examples and tests.
-func MustNewSystem(opts Options) *System {
-	s, err := NewSystem(opts)
+// resolveApproach builds the healing approach cfg asks for: an explicit
+// instance wins, then a FixSym over a provided synopsis, then a fresh
+// instance of the registered kind.
+func resolveApproach(cfg *config) (Approach, error) {
+	switch {
+	case cfg.approach != nil:
+		return cfg.approach, nil
+	case cfg.syn != nil:
+		return core.NewFixSym(cfg.syn), nil
+	default:
+		return NewApproach(cfg.approachKind)
+	}
+}
+
+// MustNew is New panicking on configuration errors, for examples and
+// tests.
+func MustNew(ctx context.Context, opts ...Option) *System {
+	s, err := New(ctx, opts...)
 	if err != nil {
 		panic(err)
 	}
@@ -219,8 +310,11 @@ func MustNewSystem(opts Options) *System {
 func (s *System) Approach() Approach { return s.approach }
 
 // HealEpisode injects the fault and drives the Figure 3 loop until the
-// service recovers (or escalation completes).
-func (s *System) HealEpisode(f Fault) Episode { return s.Healer.RunEpisode(f) }
+// service recovers (or escalation completes). Cancelling the context stops
+// the episode where it stands and returns what was observed.
+func (s *System) HealEpisode(ctx context.Context, f Fault) Episode {
+	return s.Healer.RunEpisode(ctx, f)
+}
 
 // ServiceConfig returns the simulated service's configuration.
 func (s *System) ServiceConfig() service.Config { return s.Svc.Config() }

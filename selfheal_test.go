@@ -1,14 +1,16 @@
 package selfheal_test
 
 import (
+	"context"
 	"testing"
 
 	"selfheal"
 )
 
-func TestNewSystemEveryApproach(t *testing.T) {
+func TestNewEveryApproach(t *testing.T) {
+	ctx := context.Background()
 	for _, kind := range selfheal.ApproachKinds() {
-		sys, err := selfheal.NewSystem(selfheal.Options{Seed: 5, Approach: kind})
+		sys, err := selfheal.New(ctx, selfheal.WithSeed(5), selfheal.WithApproach(kind))
 		if err != nil {
 			t.Errorf("approach %q: %v", kind, err)
 			continue
@@ -21,13 +23,13 @@ func TestNewSystemEveryApproach(t *testing.T) {
 			t.Errorf("approach %q: fresh system is down", kind)
 		}
 	}
-	if _, err := selfheal.NewSystem(selfheal.Options{Approach: "nope"}); err == nil {
+	if _, err := selfheal.New(ctx, selfheal.WithApproach("nope")); err == nil {
 		t.Error("unknown approach accepted")
 	}
 }
 
 func TestSystemDefaults(t *testing.T) {
-	sys, err := selfheal.NewSystem(selfheal.Options{})
+	sys, err := selfheal.New(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -36,10 +38,28 @@ func TestSystemDefaults(t *testing.T) {
 	}
 }
 
+func TestOptionValidation(t *testing.T) {
+	ctx := context.Background()
+	bad := []selfheal.Option{
+		selfheal.WithThreshold(0),
+		selfheal.WithAdminDelayTicks(-1),
+		selfheal.WithWorkers(0),
+		selfheal.WithEventSink(nil),
+		selfheal.WithSynopsis(nil),
+		selfheal.WithApproachInstance(nil),
+	}
+	for i, opt := range bad {
+		if _, err := selfheal.New(ctx, opt); err == nil {
+			t.Errorf("bad option %d accepted", i)
+		}
+	}
+}
+
 func TestSystemDeterminism(t *testing.T) {
 	run := func() int64 {
-		sys := selfheal.MustNewSystem(selfheal.Options{Seed: 11, Approach: selfheal.ApproachAnomaly})
-		ep := sys.HealEpisode(selfheal.NewBufferContention(0.8))
+		ctx := context.Background()
+		sys := selfheal.MustNew(ctx, selfheal.WithSeed(11), selfheal.WithApproach(selfheal.ApproachAnomaly))
+		ep := sys.HealEpisode(ctx, selfheal.NewBufferContention(0.8))
 		return ep.TTR()
 	}
 	if a, b := run(), run(); a != b {
@@ -48,8 +68,9 @@ func TestSystemDeterminism(t *testing.T) {
 }
 
 func TestHealEpisodeEndToEnd(t *testing.T) {
-	sys := selfheal.MustNewSystem(selfheal.Options{Seed: 13, Approach: selfheal.ApproachBottleneck})
-	ep := sys.HealEpisode(selfheal.NewBottleneck(selfheal.TierDB, 3.9, 1200))
+	ctx := context.Background()
+	sys := selfheal.MustNew(ctx, selfheal.WithSeed(13), selfheal.WithApproach(selfheal.ApproachBottleneck))
+	ep := sys.HealEpisode(ctx, selfheal.NewBottleneck(selfheal.TierDB, 3.9, 1200))
 	if !ep.Detected {
 		t.Fatal("db bottleneck not detected")
 	}
@@ -58,6 +79,77 @@ func TestHealEpisodeEndToEnd(t *testing.T) {
 	}
 	if ep.Escalated {
 		t.Error("bottleneck analysis should not need the administrator for a saturated tier")
+	}
+	if ep.DetectionToRecovery() < 0 || ep.DetectionToRecovery() > ep.TTR() {
+		t.Errorf("DetectionToRecovery %d outside (0, TTR=%d]", ep.DetectionToRecovery(), ep.TTR())
+	}
+	if got, want := ep.TTR(), ep.RecoveredAt-ep.InjectedAt; got != want {
+		t.Errorf("TTR %d != RecoveredAt-InjectedAt %d", got, want)
+	}
+}
+
+// TestCancelledEpisode checks that a done context stops the loop instead of
+// healing: the episode returns quickly and unrecovered.
+func TestCancelledEpisode(t *testing.T) {
+	ctx := context.Background()
+	sys := selfheal.MustNew(ctx, selfheal.WithSeed(13), selfheal.WithApproach(selfheal.ApproachBottleneck))
+	cancelled, cancel := context.WithCancel(ctx)
+	cancel()
+	start := sys.Svc.Now()
+	ep := sys.HealEpisode(cancelled, selfheal.NewBottleneck(selfheal.TierDB, 3.9, 1200))
+	if ep.Recovered || ep.Detected {
+		t.Errorf("cancelled episode still ran: detected=%v recovered=%v", ep.Detected, ep.Recovered)
+	}
+	if sys.Svc.Now() != start {
+		t.Errorf("cancelled episode advanced simulated time by %d ticks", sys.Svc.Now()-start)
+	}
+}
+
+// TestEventStream verifies a healed episode emits a well-formed stream:
+// FaultInjected first, then Detected, at least one AttemptApplied or an
+// Escalated, and Recovered (carrying the episode's TTR) last.
+func TestEventStream(t *testing.T) {
+	ctx := context.Background()
+	var events []selfheal.Event
+	sys := selfheal.MustNew(ctx,
+		selfheal.WithSeed(13),
+		selfheal.WithApproach(selfheal.ApproachBottleneck),
+		selfheal.WithEventSink(selfheal.EventFunc(func(ev selfheal.Event) { events = append(events, ev) })),
+	)
+	ep := sys.HealEpisode(ctx, selfheal.NewBottleneck(selfheal.TierDB, 3.9, 1200))
+	if !ep.Recovered {
+		t.Fatal("episode did not recover")
+	}
+	if len(events) < 3 {
+		t.Fatalf("only %d events emitted: %+v", len(events), events)
+	}
+	if events[0].Kind != selfheal.EventFaultInjected || events[0].Fault == nil {
+		t.Errorf("first event %+v, want FaultInjected with fault", events[0])
+	}
+	if events[1].Kind != selfheal.EventDetected {
+		t.Errorf("second event %v, want Detected", events[1].Kind)
+	}
+	last := events[len(events)-1]
+	if last.Kind != selfheal.EventRecovered {
+		t.Errorf("last event %v, want Recovered", last.Kind)
+	}
+	if last.TTR != ep.TTR() {
+		t.Errorf("Recovered event TTR %d != episode TTR %d", last.TTR, ep.TTR())
+	}
+	attempts := 0
+	for _, ev := range events {
+		if ev.Episode != 1 {
+			t.Errorf("event %v has episode %d, want 1", ev.Kind, ev.Episode)
+		}
+		if ev.Kind == selfheal.EventAttemptApplied {
+			attempts++
+			if ev.Attempt != attempts {
+				t.Errorf("attempt numbering: got %d, want %d", ev.Attempt, attempts)
+			}
+		}
+	}
+	if attempts != len(ep.Attempts) {
+		t.Errorf("%d AttemptApplied events, episode recorded %d attempts", attempts, len(ep.Attempts))
 	}
 }
 
@@ -92,7 +184,7 @@ func TestCandidateFixesExported(t *testing.T) {
 }
 
 func TestProactiveAttachment(t *testing.T) {
-	sys := selfheal.MustNewSystem(selfheal.Options{Seed: 17})
+	sys := selfheal.MustNew(context.Background(), selfheal.WithSeed(17))
 	p := sys.NewProactive()
 	sys.Inj.Inject(selfheal.NewAging(selfheal.TierApp, 0.004))
 	actions, bad := p.RunWithProactive(1500)
