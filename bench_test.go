@@ -8,6 +8,8 @@ package selfheal_test
 
 import (
 	"context"
+	"fmt"
+	"math/rand"
 	"testing"
 
 	"selfheal"
@@ -172,26 +174,115 @@ func BenchmarkHealEpisode(b *testing.B) {
 	}
 }
 
-// BenchmarkFleetCampaign is the parallel-campaign baseline: 8 replicas
-// healing a 32-episode random-fault campaign into one shared knowledge
-// base. Construction (warmup of 8 simulators) is included deliberately —
-// it is part of standing a fleet up.
+// seedKBPoints builds n synthetic labeled observations spread over the
+// Table 1 candidate fixes, clustered per fix so nearest-neighbor lookups
+// have structure. Deterministic in the seed.
+func seedKBPoints(seed int64, n int) []selfheal.Point {
+	gen := selfheal.RandomFaults(seed)
+	rng := rand.New(rand.NewSource(seed))
+	pts := make([]selfheal.Point, 0, n)
+	for len(pts) < n {
+		f := gen.Next()
+		fixes := selfheal.CandidateFixes(f.Kind())
+		if len(fixes) == 0 {
+			continue
+		}
+		fix := fixes[rng.Intn(len(fixes))]
+		x := make([]float64, 24)
+		for d := range x {
+			x[d] = float64(fix)*3 + rng.NormFloat64()
+		}
+		pts = append(pts, selfheal.Point{
+			X:       x,
+			Action:  selfheal.Action{Fix: fix, Target: f.Target()},
+			Success: true,
+		})
+	}
+	return pts
+}
+
+// opaqueSynopsis hides everything but the Synopsis interface from the
+// Shared wrapper, forcing it into its mutex-only fallback — the PR 1
+// behavior, kept benchmarkable as the comparison point.
+type opaqueSynopsis struct{ s selfheal.Synopsis }
+
+func (o opaqueSynopsis) Name() string         { return o.s.Name() }
+func (o opaqueSynopsis) Add(p selfheal.Point) { o.s.Add(p) }
+func (o opaqueSynopsis) Suggest(x []float64, exclude func(selfheal.Action) bool) (selfheal.Suggestion, bool) {
+	return o.s.Suggest(x, exclude)
+}
+func (o opaqueSynopsis) Rank(x []float64) []selfheal.Suggestion { return o.s.Rank(x) }
+func (o opaqueSynopsis) TrainingSize() int                      { return o.s.TrainingSize() }
+
+// BenchmarkSharedSuggestParallel measures the fleet's healing hot path —
+// Suggest against one shared knowledge base from every core at once.
+// kb=snapshot is the copy-on-write Shared (readers load an atomic
+// snapshot, no lock); kb=locked forces the mutex fallback, whose
+// throughput plateaus at one core no matter GOMAXPROCS.
+func BenchmarkSharedSuggestParallel(b *testing.B) {
+	pts := seedKBPoints(99, 512)
+	for _, mode := range []string{"snapshot", "locked"} {
+		b.Run("kb="+mode, func(b *testing.B) {
+			var base selfheal.Synopsis = selfheal.NewNNSynopsis()
+			if mode == "locked" {
+				base = opaqueSynopsis{s: base}
+			}
+			sh := selfheal.NewSharedSynopsis(base)
+			sh.AddBatch(pts)
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				i := 0
+				for pb.Next() {
+					sh.Suggest(pts[i%len(pts)].X, nil)
+					i++
+				}
+			})
+		})
+	}
+}
+
+// BenchmarkFleetCampaign is the campaign throughput grid: 1/4/16 replicas
+// healing 4 random-fault episodes each, with the fleet learning into one
+// shared snapshot knowledge base (kb=shared, episode-batched writes)
+// versus fully isolated per-replica learners (kb=isolated). episodes/sec
+// is the fleet's end-to-end healing throughput; construction (warming N
+// simulators) is included deliberately — it is part of standing a fleet
+// up.
 func BenchmarkFleetCampaign(b *testing.B) {
 	ctx := context.Background()
-	for i := 0; i < b.N; i++ {
-		shared := selfheal.NewSharedSynopsis(selfheal.NewNNSynopsis())
-		fleet, err := selfheal.NewFleet(ctx, 8,
-			selfheal.WithSeed(int64(i+1)),
-			selfheal.WithSynopsis(shared),
-		)
-		if err != nil {
-			b.Fatal(err)
+	for _, replicas := range []int{1, 4, 16} {
+		for _, kb := range []string{"shared", "isolated"} {
+			b.Run(fmt.Sprintf("replicas=%d/kb=%s", replicas, kb), func(b *testing.B) {
+				episodes := 4 * replicas
+				var recovered, ttr float64
+				for i := 0; i < b.N; i++ {
+					opts := []selfheal.Option{
+						selfheal.WithSeed(int64(i + 1)),
+						selfheal.WithLearnBatch(1),
+					}
+					if kb == "shared" {
+						opts = append(opts,
+							selfheal.WithSynopsis(selfheal.NewSharedSynopsis(selfheal.NewNNSynopsis())))
+					} else {
+						opts = append(opts, selfheal.WithApproach(selfheal.ApproachFixSymNN))
+					}
+					fleet, err := selfheal.NewFleet(ctx, replicas, opts...)
+					if err != nil {
+						b.Fatal(err)
+					}
+					res, err := fleet.RunCampaign(ctx, selfheal.Campaign{Episodes: episodes})
+					if err != nil {
+						b.Fatal(err)
+					}
+					recovered += res.Stats.RecoveryRate()
+					ttr += res.Stats.MeanTTR
+				}
+				if secs := b.Elapsed().Seconds(); secs > 0 {
+					b.ReportMetric(float64(episodes*b.N)/secs, "episodes/sec")
+				}
+				b.ReportMetric(100*recovered/float64(b.N), "recovered-%")
+				b.ReportMetric(ttr/float64(b.N), "mean-ttr-ticks")
+			})
 		}
-		res, err := fleet.RunCampaign(ctx, selfheal.Campaign{Episodes: 32})
-		if err != nil {
-			b.Fatal(err)
-		}
-		b.ReportMetric(100*res.Stats.RecoveryRate(), "recovered-%")
-		b.ReportMetric(res.Stats.MeanTTR, "mean-ttr-ticks")
 	}
 }

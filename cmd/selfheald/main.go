@@ -5,7 +5,7 @@
 // Recovered) the healers emit, not from dissecting episode records.
 //
 //	selfheald -episodes 20 -approach hybrid -seed 7
-//	selfheald -episodes 64 -replicas 8 -workers 4 -share
+//	selfheald -episodes 64 -replicas 8 -workers 4 -share -batch 1
 package main
 
 import (
@@ -83,6 +83,7 @@ func main() {
 		approach = flag.String("approach", string(selfheal.ApproachHybrid), "healing approach (see ApproachKinds)")
 		seed     = flag.Int64("seed", 7, "deterministic seed")
 		share    = flag.Bool("share", false, "replicas learn into one shared knowledge base")
+		batch    = flag.Int("batch", 0, "flush learn events every N episodes in one batch (0 = learn per attempt)")
 	)
 	flag.Parse()
 	ctx := context.Background()
@@ -101,14 +102,17 @@ func main() {
 	if *workers != 0 {
 		opts = append(opts, selfheal.WithWorkers(*workers))
 	}
+	if *batch != 0 {
+		opts = append(opts, selfheal.WithLearnBatch(*batch))
+	}
 
 	fleet, err := selfheal.NewFleet(ctx, *replicas, opts...)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "selfheald:", err)
 		os.Exit(2)
 	}
-	fmt.Printf("selfheald: %d episodes over %d replica(s), approach=%s, seed=%d, shared-kb=%v\n\n",
-		*episodes, *replicas, fleet.Replica(0).Approach().Name(), *seed, *share)
+	fmt.Printf("selfheald: %d episodes over %d replica(s), approach=%s, seed=%d, shared-kb=%v, learn-batch=%d\n\n",
+		*episodes, *replicas, fleet.Replica(0).Approach().Name(), *seed, *share, *batch)
 
 	if _, err := fleet.RunCampaign(ctx, selfheal.Campaign{Episodes: *episodes}); err != nil {
 		fmt.Fprintln(os.Stderr, "selfheald:", err)

@@ -6,6 +6,7 @@ import (
 	"sync"
 
 	"selfheal/internal/core"
+	"selfheal/internal/faults"
 )
 
 // Fleet is N independent deterministic service replicas, each with its own
@@ -93,7 +94,23 @@ type Campaign struct {
 	// SettleTicks is the healthy-run length between a replica's episodes;
 	// zero means 120.
 	SettleTicks int
+	// BatchSize is the scheduling granularity: how many consecutive
+	// episodes a worker heals on one replica before requeueing the replica
+	// for whichever worker is idle next (zero means 8). Smaller batches
+	// balance a skewed campaign across few workers at more requeue
+	// overhead. For isolated replicas scheduling granularity never changes
+	// outcomes — each replica's episode sequence depends only on its seeds
+	// and always runs in order on that replica — so any BatchSize
+	// reproduces the same episodes, byte for byte. A shared knowledge base
+	// is the standing exception: replicas deliberately read each other's
+	// lessons, so there — as with any shared-KB run — outcomes depend on
+	// cross-replica timing, whatever the batch size.
+	BatchSize int
 }
+
+// defaultCampaignBatch is the work-stealing granularity when
+// Campaign.BatchSize is zero.
+const defaultCampaignBatch = 8
 
 // ReplicaResult is one replica's share of a campaign.
 type ReplicaResult struct {
@@ -130,11 +147,32 @@ type FleetResult struct {
 	Stats    FleetStats
 }
 
+// campaignShard is one replica's remaining share of a campaign: its
+// deterministic fault stream, how many episodes it still owes, and the
+// episodes healed so far. A shard is only ever touched by the worker
+// currently holding its token, so it needs no lock; the ready channel's
+// happens-before edge hands it between workers.
+type campaignShard struct {
+	gen       *faults.Generator
+	remaining int
+	episodes  []Episode
+}
+
 // RunCampaign injects c.Episodes random faults across the fleet and heals
 // them concurrently, at most WithWorkers replicas at a time (default: all).
-// Each replica's episode sequence is deterministic in the fleet seed and
-// c.FaultSeed alone. Cancelling the context stops every replica at its
-// next step; the partial result is returned alongside ctx's error.
+//
+// Scheduling is batched work stealing: each replica's share is healed in
+// BatchSize-episode slices, and whichever worker goes idle next steals the
+// next pending slice from any replica, so a replica with slow episodes
+// (escalations at human timescale) cannot pin a worker for its entire
+// share. For isolated replicas each episode sequence is deterministic in
+// the fleet seed and c.FaultSeed alone — batches of the same replica
+// always run in order on that replica — so worker count and batch size
+// change wall-clock time only, never outcomes. With a shared knowledge
+// base, outcomes additionally depend on the timing of other replicas'
+// learn flushes, which no scheduling choice can pin down. Cancelling the
+// context stops every replica at its next step; the partial result is
+// returned alongside ctx's error.
 func (fl *Fleet) RunCampaign(ctx context.Context, c Campaign) (*FleetResult, error) {
 	if c.Episodes < 1 {
 		return nil, fmt.Errorf("selfheal: campaign of %d episodes", c.Episodes)
@@ -147,33 +185,58 @@ func (fl *Fleet) RunCampaign(ctx context.Context, c Campaign) (*FleetResult, err
 	if settle == 0 {
 		settle = 120
 	}
+	batch := c.BatchSize
+	if batch < 1 {
+		batch = defaultCampaignBatch
+	}
 
 	n := len(fl.replicas)
 	per, extra := c.Episodes/n, c.Episodes%n
 	results := make([]ReplicaResult, n)
+	shards := make([]campaignShard, n)
+
+	// ready holds the indexes of shards with episodes left and no worker
+	// on them. Capacity n: at most one token per shard exists, so sends
+	// never block. live closes ready once every shard is exhausted.
+	ready := make(chan int, n)
+	var live sync.WaitGroup
+	for i := 0; i < n; i++ {
+		results[i] = ReplicaResult{Replica: i, Seed: fl.seeds[i]}
+		shards[i] = campaignShard{
+			gen:       RandomFaults(faultSeed+int64(i)*replicaFaultStride, c.Kinds...),
+			remaining: per + boolToInt(i < extra),
+		}
+		if shards[i].remaining > 0 {
+			live.Add(1)
+			ready <- i
+		}
+	}
+	go func() { live.Wait(); close(ready) }()
 
 	workers := fl.cfg.workers
 	if workers < 1 || workers > n {
 		workers = n
 	}
-	jobs := make(chan int)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			for i := range jobs {
-				results[i] = fl.runReplica(ctx, i, per+boolToInt(i < extra), faultSeed, c.Kinds, settle)
+			for i := range ready {
+				if fl.runShardBatch(ctx, i, &shards[i], batch, settle) {
+					ready <- i
+				} else {
+					live.Done()
+				}
 			}
 		}()
 	}
-	for i := 0; i < n; i++ {
-		jobs <- i
-	}
-	close(jobs)
 	wg.Wait()
 
 	res := &FleetResult{Replicas: results}
+	for i := range results {
+		results[i].Episodes = shards[i].episodes
+	}
 	for _, rr := range results {
 		for _, ep := range rr.Episodes {
 			res.Stats.Episodes++
@@ -202,19 +265,26 @@ func (fl *Fleet) RunCampaign(ctx context.Context, c Campaign) (*FleetResult, err
 	return res, ctx.Err()
 }
 
-// runReplica drives one replica's share of the campaign.
-func (fl *Fleet) runReplica(ctx context.Context, i, episodes int, faultSeed int64, kinds []FaultKind, settle int) ReplicaResult {
+// runShardBatch heals up to batch episodes of replica i's remaining share
+// and reports whether the shard still has episodes left. When the shard
+// finishes (exhausted or cancelled) any learn events the replica buffered
+// under WithLearnBatch are flushed so no labels are stranded.
+func (fl *Fleet) runShardBatch(ctx context.Context, i int, sh *campaignShard, batch, settle int) bool {
 	sys := fl.replicas[i]
-	gen := RandomFaults(faultSeed+int64(i)*replicaFaultStride, kinds...)
-	rr := ReplicaResult{Replica: i, Seed: fl.seeds[i]}
-	for e := 0; e < episodes; e++ {
+	for e := 0; e < batch && sh.remaining > 0; e++ {
 		if ctx.Err() != nil {
+			sh.remaining = 0
 			break
 		}
-		rr.Episodes = append(rr.Episodes, sys.HealEpisode(ctx, gen.Next()))
+		sh.episodes = append(sh.episodes, sys.HealEpisode(ctx, sh.gen.Next()))
+		sh.remaining--
 		sys.StepN(settle)
 	}
-	return rr
+	if sh.remaining > 0 {
+		return true
+	}
+	sys.Healer.FlushLearned()
+	return false
 }
 
 func boolToInt(b bool) int {

@@ -102,6 +102,79 @@ func TestFleetOfOneMatchesSequentialSystem(t *testing.T) {
 	}
 }
 
+// TestFleetOfOneLearnBatchMatchesSequential extends the migration
+// guarantee to batched learning: a fleet of one with WithLearnBatch is
+// still the sequential System with the same option, byte for byte —
+// batching changes when labels reach the synopsis, not what any episode
+// observes relative to the same-configured sequential run.
+func TestFleetOfOneLearnBatchMatchesSequential(t *testing.T) {
+	ctx := context.Background()
+	const episodes = 6
+	fleet, err := selfheal.NewFleet(ctx, 1,
+		selfheal.WithSeed(11),
+		selfheal.WithSynopsis(selfheal.NewNNSynopsis()),
+		selfheal.WithLearnBatch(1),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := fleet.RunCampaign(ctx, selfheal.Campaign{Episodes: episodes, BatchSize: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	sys := selfheal.MustNew(ctx,
+		selfheal.WithSeed(11),
+		selfheal.WithSynopsis(selfheal.NewNNSynopsis()),
+		selfheal.WithLearnBatch(1),
+	)
+	gen := selfheal.RandomFaults(12) // fleet default fault seed: seed+1
+	var want []selfheal.Episode
+	for e := 0; e < episodes; e++ {
+		want = append(want, sys.HealEpisode(ctx, gen.Next()))
+		sys.StepN(120)
+	}
+	if !reflect.DeepEqual(res.Replicas[0].Episodes, want) {
+		t.Error("batched fleet-of-one diverges from batched sequential replay")
+	}
+}
+
+// TestFleetCampaignBatchSizeInvariance: the work-stealing batch size is
+// pure scheduling — identical fleets healing the same campaign at batch
+// sizes 1 and 64 must produce identical episodes on every replica. The
+// replicas run isolated learning approaches with a mid-shard learn flush
+// (LearnBatch 2 on a 3-episode share), so outcomes genuinely depend on
+// when labels reach each synopsis: a scheduler that tied learn flushes to
+// scheduling batches instead of episode counts would diverge here.
+func TestFleetCampaignBatchSizeInvariance(t *testing.T) {
+	ctx := context.Background()
+	run := func(batch int) *selfheal.FleetResult {
+		fleet, err := selfheal.NewFleet(ctx, 4,
+			selfheal.WithSeed(21),
+			selfheal.WithApproach(selfheal.ApproachFixSymNN),
+			selfheal.WithLearnBatch(2),
+			selfheal.WithWorkers(2),
+		)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := fleet.RunCampaign(ctx, selfheal.Campaign{Episodes: 12, BatchSize: batch})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	fine, coarse := run(1), run(64)
+	for i := range fine.Replicas {
+		if !reflect.DeepEqual(fine.Replicas[i].Episodes, coarse.Replicas[i].Episodes) {
+			t.Errorf("replica %d: episodes differ between batch sizes 1 and 64", i)
+		}
+	}
+	if !reflect.DeepEqual(fine.Stats, coarse.Stats) {
+		t.Errorf("stats differ between batch sizes: %+v vs %+v", fine.Stats, coarse.Stats)
+	}
+}
+
 // TestFleetSharedSynopsis runs 8 replicas learning into one shared
 // knowledge base. Primarily a -race exercise over the Fleet + Shared
 // machinery; it also checks the shared synopsis actually accumulated every

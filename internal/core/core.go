@@ -103,6 +103,32 @@ type Approach interface {
 	Observe(ctx *FailureContext, action Action, success bool)
 }
 
+// Observation is one deferred learn event: the outcome of an attempt,
+// buffered by a batching Healer for delivery at episode granularity.
+type Observation struct {
+	Ctx     *FailureContext
+	Action  Action
+	Success bool
+}
+
+// ObserveBatcher is implemented by approaches that can fold many labeled
+// attempts in one step. A batching Healer prefers it over per-observation
+// Observe calls so that synopses which refit on every label (AdaBoost,
+// KMeans) pay the refit once per flush, and a shared fleet knowledge base
+// takes one writer lock per episode instead of one per attempt.
+type ObserveBatcher interface {
+	ObserveBatch(obs []Observation)
+}
+
+// ProposalAborter is implemented by approaches (Hybrid) that keep
+// per-recommendation bookkeeping awaiting the matching Observe. When an
+// episode is cancelled mid-verification that Observe never comes; the
+// healer calls AbandonProposal so the stranded bookkeeping cannot
+// misroute credit for later outcomes of the same action.
+type ProposalAborter interface {
+	AbandonProposal(action Action)
+}
+
 // triedSet builds the exclusion filter synopses consume.
 func triedSet(tried []Action) func(Action) bool {
 	if len(tried) == 0 {
@@ -142,4 +168,14 @@ func (f *FixSym) Recommend(ctx *FailureContext, tried []Action) (Action, float64
 // (Figure 3 line 15; line 20 for administrator-provided fixes).
 func (f *FixSym) Observe(ctx *FailureContext, action Action, success bool) {
 	f.Syn.Add(synopsis.Point{X: ctx.Symptom, Action: action, Success: success})
+}
+
+// ObserveBatch implements ObserveBatcher: the whole batch reaches the
+// synopsis through one AddBatch when it supports batching.
+func (f *FixSym) ObserveBatch(obs []Observation) {
+	pts := make([]synopsis.Point, len(obs))
+	for i, o := range obs {
+		pts[i] = synopsis.Point{X: o.Ctx.Symptom, Action: o.Action, Success: o.Success}
+	}
+	synopsis.AddAll(f.Syn, pts)
 }

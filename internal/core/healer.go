@@ -26,6 +26,15 @@ type HealerConfig struct {
 	// line 19). Disable for learning experiments where downtime accounting
 	// is irrelevant and restarts would erase the fault being labeled.
 	EscalateRestart bool
+	// LearnBatch batches learn events at episode granularity: 0 (the
+	// default) delivers every attempt's outcome to the approach
+	// immediately, the paper's per-attempt Figure 3 behavior; n ≥ 1
+	// buffers observations and flushes them every n episodes — one
+	// ObserveBatch (one writer lock, one refit, one snapshot republish on
+	// a shared knowledge base) per flush. Within an episode the loop's
+	// exclusion set comes from the tried list, not the synopsis, so
+	// deferring labels to episode end never re-proposes a failed fix.
+	LearnBatch int
 }
 
 // DefaultHealerConfig mirrors Figure 3 with human escalation at minutes
@@ -103,6 +112,10 @@ type Healer struct {
 	AdminOracle func() (Action, bool)
 
 	episodes int
+	// pending buffers learn events when Cfg.LearnBatch ≥ 1; sinceFlush
+	// counts episodes since the buffer last drained.
+	pending    []Observation
+	sinceFlush int
 }
 
 // NewHealer builds a healer over an environment and an approach.
@@ -123,6 +136,47 @@ func OracleFromInjector(inj *faults.Injector) func() (Action, bool) {
 		}
 		return Action{}, false
 	}
+}
+
+// observe routes one learn event: straight to the approach when
+// unbatched, into the pending buffer otherwise.
+func (hl *Healer) observe(fctx *FailureContext, action Action, success bool) {
+	if hl.Cfg.LearnBatch <= 0 {
+		hl.Approach.Observe(fctx, action, success)
+		return
+	}
+	hl.pending = append(hl.pending, Observation{Ctx: fctx, Action: action, Success: success})
+}
+
+// endEpisode runs the per-episode flush bookkeeping.
+func (hl *Healer) endEpisode() {
+	if hl.Cfg.LearnBatch <= 0 {
+		return
+	}
+	hl.sinceFlush++
+	if hl.sinceFlush >= hl.Cfg.LearnBatch {
+		hl.FlushLearned()
+	}
+}
+
+// FlushLearned delivers every buffered learn event to the approach — in
+// one ObserveBatch when the approach supports it — and resets the batch
+// clock. A no-op when nothing is buffered. Callers that batch across
+// episodes (LearnBatch > 1) should flush once more when a campaign ends so
+// no labels are stranded.
+func (hl *Healer) FlushLearned() {
+	hl.sinceFlush = 0
+	if len(hl.pending) == 0 {
+		return
+	}
+	if ob, ok := hl.Approach.(ObserveBatcher); ok {
+		ob.ObserveBatch(hl.pending)
+	} else {
+		for _, o := range hl.pending {
+			hl.Approach.Observe(o.Ctx, o.Action, o.Success)
+		}
+	}
+	hl.pending = hl.pending[:0]
 }
 
 // emit sends ev to the sink, stamping the episode number.
@@ -148,6 +202,7 @@ func (hl *Healer) RunEpisode(ctx context.Context, f faults.Fault) Episode {
 	if !h.RunUntilFailing(ctx, budget) {
 		// The fault never became SLO-visible; let it age out quietly.
 		h.Inj.Reap()
+		hl.endEpisode()
 		return ep
 	}
 	ep.Detected = true
@@ -184,12 +239,17 @@ func (hl *Healer) RunEpisode(ctx context.Context, f faults.Fault) Episode {
 		if ctx.Err() != nil && !recovered {
 			// Cancelled mid-check: the attempt's outcome is unknown, not a
 			// failure. Recording it — or worse, teaching the approach a
-			// negative label — would poison the synopsis with noise.
+			// negative label — would poison the synopsis with noise. Tell
+			// bookkeeping approaches the pending recommendation is void so
+			// a later outcome for the same action is not credited to it.
+			if ab, ok := hl.Approach.(ProposalAborter); ok {
+				ab.AbandonProposal(action)
+			}
 			break
 		}
 		att.Success = recovered
 		ep.Attempts = append(ep.Attempts, att)
-		hl.Approach.Observe(fctx, action, recovered)
+		hl.observe(fctx, action, recovered)
 		hl.emit(Event{
 			Kind: EventAttemptApplied, Tick: h.Svc.Now(),
 			Action: action, Confidence: conf, Attempt: count + 1, Success: recovered,
@@ -205,6 +265,7 @@ func (hl *Healer) RunEpisode(ctx context.Context, f faults.Fault) Episode {
 	if ep.Recovered {
 		hl.emit(Event{Kind: EventRecovered, Tick: ep.RecoveredAt, TTR: ep.TTR()})
 	}
+	hl.endEpisode()
 	return ep
 }
 
@@ -235,7 +296,7 @@ func (hl *Healer) escalate(ctx context.Context, fctx *FailureContext, ep *Episod
 			h.StepN(int(app.SettleTicks))
 		}
 		// "Update synopsis S with fix found by the administrator."
-		hl.Approach.Observe(fctx, adminAction, true)
+		hl.observe(fctx, adminAction, true)
 	}
 	if h.RunUntilRecovered(ctx, hl.Cfg.CheckTicks*4) {
 		ep.Recovered = true

@@ -15,9 +15,13 @@ import "fmt"
 type Hybrid struct {
 	approaches []Approach
 	weights    []float64
-	// proposals remembers which sub-approach proposed each action during
-	// the current episode so Observe can credit or debit it.
-	proposals map[string]int
+	// proposals remembers which sub-approach proposed each action so
+	// Observe can credit or debit it. Values are FIFO queues: under
+	// batched learning (LearnBatch > 1) the same action key can be
+	// proposed again in a later episode before the earlier outcome has
+	// flushed, and outcomes replay in arrival order, so the oldest
+	// pending proposal is always the one an outcome belongs to.
+	proposals map[string][]int
 	// Alpha is the reliability EWMA step.
 	Alpha float64
 	// FixSymBias multiplies the confidence of learning approaches once
@@ -35,7 +39,7 @@ func NewHybrid(approaches ...Approach) *Hybrid {
 	return &Hybrid{
 		approaches: approaches,
 		weights:    w,
-		proposals:  make(map[string]int),
+		proposals:  make(map[string][]int),
 		Alpha:      0.15,
 		FixSymBias: 1.5,
 	}
@@ -73,7 +77,7 @@ func (h *Hybrid) Recommend(ctx *FailureContext, tried []Action) (Action, float64
 	if best == nil {
 		return Action{}, 0, false
 	}
-	h.proposals[best.action.Key()] = best.idx
+	h.proposals[best.action.Key()] = append(h.proposals[best.action.Key()], best.idx)
 	return best.action, best.score, true
 }
 
@@ -84,16 +88,65 @@ func (h *Hybrid) Observe(ctx *FailureContext, action Action, success bool) {
 	for _, a := range h.approaches {
 		a.Observe(ctx, action, success)
 	}
-	if i, ok := h.proposals[action.Key()]; ok {
-		target := 0.0
-		if success {
-			target = 1
+	h.creditProposal(action, success)
+}
+
+// ObserveBatch implements ObserveBatcher: each sub-approach takes the
+// whole batch in one step when it can, and the reliability weights replay
+// the outcomes in arrival order — the same end state the per-observation
+// path reaches, since weights never feed back into Observe.
+func (h *Hybrid) ObserveBatch(obs []Observation) {
+	for _, a := range h.approaches {
+		if ob, ok := a.(ObserveBatcher); ok {
+			ob.ObserveBatch(obs)
+			continue
 		}
-		h.weights[i] += h.Alpha * (target - h.weights[i])
-		if h.weights[i] < 0.1 {
-			h.weights[i] = 0.1
+		for _, o := range obs {
+			a.Observe(o.Ctx, o.Action, o.Success)
 		}
-		delete(h.proposals, action.Key())
+	}
+	for _, o := range obs {
+		h.creditProposal(o.Action, o.Success)
+	}
+}
+
+// AbandonProposal implements ProposalAborter: the healer abandoned its
+// latest recommendation of this action (episode cancelled mid-check), so
+// the newest pending proposal of the key — which is that recommendation —
+// is retired uncredited.
+func (h *Hybrid) AbandonProposal(action Action) {
+	key := action.Key()
+	q := h.proposals[key]
+	switch len(q) {
+	case 0:
+	case 1:
+		delete(h.proposals, key)
+	default:
+		h.proposals[key] = q[:len(q)-1]
+	}
+}
+
+// creditProposal moves the oldest pending proposer's reliability weight
+// toward the observed outcome and retires that proposal.
+func (h *Hybrid) creditProposal(action Action, success bool) {
+	key := action.Key()
+	q := h.proposals[key]
+	if len(q) == 0 {
+		return
+	}
+	i := q[0]
+	if len(q) == 1 {
+		delete(h.proposals, key)
+	} else {
+		h.proposals[key] = q[1:]
+	}
+	target := 0.0
+	if success {
+		target = 1
+	}
+	h.weights[i] += h.Alpha * (target - h.weights[i])
+	if h.weights[i] < 0.1 {
+		h.weights[i] = 0.1
 	}
 }
 

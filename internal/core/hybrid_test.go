@@ -142,3 +142,72 @@ func TestContextAccessors(t *testing.T) {
 		t.Error("context carries no sampled paths")
 	}
 }
+
+// TestHybridBatchedCreditsFollowProposalOrder reproduces the deferred-
+// flush regime (LearnBatch > 1): the same action key proposed by two
+// different sub-approaches across episodes before either outcome flushes.
+// Outcomes replay in arrival order, so the first outcome must debit the
+// first proposer and the second credit the second — not both landing on
+// whoever proposed last.
+func TestHybridBatchedCreditsFollowProposalOrder(t *testing.T) {
+	action := core.Action{Fix: catalog.FixUpdateStats, Target: "items"}
+	a := &stubApproach{name: "a", action: action, conf: 0.9}
+	b := &stubApproach{name: "b", action: action, conf: 0.1}
+	h := core.NewHybrid(a, b)
+	fctx := &core.FailureContext{}
+
+	// Episode 1: a's high confidence wins the proposal.
+	if _, _, ok := h.Recommend(fctx, nil); !ok {
+		t.Fatal("no recommendation")
+	}
+	// Episode 2, before episode 1's outcome flushed: b wins now.
+	a.conf, b.conf = 0.1, 0.9
+	if _, _, ok := h.Recommend(fctx, nil); !ok {
+		t.Fatal("no recommendation")
+	}
+
+	h.ObserveBatch([]core.Observation{
+		{Ctx: fctx, Action: action, Success: false}, // episode 1: a's miss
+		{Ctx: fctx, Action: action, Success: true},  // episode 2: b's hit
+	})
+	w := h.Weights()
+	if w[0] >= 1 {
+		t.Errorf("first proposer was not debited for its failure: weight %.3f", w[0])
+	}
+	if w[1] != 1 {
+		t.Errorf("second proposer's success did not hold its weight at 1: weight %.3f", w[1])
+	}
+}
+
+// TestHybridAbandonedProposalDoesNotStealCredit: a recommendation whose
+// episode was cancelled mid-check is abandoned by the healer; a later
+// proposer of the same action must receive the next outcome's credit, not
+// the stale entry.
+func TestHybridAbandonedProposalDoesNotStealCredit(t *testing.T) {
+	action := core.Action{Fix: catalog.FixUpdateStats, Target: "items"}
+	a := &stubApproach{name: "a", action: action, conf: 0.9}
+	b := &stubApproach{name: "b", action: action, conf: 0.1}
+	h := core.NewHybrid(a, b)
+	fctx := &core.FailureContext{}
+
+	// a proposes, then the episode dies mid-check: outcome never arrives.
+	if _, _, ok := h.Recommend(fctx, nil); !ok {
+		t.Fatal("no recommendation")
+	}
+	h.AbandonProposal(action)
+
+	// Next episode: b proposes the same action and fails.
+	a.conf, b.conf = 0.1, 0.9
+	if _, _, ok := h.Recommend(fctx, nil); !ok {
+		t.Fatal("no recommendation")
+	}
+	h.Observe(fctx, action, false)
+
+	w := h.Weights()
+	if w[0] != 1 {
+		t.Errorf("abandoned proposer was debited for an outcome it never owned: weight %.3f", w[0])
+	}
+	if w[1] >= 1 {
+		t.Errorf("actual proposer escaped the debit: weight %.3f", w[1])
+	}
+}

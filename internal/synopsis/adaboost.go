@@ -77,6 +77,43 @@ func (s *AdaBoost) Add(p Point) {
 	s.Retrain()
 }
 
+// AddBatch implements Batcher: the batch's successes are appended and the
+// ensemble refit once — the refit is AdaBoost's whole learning cost
+// (Table 3), so an episode-sized batch divides it by the episode's label
+// count.
+func (s *AdaBoost) AddBatch(ps []Point) {
+	changed := false
+	for _, p := range ps {
+		if !p.Success {
+			continue
+		}
+		s.points = append(s.points, p)
+		s.labels = append(s.labels, s.classes.index(p.Action.Fix))
+		s.ex.add(p)
+		changed = true
+	}
+	if changed {
+		s.Retrain()
+	}
+}
+
+// Clone implements Cloner. Trees are immutable once built and can be
+// shared, but the trees/alphas slice headers must be fresh copies: Retrain
+// truncates and reuses the receiver's backing arrays in place.
+func (s *AdaBoost) Clone() Synopsis {
+	return &AdaBoost{
+		T:             s.T,
+		MaxDepth:      s.MaxDepth,
+		MaxThresholds: s.MaxThresholds,
+		classes:       s.classes.clone(),
+		ex:            s.ex.clone(),
+		points:        s.points[:len(s.points):len(s.points)],
+		labels:        s.labels[:len(s.labels):len(s.labels)],
+		trees:         append([]*treeNode(nil), s.trees...),
+		alphas:        append([]float64(nil), s.alphas...),
+	}
+}
+
 // Forget drops all but the last keep positives and refits.
 func (s *AdaBoost) Forget(keep int) {
 	if len(s.points) > keep {

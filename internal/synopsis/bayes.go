@@ -54,6 +54,33 @@ func (s *NaiveBayes) Add(p Point) {
 	s.n++
 }
 
+// AddBatch implements Batcher. The Welford update is already incremental,
+// so batching only saves the per-call overhead.
+func (s *NaiveBayes) AddBatch(ps []Point) {
+	for _, p := range ps {
+		s.Add(p)
+	}
+}
+
+// Clone implements Cloner. The per-class running moments are updated in
+// place by Add, so they are deep-copied; the exemplar points are shared.
+func (s *NaiveBayes) Clone() Synopsis {
+	c := &NaiveBayes{
+		classes: s.classes.clone(),
+		ex:      s.ex.clone(),
+		count:   append([]float64(nil), s.count...),
+		mean:    make([][]float64, len(s.mean)),
+		m2:      make([][]float64, len(s.m2)),
+		dim:     s.dim,
+		n:       s.n,
+	}
+	for i := range s.mean {
+		c.mean[i] = append([]float64(nil), s.mean[i]...)
+		c.m2[i] = append([]float64(nil), s.m2[i]...)
+	}
+	return c
+}
+
 // rankFixes scores fixes by posterior probability under the
 // independent-Gaussian likelihood with a variance floor.
 func (s *NaiveBayes) rankFixes(x []float64) []fixScore {

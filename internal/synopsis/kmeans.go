@@ -47,6 +47,33 @@ func (s *KMeans) Add(p Point) {
 	s.recluster()
 }
 
+// AddBatch implements Batcher: the batch's successes are folded with a
+// single reclustering pass at the end, instead of one per point.
+func (s *KMeans) AddBatch(ps []Point) {
+	changed := false
+	for _, p := range ps {
+		if !p.Success {
+			continue
+		}
+		s.classes.index(p.Action.Fix)
+		s.ex.add(p)
+		changed = true
+	}
+	if changed {
+		s.recluster()
+	}
+}
+
+// Clone implements Cloner. Centroids are replaced wholesale by recluster,
+// never mutated in place, so the value slices can be shared.
+func (s *KMeans) Clone() Synopsis {
+	centroids := make(map[catalog.FixID][]float64, len(s.centroids))
+	for k, v := range s.centroids {
+		centroids[k] = v
+	}
+	return &KMeans{classes: s.classes.clone(), ex: s.ex.clone(), centroids: centroids}
+}
+
 // Forget drops old observations and reclusters (for the online wrapper).
 func (s *KMeans) Forget(keep int) {
 	s.ex.forget(keep)

@@ -36,6 +36,24 @@ func (s *NearestNeighbor) Add(p Point) {
 	}
 }
 
+// AddBatch implements Batcher. Nearest neighbor has no refit step, so the
+// batch is simply folded point by point.
+func (s *NearestNeighbor) AddBatch(ps []Point) {
+	for _, p := range ps {
+		s.Add(p)
+	}
+}
+
+// Clone implements Cloner: an independent copy sharing the immutable
+// exemplar points.
+func (s *NearestNeighbor) Clone() Synopsis {
+	return &NearestNeighbor{
+		UseNegatives: s.UseNegatives,
+		ex:           s.ex.clone(),
+		negatives:    s.negatives[:len(s.negatives):len(s.negatives)],
+	}
+}
+
 // Forget drops old observations (for the online wrapper).
 func (s *NearestNeighbor) Forget(keep int) {
 	s.ex.forget(keep)

@@ -43,6 +43,44 @@ func (s *Online) Add(p Point) {
 	}
 }
 
+// AddBatch implements Batcher: the batch goes to the base in one step
+// (through the base's own batching when it has one) and the sliding window
+// is trimmed once at the end instead of once per evicted point. Eviction
+// is therefore batch-granular: the surviving successes match a sequential
+// Add-by-Add replay exactly, but a base that also retains failed points
+// (NearestNeighbor with UseNegatives) trims them against the batch's
+// final state, which can evict negatives an interleaved replay would have
+// kept a little longer.
+func (s *Online) AddBatch(ps []Point) {
+	AddAll(s.base, ps)
+	for _, p := range ps {
+		if p.Success {
+			s.added++
+		}
+	}
+	if s.added > s.Window {
+		s.base.Forget(s.Window)
+	}
+}
+
+// Clone implements Cloner when the base does. It returns nil — "cannot
+// snapshot" — when the base is not cloneable or its clone loses Forget;
+// callers (Shared) must treat a nil clone as unsupported.
+func (s *Online) Clone() Synopsis {
+	c, ok := s.base.(Cloner)
+	if !ok {
+		return nil
+	}
+	base, ok := c.Clone().(interface {
+		Synopsis
+		Forget(keep int)
+	})
+	if !ok {
+		return nil
+	}
+	return &Online{base: base, Window: s.Window, added: s.added}
+}
+
 // Suggest implements Synopsis.
 func (s *Online) Suggest(x []float64, exclude func(Action) bool) (Suggestion, bool) {
 	return s.base.Suggest(x, exclude)

@@ -1,66 +1,126 @@
 package synopsis
 
-import "sync"
+import (
+	"sync"
+	"sync/atomic"
+)
 
-// Shared wraps any synopsis behind a mutex so many healer replicas can
-// learn into one knowledge base concurrently — the fleet-scale reading of
-// §5.1's portability argument: every replica's administrator escalation or
-// successful fix becomes training data for all of them. Updates are
-// coordinate-wise and serialized, the regime in which concurrent learners
-// over a shared model are known to behave (cyclic block-coordinate
-// descent); the wrapper makes no fairness guarantee beyond the mutex's.
+// Shared turns any synopsis into a fleet-wide knowledge base — the
+// fleet-scale reading of §5.1's portability argument: every replica's
+// administrator escalation or successful fix becomes training data for all
+// of them.
+//
+// It is read-optimized for the healing hot path, where Suggest/Rank calls
+// from N concurrently-healing replicas vastly outnumber writes. Readers
+// load an immutable snapshot through one atomic pointer and never take a
+// lock; writers serialize behind a mutex, fold their points into the
+// authoritative base — a whole batch at a time through AddBatch — and
+// republish a fresh snapshot once per write. Snapshots are structural
+// clones (Cloner): cheap copies sharing the immutable training points.
+// Updates remain coordinate-wise and serialized, the regime in which
+// concurrent learners over a shared model are known to behave (cyclic
+// block-coordinate descent); batching coarsens the coordinate steps
+// without changing that discipline.
+//
+// A reader may act on a snapshot that is one write behind — exactly the
+// staleness any replica already tolerates between its own episodes. When
+// the base synopsis cannot produce snapshots (a custom learner without
+// Clone), Shared degrades to the previous behavior: every operation under
+// the mutex.
 type Shared struct {
-	mu   sync.Mutex
+	name string
+	mu   sync.Mutex // serializes writers; guards base
 	base Synopsis
+	// snap is the published read snapshot; nil means locked mode.
+	snap atomic.Pointer[Synopsis]
 }
 
 // NewShared wraps base for concurrent use. The base must no longer be used
 // directly while the wrapper is live.
 func NewShared(base Synopsis) *Shared {
-	return &Shared{base: base}
+	s := &Shared{name: "shared-" + base.Name(), base: base}
+	if c, ok := base.(Cloner); ok {
+		if sn := c.Clone(); sn != nil {
+			s.snap.Store(&sn)
+		}
+	}
+	return s
 }
 
-// Name implements Synopsis.
-func (s *Shared) Name() string {
+// reader returns a synopsis safe to read from and a release function: the
+// lock-free snapshot when one is published, otherwise the mutex-guarded
+// base.
+func (s *Shared) reader() (Synopsis, func()) {
+	if p := s.snap.Load(); p != nil {
+		return *p, func() {}
+	}
 	s.mu.Lock()
-	defer s.mu.Unlock()
-	return "shared-" + s.base.Name()
+	return s.base, s.mu.Unlock
 }
 
-// Add implements Synopsis.
+// republish installs a fresh snapshot of the base. Callers hold s.mu.
+func (s *Shared) republish() {
+	if s.snap.Load() == nil {
+		return
+	}
+	sn := s.base.(Cloner).Clone()
+	if sn == nil {
+		return
+	}
+	s.snap.Store(&sn)
+}
+
+// Name implements Synopsis. The name is fixed at construction; no lock.
+func (s *Shared) Name() string { return s.name }
+
+// Add implements Synopsis: one observation, one snapshot republish.
 func (s *Shared) Add(p Point) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.base.Add(p)
+	s.republish()
 }
 
-// Suggest implements Synopsis.
+// AddBatch implements Batcher: the whole batch is applied to the base
+// under one lock acquisition and the snapshot republished once — the write
+// path the fleet's per-episode learn flush rides.
+func (s *Shared) AddBatch(ps []Point) {
+	if len(ps) == 0 {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	AddAll(s.base, ps)
+	s.republish()
+}
+
+// Suggest implements Synopsis, reading the current snapshot lock-free.
 func (s *Shared) Suggest(x []float64, exclude func(Action) bool) (Suggestion, bool) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.base.Suggest(x, exclude)
+	r, release := s.reader()
+	defer release()
+	return r.Suggest(x, exclude)
 }
 
-// Rank implements Synopsis.
+// Rank implements Synopsis, reading the current snapshot lock-free.
 func (s *Shared) Rank(x []float64) []Suggestion {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.base.Rank(x)
+	r, release := s.reader()
+	defer release()
+	return r.Rank(x)
 }
 
 // TrainingSize implements Synopsis.
 func (s *Shared) TrainingSize() int {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.base.TrainingSize()
+	r, release := s.reader()
+	defer release()
+	return r.TrainingSize()
 }
 
 // Export implements Exporter when the wrapped synopsis does, so a shared
 // knowledge base can still be persisted with Save.
 func (s *Shared) Export() []Point {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if ex, ok := s.base.(Exporter); ok {
+	r, release := s.reader()
+	defer release()
+	if ex, ok := r.(Exporter); ok {
 		return ex.Export()
 	}
 	return nil

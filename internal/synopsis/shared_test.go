@@ -48,6 +48,106 @@ func TestSharedConcurrentAddSuggest(t *testing.T) {
 	}
 }
 
+// TestSharedReadersDuringBatchedWrites hammers Suggest from 32 goroutines
+// while one writer streams AddBatch flushes — the fleet's steady state:
+// many lock-free snapshot readers, one episode-batched writer at a time.
+// Primarily a -race exercise over the snapshot republish; it also checks
+// readers only ever see consistent models (every suggestion names a real
+// fix) and that no batch is lost.
+func TestSharedReadersDuringBatchedWrites(t *testing.T) {
+	sh := NewShared(NewNearestNeighbor())
+	fixesPool := []catalog.FixID{
+		catalog.FixUpdateStats, catalog.FixMicrorebootEJB, catalog.FixRebootAppTier,
+	}
+	// Seed one point so readers have suggestions from the start.
+	sh.Add(Point{X: []float64{0, 0, 0}, Action: Action{Fix: fixesPool[0], Target: "t"}, Success: true})
+
+	const readers = 32
+	const batches = 60
+	const batchSize = 8
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			x := []float64{float64(r), 1, 2}
+			for {
+				select {
+				case <-done:
+					return
+				default:
+				}
+				sug, ok := sh.Suggest(x, nil)
+				if !ok {
+					t.Errorf("reader %d: seeded knowledge base had no suggestion", r)
+					return
+				}
+				if sug.Action.Fix == catalog.FixNone {
+					t.Errorf("reader %d: suggestion with no fix", r)
+					return
+				}
+				sh.Rank(x)
+				sh.TrainingSize()
+			}
+		}(r)
+	}
+	for b := 0; b < batches; b++ {
+		batch := make([]Point, batchSize)
+		for i := range batch {
+			batch[i] = Point{
+				X:       []float64{float64(b), float64(i), float64(b * i)},
+				Action:  Action{Fix: fixesPool[(b+i)%len(fixesPool)], Target: "t"},
+				Success: true,
+			}
+		}
+		sh.AddBatch(batch)
+	}
+	close(done)
+	wg.Wait()
+
+	if got, want := sh.TrainingSize(), 1+batches*batchSize; got != want {
+		t.Errorf("TrainingSize = %d, want %d", got, want)
+	}
+}
+
+// opaque hides everything but the Synopsis interface, forcing Shared into
+// its mutex-only fallback (no Cloner, no Batcher).
+type opaque struct{ s Synopsis }
+
+func (o opaque) Name() string { return o.s.Name() }
+func (o opaque) Add(p Point)  { o.s.Add(p) }
+func (o opaque) Suggest(x []float64, exclude func(Action) bool) (Suggestion, bool) {
+	return o.s.Suggest(x, exclude)
+}
+func (o opaque) Rank(x []float64) []Suggestion { return o.s.Rank(x) }
+func (o opaque) TrainingSize() int             { return o.s.TrainingSize() }
+
+// TestSharedLockedFallbackMatchesSnapshotMode: a non-cloneable base must
+// degrade to mutex-guarded access with identical observable behavior.
+func TestSharedLockedFallbackMatchesSnapshotMode(t *testing.T) {
+	snap := NewShared(NewNearestNeighbor())
+	locked := NewShared(opaque{s: NewNearestNeighbor()})
+	pts := []Point{
+		{X: []float64{1, 0, 0}, Action: Action{Fix: catalog.FixUpdateStats, Target: "items"}, Success: true},
+		{X: []float64{0, 1, 0}, Action: Action{Fix: catalog.FixMicrorebootEJB, Target: "ItemBean"}, Success: true},
+		{X: []float64{0, 0, 1}, Action: Action{Fix: catalog.FixRebootAppTier, Target: "app"}, Success: true},
+		{X: []float64{0, 1, 1}, Action: Action{Fix: catalog.FixRebootAppTier, Target: "app"}, Success: false},
+	}
+	snap.AddBatch(pts)
+	locked.AddBatch(pts)
+	if snap.TrainingSize() != locked.TrainingSize() {
+		t.Errorf("TrainingSize: snapshot %d, locked %d", snap.TrainingSize(), locked.TrainingSize())
+	}
+	for _, p := range pts {
+		a, aok := snap.Suggest(p.X, nil)
+		b, bok := locked.Suggest(p.X, nil)
+		if aok != bok || a != b {
+			t.Errorf("Suggest(%v): snapshot=(%v,%v) locked=(%v,%v)", p.X, a, aok, b, bok)
+		}
+	}
+}
+
 // TestSharedIsTransparent verifies the wrapper changes nothing but the
 // name: a Shared NN and a bare NN fed the same points agree on every
 // suggestion.

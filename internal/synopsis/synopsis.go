@@ -70,6 +70,35 @@ type Synopsis interface {
 	TrainingSize() int
 }
 
+// Batcher is implemented by synopses that can fold many observations in
+// one step. For learners that refit after every observation (AdaBoost's
+// ensemble, KMeans' reclustering) a batch pays the refit cost once instead
+// of once per point, which is what makes flushing a whole episode's learn
+// events at a time worthwhile.
+type Batcher interface {
+	AddBatch(ps []Point)
+}
+
+// AddAll folds ps into s, through AddBatch when s supports it.
+func AddAll(s Synopsis, ps []Point) {
+	if b, ok := s.(Batcher); ok {
+		b.AddBatch(ps)
+		return
+	}
+	for _, p := range ps {
+		s.Add(p)
+	}
+}
+
+// Cloner is implemented by synopses that can produce an independent copy
+// sharing immutable internals with the original. The contract: reads on
+// the clone (Suggest, Rank, TrainingSize, Export) remain correct no matter
+// what is later Added to the original, and vice versa. Shared uses clones
+// as lock-free read snapshots; every built-in learner implements it.
+type Cloner interface {
+	Clone() Synopsis
+}
+
 // euclidean returns the L2 distance between two equal-length vectors
 // (shorter length governs if they differ).
 func euclidean(a, b []float64) float64 {
@@ -107,6 +136,16 @@ func (c *classSet) index(f catalog.FixID) int {
 
 func (c *classSet) len() int { return len(c.fixes) }
 
+// clone copies the class index. The fixes slice is capped so appends by
+// either side reallocate instead of clobbering the other's view.
+func (c *classSet) clone() *classSet {
+	byFix := make(map[catalog.FixID]int, len(c.byFix))
+	for k, v := range c.byFix {
+		byFix[k] = v
+	}
+	return &classSet{byFix: byFix, fixes: c.fixes[:len(c.fixes):len(c.fixes)]}
+}
+
 // exemplars stores successful observations per fix for target resolution:
 // given a symptom and a fix class, the recommended target is the target
 // that worked for the nearest matching signature. Arrival order is kept so
@@ -139,6 +178,18 @@ func (e *exemplars) forget(keep int) {
 		e.byFix[p.Action.Fix] = append(e.byFix[p.Action.Fix], p)
 	}
 	e.n = len(e.all)
+}
+
+// clone copies the exemplar store with structural sharing: Points are
+// immutable, so both sides can keep reading the shared backing arrays; the
+// capped slice headers force either side's future appends to reallocate
+// rather than write where the other can see.
+func (e *exemplars) clone() *exemplars {
+	byFix := make(map[catalog.FixID][]Point, len(e.byFix))
+	for k, v := range e.byFix {
+		byFix[k] = v[:len(v):len(v)]
+	}
+	return &exemplars{all: e.all[:len(e.all):len(e.all)], byFix: byFix, n: e.n}
 }
 
 // resolve returns the action of the nearest non-excluded exemplar of fix,

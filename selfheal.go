@@ -22,10 +22,11 @@
 // that stream.
 //
 // A Fleet is N independent deterministic replicas healing concurrent fault
-// campaigns through a worker pool, optionally learning into one shared,
-// mutex-guarded knowledge base (§5.1's portable synopsis, WithSynopsis +
-// NewSharedSynopsis). New techniques plug into everything above through
-// RegisterApproach, without editing this package.
+// campaigns through a batched work-stealing scheduler, optionally learning
+// into one shared knowledge base (§5.1's portable synopsis, WithSynopsis +
+// NewSharedSynopsis): reads ride lock-free copy-on-write snapshots, writes
+// batch at episode granularity (WithLearnBatch). New techniques plug into
+// everything above through RegisterApproach, without editing this package.
 //
 // Everything underneath lives in internal/ packages: the analytical
 // service simulator (internal/service), Table 1's faults and fixes
@@ -63,7 +64,13 @@ type (
 	FailureContext = core.FailureContext
 	// Synopsis is a learned symptom→fix model (§5.2).
 	Synopsis = synopsis.Synopsis
-	// SharedSynopsis is a mutex-guarded synopsis many replicas learn into.
+	// Point is one synopsis training observation: a symptom vector, the
+	// action attempted against it, and whether the action worked.
+	Point = synopsis.Point
+	// Suggestion is a recommended action with a confidence in [0,1].
+	Suggestion = synopsis.Suggestion
+	// SharedSynopsis is a snapshot-published synopsis many replicas learn
+	// into: reads are lock-free, writes batch behind one mutex.
 	SharedSynopsis = synopsis.Shared
 	// FixID identifies one of Table 1's candidate fixes.
 	FixID = catalog.FixID
@@ -106,6 +113,7 @@ type config struct {
 	noEscalationRestart bool
 	sink                EventSink
 	workers             int
+	learnBatch          int
 }
 
 func defaultConfig() config {
@@ -213,6 +221,25 @@ func WithEventSink(s EventSink) Option {
 	}
 }
 
+// WithLearnBatch batches learn events at episode granularity: each
+// healer buffers its attempts' outcomes and delivers them to the approach
+// every n episodes in one batch (n=1: once per episode) instead of one
+// synopsis update per attempt. On a shared fleet knowledge base that means
+// one writer-lock acquisition, one model refit and one snapshot republish
+// per flush — the write path that keeps Suggest/Rank readers lock-free.
+// Zero (the default) keeps the paper's immediate per-attempt learning.
+// Identical between a System and a fleet of one, so batched fleets remain
+// reproducible by sequential replay.
+func WithLearnBatch(n int) Option {
+	return func(c *config) error {
+		if n < 0 {
+			return fmt.Errorf("selfheal: learn batch %d < 0", n)
+		}
+		c.learnBatch = n
+		return nil
+	}
+}
+
 // WithWorkers bounds a Fleet's concurrently-healing replicas (default: all
 // replicas at once). A single System ignores it.
 func WithWorkers(n int) Option {
@@ -225,8 +252,10 @@ func WithWorkers(n int) Option {
 	}
 }
 
-// NewSharedSynopsis wraps base behind a mutex so fleet replicas can learn
-// into one knowledge base concurrently.
+// NewSharedSynopsis wraps base as a fleet-wide knowledge base: Suggest and
+// Rank read an immutable copy-on-write snapshot through an atomic pointer
+// (no lock), while writers — ideally episode batches via WithLearnBatch —
+// serialize behind a mutex and republish the snapshot once per write.
 func NewSharedSynopsis(base Synopsis) *SharedSynopsis { return synopsis.NewShared(base) }
 
 // System is a simulated multitier service with a healing loop attached.
@@ -276,6 +305,7 @@ func newSystem(cfg *config, seed int64, sink EventSink) (*System, error) {
 	if cfg.noEscalationRestart {
 		hlcfg.EscalateRestart = false
 	}
+	hlcfg.LearnBatch = cfg.learnBatch
 	hl := core.NewHealer(h, approach, hlcfg)
 	hl.AdminOracle = core.OracleFromInjector(h.Inj)
 	hl.Sink = sink
@@ -315,6 +345,11 @@ func (s *System) Approach() Approach { return s.approach }
 func (s *System) HealEpisode(ctx context.Context, f Fault) Episode {
 	return s.Healer.RunEpisode(ctx, f)
 }
+
+// FlushLearned delivers any learn events still buffered by WithLearnBatch
+// to the approach. Call it when a batched run ends mid-batch; a fleet
+// campaign does this per replica automatically.
+func (s *System) FlushLearned() { s.Healer.FlushLearned() }
 
 // ServiceConfig returns the simulated service's configuration.
 func (s *System) ServiceConfig() service.Config { return s.Svc.Config() }

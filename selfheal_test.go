@@ -195,3 +195,44 @@ func TestProactiveAttachment(t *testing.T) {
 		t.Errorf("proactive run had %d bad ticks; forecaster too slow", bad)
 	}
 }
+
+// TestLearnBatchDefersSynopsisUpdates: with WithLearnBatch(n) the synopsis
+// must see nothing until n episodes have completed, then the whole buffer
+// in one flush; FlushLearned drains a partial batch on demand.
+func TestLearnBatchDefersSynopsisUpdates(t *testing.T) {
+	ctx := context.Background()
+	syn := selfheal.NewNNSynopsis()
+	sys := selfheal.MustNew(ctx,
+		selfheal.WithSeed(5),
+		selfheal.WithSynopsis(syn),
+		selfheal.WithLearnBatch(2),
+	)
+	ep := sys.HealEpisode(ctx, selfheal.NewStaleStats("items", 8))
+	if !ep.Detected {
+		t.Fatal("episode was never detected; test premise broken")
+	}
+	if n := syn.TrainingSize(); n != 0 {
+		t.Fatalf("synopsis saw %d points before the batch flushed", n)
+	}
+	sys.StepN(120)
+	sys.HealEpisode(ctx, selfheal.NewStaleStats("items", 8))
+	if syn.TrainingSize() == 0 {
+		t.Fatal("batch never flushed after LearnBatch episodes")
+	}
+
+	// A partial batch drains on demand.
+	syn2 := selfheal.NewNNSynopsis()
+	sys2 := selfheal.MustNew(ctx,
+		selfheal.WithSeed(5),
+		selfheal.WithSynopsis(syn2),
+		selfheal.WithLearnBatch(3),
+	)
+	sys2.HealEpisode(ctx, selfheal.NewStaleStats("items", 8))
+	if syn2.TrainingSize() != 0 {
+		t.Fatal("partial batch leaked before FlushLearned")
+	}
+	sys2.FlushLearned()
+	if syn2.TrainingSize() == 0 {
+		t.Fatal("FlushLearned left the buffer undelivered")
+	}
+}
