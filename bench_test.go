@@ -161,6 +161,27 @@ func BenchmarkServiceTick(b *testing.B) {
 	}
 }
 
+// BenchmarkHarnessStepAllocs pins the steady-state tick path's allocation
+// behavior per target: the call-matrix ring is preallocated once at
+// construction and refilled in place, so allocs/op stays flat no matter
+// how long a campaign runs (it used to grow a fresh matrix copy — one
+// slice header per caller row plus backing — every tick, forever).
+func BenchmarkHarnessStepAllocs(b *testing.B) {
+	for _, kind := range []selfheal.TargetKind{selfheal.TargetAuction, selfheal.TargetReplicated} {
+		b.Run("target="+string(kind), func(b *testing.B) {
+			sys := selfheal.MustNew(context.Background(), selfheal.WithSeed(3), selfheal.WithTarget(kind))
+			// Run past the history-trim threshold so the measured window
+			// is genuine steady state, not series warm-up growth.
+			sys.StepN(5000)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				sys.Step()
+			}
+		})
+	}
+}
+
 // BenchmarkHealEpisode measures one full detect→diagnose→fix→verify
 // episode.
 func BenchmarkHealEpisode(b *testing.B) {
@@ -244,45 +265,62 @@ func BenchmarkSharedSuggestParallel(b *testing.B) {
 // BenchmarkFleetCampaign is the campaign throughput grid: 1/4/16 replicas
 // healing 4 random-fault episodes each, with the fleet learning into one
 // shared snapshot knowledge base (kb=shared, episode-batched writes)
-// versus fully isolated per-replica learners (kb=isolated). episodes/sec
-// is the fleet's end-to-end healing throughput; construction (warming N
-// simulators) is included deliberately — it is part of standing a fleet
-// up.
+// versus fully isolated per-replica learners (kb=isolated). The
+// targets=mixed row runs a heterogeneous fleet — auction and replicated
+// targets alternating over one shared knowledge base — the fleet shape
+// WithTargets adds. episodes/sec is the fleet's end-to-end healing
+// throughput; construction (warming N simulators) is included
+// deliberately — it is part of standing a fleet up.
 func BenchmarkFleetCampaign(b *testing.B) {
 	ctx := context.Background()
-	for _, replicas := range []int{1, 4, 16} {
-		for _, kb := range []string{"shared", "isolated"} {
-			b.Run(fmt.Sprintf("replicas=%d/kb=%s", replicas, kb), func(b *testing.B) {
-				episodes := 4 * replicas
-				var recovered, ttr float64
-				for i := 0; i < b.N; i++ {
-					opts := []selfheal.Option{
-						selfheal.WithSeed(int64(i + 1)),
-						selfheal.WithLearnBatch(1),
-					}
-					if kb == "shared" {
-						opts = append(opts,
-							selfheal.WithSynopsis(selfheal.NewSharedSynopsis(selfheal.NewNNSynopsis())))
-					} else {
-						opts = append(opts, selfheal.WithApproach(selfheal.ApproachFixSymNN))
-					}
-					fleet, err := selfheal.NewFleet(ctx, replicas, opts...)
-					if err != nil {
-						b.Fatal(err)
-					}
-					res, err := fleet.RunCampaign(ctx, selfheal.Campaign{Episodes: episodes})
-					if err != nil {
-						b.Fatal(err)
-					}
-					recovered += res.Stats.RecoveryRate()
-					ttr += res.Stats.MeanTTR
-				}
-				if secs := b.Elapsed().Seconds(); secs > 0 {
-					b.ReportMetric(float64(episodes*b.N)/secs, "episodes/sec")
-				}
-				b.ReportMetric(100*recovered/float64(b.N), "recovered-%")
-				b.ReportMetric(ttr/float64(b.N), "mean-ttr-ticks")
-			})
+	grid := []struct {
+		replicas int
+		kb       string
+		mixed    bool
+	}{
+		{1, "shared", false}, {1, "isolated", false},
+		{4, "shared", false}, {4, "isolated", false},
+		{16, "shared", false}, {16, "isolated", false},
+		{4, "shared", true},
+	}
+	for _, g := range grid {
+		name := fmt.Sprintf("replicas=%d/kb=%s", g.replicas, g.kb)
+		if g.mixed {
+			name += "/targets=mixed"
 		}
+		b.Run(name, func(b *testing.B) {
+			episodes := 4 * g.replicas
+			var recovered, ttr float64
+			for i := 0; i < b.N; i++ {
+				opts := []selfheal.Option{
+					selfheal.WithSeed(int64(i + 1)),
+					selfheal.WithLearnBatch(1),
+				}
+				if g.kb == "shared" {
+					opts = append(opts,
+						selfheal.WithSynopsis(selfheal.NewSharedSynopsis(selfheal.NewNNSynopsis())))
+				} else {
+					opts = append(opts, selfheal.WithApproach(selfheal.ApproachFixSymNN))
+				}
+				if g.mixed {
+					opts = append(opts, selfheal.WithTargets(selfheal.TargetAuction, selfheal.TargetReplicated))
+				}
+				fleet, err := selfheal.NewFleet(ctx, g.replicas, opts...)
+				if err != nil {
+					b.Fatal(err)
+				}
+				res, err := fleet.RunCampaign(ctx, selfheal.Campaign{Episodes: episodes})
+				if err != nil {
+					b.Fatal(err)
+				}
+				recovered += res.Stats.RecoveryRate()
+				ttr += res.Stats.MeanTTR
+			}
+			if secs := b.Elapsed().Seconds(); secs > 0 {
+				b.ReportMetric(float64(episodes*b.N)/secs, "episodes/sec")
+			}
+			b.ReportMetric(100*recovered/float64(b.N), "recovered-%")
+			b.ReportMetric(ttr/float64(b.N), "mean-ttr-ticks")
+		})
 	}
 }

@@ -4,8 +4,14 @@
 // typed events (FaultInjected, Detected, AttemptApplied, Escalated,
 // Recovered) the healers emit, not from dissecting episode records.
 //
+// The managed system is pluggable: -target picks any registered target
+// kind, and a comma-separated list builds a heterogeneous fleet whose
+// replicas round-robin over the kinds (pair it with -share to pool their
+// experience in one knowledge base).
+//
 //	selfheald -episodes 20 -approach hybrid -seed 7
 //	selfheald -episodes 64 -replicas 8 -workers 4 -share -batch 1
+//	selfheald -episodes 24 -replicas 4 -target auction,replicated -share
 package main
 
 import (
@@ -13,6 +19,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"sync"
 
 	"selfheal"
@@ -33,7 +40,7 @@ type console struct {
 func (c *console) Emit(ev selfheal.Event) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	tag := fmt.Sprintf("[r%02d ep%03d t=%-7d]", ev.Replica, ev.Episode, ev.Tick)
+	tag := fmt.Sprintf("[r%02d %-10s ep%03d t=%-7d]", ev.Replica, ev.Target, ev.Episode, ev.Tick)
 	switch ev.Kind {
 	case selfheal.EventFaultInjected:
 		c.injected++
@@ -81,6 +88,8 @@ func main() {
 		replicas = flag.Int("replicas", 1, "service replicas healing concurrently")
 		workers  = flag.Int("workers", 0, "max concurrently-healing replicas (0 = all)")
 		approach = flag.String("approach", string(selfheal.ApproachHybrid), "healing approach (see ApproachKinds)")
+		target   = flag.String("target", string(selfheal.TargetAuction), "managed-system target kind(s), comma-separated for a heterogeneous fleet (see TargetKinds)")
+		mix      = flag.String("mix", "", "workload mix name from the target's spec (empty = target default)")
 		seed     = flag.Int64("seed", 7, "deterministic seed")
 		share    = flag.Bool("share", false, "replicas learn into one shared knowledge base")
 		batch    = flag.Int("batch", 0, "flush learn events every N episodes in one batch (0 = learn per attempt)")
@@ -88,10 +97,22 @@ func main() {
 	flag.Parse()
 	ctx := context.Background()
 
+	var targetKinds []selfheal.TargetKind
+	for _, name := range strings.Split(*target, ",") {
+		if name = strings.TrimSpace(name); name != "" {
+			targetKinds = append(targetKinds, selfheal.TargetKind(name))
+		}
+	}
+	if len(targetKinds) == 0 {
+		targetKinds = []selfheal.TargetKind{selfheal.TargetAuction}
+	}
+
 	sink := &console{}
 	opts := []selfheal.Option{
 		selfheal.WithSeed(*seed),
 		selfheal.WithApproach(selfheal.ApproachKind(*approach)),
+		selfheal.WithTargets(targetKinds...),
+		selfheal.WithWorkloadMix(*mix),
 		selfheal.WithEventSink(sink),
 	}
 	if *share {
@@ -111,8 +132,8 @@ func main() {
 		fmt.Fprintln(os.Stderr, "selfheald:", err)
 		os.Exit(2)
 	}
-	fmt.Printf("selfheald: %d episodes over %d replica(s), approach=%s, seed=%d, shared-kb=%v, learn-batch=%d\n\n",
-		*episodes, *replicas, fleet.Replica(0).Approach().Name(), *seed, *share, *batch)
+	fmt.Printf("selfheald: %d episodes over %d replica(s), approach=%s, target=%s, seed=%d, shared-kb=%v, learn-batch=%d\n\n",
+		*episodes, *replicas, fleet.Replica(0).Approach().Name(), *target, *seed, *share, *batch)
 
 	if _, err := fleet.RunCampaign(ctx, selfheal.Campaign{Episodes: *episodes}); err != nil {
 		fmt.Fprintln(os.Stderr, "selfheald:", err)

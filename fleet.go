@@ -6,16 +6,18 @@ import (
 	"sync"
 
 	"selfheal/internal/core"
-	"selfheal/internal/faults"
 )
 
 // Fleet is N independent deterministic service replicas, each with its own
-// simulated service and Figure 3 healing loop, healing concurrent fault
-// campaigns through a worker pool. Replicas are isolated by construction —
-// replica i's outcomes depend only on its derived seed, never on
-// scheduling — unless the fleet is given a shared synopsis (WithSynopsis +
-// NewSharedSynopsis), in which case every replica's escalations and
-// successful fixes train one fleet-wide knowledge base.
+// managed-system target and Figure 3 healing loop, healing concurrent
+// fault campaigns through a worker pool. Replicas are isolated by
+// construction — replica i's outcomes depend only on its derived seed,
+// never on scheduling — unless the fleet is given a shared synopsis
+// (WithSynopsis + NewSharedSynopsis), in which case every replica's
+// escalations and successful fixes train one fleet-wide knowledge base.
+// With WithTargets the fleet is heterogeneous: replicas of different
+// target kinds heal their own catalogs' faults while pooling experience
+// into that shared knowledge base.
 type Fleet struct {
 	cfg      config
 	replicas []*System
@@ -51,6 +53,9 @@ func NewFleet(ctx context.Context, n int, opts ...Option) (*Fleet, error) {
 			return nil, fmt.Errorf("selfheal: %d replicas learning into one synopsis need NewSharedSynopsis to guard it", n)
 		}
 	}
+	if err := cfg.checkMix(); err != nil {
+		return nil, err
+	}
 	fl := &Fleet{cfg: cfg}
 	for i := 0; i < n; i++ {
 		if err := ctx.Err(); err != nil {
@@ -61,7 +66,7 @@ func NewFleet(ctx context.Context, n int, opts ...Option) (*Fleet, error) {
 		if sink != nil {
 			sink = core.ReplicaSink(i, sink)
 		}
-		sys, err := newSystem(&cfg, seed, sink)
+		sys, err := newSystem(&cfg, cfg.targetKindFor(i), seed, sink)
 		if err != nil {
 			return nil, fmt.Errorf("selfheal: building replica %d: %w", i, err)
 		}
@@ -89,7 +94,10 @@ type Campaign struct {
 	// FaultSeed seeds the per-replica fault generators; zero derives it
 	// from the fleet seed. Replica i draws from FaultSeed+i*7907.
 	FaultSeed int64
-	// Kinds restricts injected faults (nil means all Table 1 kinds).
+	// Kinds restricts injected faults (nil means each replica's full
+	// target catalog). Every kind is validated against every replica's
+	// target spec; a kind outside some replica's catalog fails the
+	// campaign up front with an error listing that target's valid kinds.
 	Kinds []FaultKind
 	// SettleTicks is the healthy-run length between a replica's episodes;
 	// zero means 120.
@@ -148,12 +156,13 @@ type FleetResult struct {
 }
 
 // campaignShard is one replica's remaining share of a campaign: its
-// deterministic fault stream, how many episodes it still owes, and the
-// episodes healed so far. A shard is only ever touched by the worker
-// currently holding its token, so it needs no lock; the ready channel's
-// happens-before edge hands it between workers.
+// deterministic fault stream (drawn from the replica target's own
+// catalog), how many episodes it still owes, and the episodes healed so
+// far. A shard is only ever touched by the worker currently holding its
+// token, so it needs no lock; the ready channel's happens-before edge
+// hands it between workers.
 type campaignShard struct {
-	gen       *faults.Generator
+	gen       FaultGen
 	remaining int
 	episodes  []Episode
 }
@@ -202,8 +211,12 @@ func (fl *Fleet) RunCampaign(ctx context.Context, c Campaign) (*FleetResult, err
 	var live sync.WaitGroup
 	for i := 0; i < n; i++ {
 		results[i] = ReplicaResult{Replica: i, Seed: fl.seeds[i]}
+		gen, err := fl.replicas[i].Target().NewFaults(faultSeed+int64(i)*replicaFaultStride, c.Kinds...)
+		if err != nil {
+			return nil, fmt.Errorf("selfheal: campaign faults for replica %d: %w", i, err)
+		}
 		shards[i] = campaignShard{
-			gen:       RandomFaults(faultSeed+int64(i)*replicaFaultStride, c.Kinds...),
+			gen:       gen,
 			remaining: per + boolToInt(i < extra),
 		}
 		if shards[i].remaining > 0 {

@@ -70,7 +70,7 @@ func Bootstrap(ctx context.Context, plan BootstrapPlan, approach Approach) int {
 	trained := 0
 	seq := int64(0)
 	for _, kind := range kinds {
-		gen := faults.NewGenerator(plan.Seed+int64(kind)*131, kind)
+		gen := faults.MustNewGenerator(plan.Seed+int64(kind)*131, kind)
 		for rep := 0; rep < perKind; rep++ {
 			for _, scale := range scales {
 				if ctx.Err() != nil {

@@ -26,7 +26,16 @@ type FailureContext struct {
 	DetectedAt int64
 	// Symptom is the z-score symptom vector of the current window against
 	// the healthy baseline — the signature FixSym classifies (§4.3.4).
+	// Symptom[i] is the z-score of Schema column i; diagnosis approaches
+	// rely on that positional correspondence.
 	Symptom []float64
+	// KBSymptom is the name-aligned symptom vector for knowledge bases
+	// (detect.SymptomSpace): shared metric names occupy identical
+	// dimensions across target kinds, so heterogeneous fleets can pool
+	// experience. Nil when the context was assembled without a space;
+	// Features falls back to Symptom then. In a single-kind process the
+	// two vectors are equal.
+	KBSymptom []float64
 	// Schema names Symptom's dimensions.
 	Schema *metrics.Schema
 	// Baseline is the frozen healthy baseline.
@@ -45,6 +54,16 @@ type FailureContext struct {
 	// (control and data flow) ... of requests through the multitier
 	// service"), for path-based failure management (ref [8]).
 	Paths []trace.Path
+}
+
+// Features returns the vector the learning layers consume: the
+// name-aligned KBSymptom when the harness built one, else the
+// schema-positional Symptom.
+func (c *FailureContext) Features() []float64 {
+	if c.KBSymptom != nil {
+		return c.KBSymptom
+	}
+	return c.Symptom
 }
 
 // ZScore returns the symptom z-score of the named metric (0 if unknown).
@@ -157,7 +176,7 @@ func (f *FixSym) Name() string { return "fixsym-" + f.Syn.Name() }
 // Recommend implements Approach: query the current synopsis for the most
 // probable fix not yet attempted (Figure 3 line 9).
 func (f *FixSym) Recommend(ctx *FailureContext, tried []Action) (Action, float64, bool) {
-	sug, ok := f.Syn.Suggest(ctx.Symptom, triedSet(tried))
+	sug, ok := f.Syn.Suggest(ctx.Features(), triedSet(tried))
 	if !ok {
 		return Action{}, 0, false
 	}
@@ -167,7 +186,7 @@ func (f *FixSym) Recommend(ctx *FailureContext, tried []Action) (Action, float64
 // Observe implements Approach: fold the attempt's outcome into the synopsis
 // (Figure 3 line 15; line 20 for administrator-provided fixes).
 func (f *FixSym) Observe(ctx *FailureContext, action Action, success bool) {
-	f.Syn.Add(synopsis.Point{X: ctx.Symptom, Action: action, Success: success})
+	f.Syn.Add(synopsis.Point{X: ctx.Features(), Action: action, Success: success})
 }
 
 // ObserveBatch implements ObserveBatcher: the whole batch reaches the
@@ -175,7 +194,7 @@ func (f *FixSym) Observe(ctx *FailureContext, action Action, success bool) {
 func (f *FixSym) ObserveBatch(obs []Observation) {
 	pts := make([]synopsis.Point, len(obs))
 	for i, o := range obs {
-		pts[i] = synopsis.Point{X: o.Ctx.Symptom, Action: o.Action, Success: o.Success}
+		pts[i] = synopsis.Point{X: o.Ctx.Features(), Action: o.Action, Success: o.Success}
 	}
 	synopsis.AddAll(f.Syn, pts)
 }

@@ -1,7 +1,5 @@
 package core
 
-import "selfheal/internal/faults"
-
 // The healing loop narrates itself through typed events so that observers
 // — operator consoles, fleet aggregators, log shippers — consume a stream
 // instead of poking at Episode fields after the fact. One episode emits, in
@@ -35,12 +33,16 @@ type Event struct {
 	Kind EventKind
 	// Replica identifies the emitting replica in a fleet (0 standalone).
 	Replica int
+	// Target names the emitting system's target kind ("auction",
+	// "replicated", ...) — how consumers tell the streams of a
+	// heterogeneous fleet apart.
+	Target string
 	// Episode is the healer's episode sequence number, starting at 1.
 	Episode int
 	// Tick is the simulated time of the event.
 	Tick int64
 	// Fault is the injected fault (FaultInjected only).
-	Fault faults.Fault
+	Fault Fault
 	// Action is the fix applied (AttemptApplied, Escalated).
 	Action Action
 	// Confidence is the approach's confidence in the action.

@@ -8,12 +8,14 @@ import (
 	"selfheal/internal/fixes"
 	"selfheal/internal/metrics"
 	"selfheal/internal/service"
-	"selfheal/internal/trace"
+	"selfheal/internal/targets"
 	"selfheal/internal/workload"
 )
 
-// HarnessConfig sizes the monitoring/healing environment around a service.
+// HarnessConfig sizes the monitoring/healing environment around a target.
 type HarnessConfig struct {
+	// Service and Mix size the default auction target; they are ignored
+	// when NewTargetHarness is handed an already-built target.
 	Service service.Config
 	Mix     workload.Mix
 	Seed    int64
@@ -44,49 +46,82 @@ func DefaultHarnessConfig() HarnessConfig {
 	}
 }
 
-// Harness couples the simulated service with its workload, fault injector,
-// fix actuator and monitoring stack, and drives simulated time.
+// Harness couples a managed-system target with its monitoring stack —
+// metric collection, SLO monitor, symptom builder, χ² call-matrix
+// detector — and drives simulated time. All of its own logic goes through
+// the targets.Target interface; it holds no knowledge of which system is
+// underneath.
 type Harness struct {
 	Cfg HarnessConfig
 
-	Svc     *service.Service
-	Gen     *workload.Generator
-	Inj     *faults.Injector
-	Act     *fixes.Actuator
+	// Target is the managed system under healing.
+	Target targets.Target
+
+	// Auction-simulator conveniences, populated only when Target is the
+	// default auction target (nil for every other target kind). The
+	// harness itself never reads them; they exist for the paper's
+	// experiment harnesses and tests that manipulate simulator state
+	// directly.
+	Svc *service.Service
+	Gen *workload.Generator
+	Inj *faults.Injector
+	Act *fixes.Actuator
+
 	Coll    *metrics.Collector
 	Monitor *detect.Monitor
 	Builder *detect.SymptomBuilder
 	CallDet *detect.CallMatrixDetector
 
 	// ring holds copies of the last WindowTicks call matrices so the
-	// current χ² window always covers the moments before detection.
-	ring    [][][]float64
-	ringPos int
+	// current χ² window always covers the moments before detection. The
+	// backing arrays are allocated once at construction and refilled in
+	// place each tick, so the steady-state tick path allocates nothing
+	// for call-matrix retention no matter how long the campaign runs.
+	ring       [][][]float64
+	ringPos    int
+	ringFilled int
 
 	baselineFrozen bool
 }
 
-// NewHarness builds the environment and runs the warmup to freeze the
-// healthy baseline.
+// NewHarness builds the default environment — the auction simulator
+// target sized by cfg.Service and cfg.Mix — and runs the warmup to freeze
+// the healthy baseline.
 func NewHarness(cfg HarnessConfig) *Harness {
-	svc := service.New(cfg.Service)
-	gen := workload.NewGenerator(cfg.Mix, cfg.Seed)
+	return NewTargetHarness(targets.NewAuctionWith(cfg.Service, cfg.Mix, cfg.Seed), cfg)
+}
+
+// NewTargetHarness builds the environment around an already-constructed
+// target and runs the warmup. cfg.Service and cfg.Mix are ignored — the
+// target was built with its own sizing.
+func NewTargetHarness(t targets.Target, cfg HarnessConfig) *Harness {
 	h := &Harness{
 		Cfg:     cfg,
-		Svc:     svc,
-		Gen:     gen,
-		Inj:     faults.NewInjector(svc, gen),
-		Act:     fixes.NewActuator(svc),
-		Coll:    metrics.NewCollector(svc),
+		Target:  t,
+		Coll:    metrics.NewCollector(t.Sources()...),
 		Monitor: detect.NewMonitor(cfg.SLO, cfg.DetectK, cfg.WindowTicks),
-		CallDet: detect.NewCallMatrixDetector(svc.CallMatrixRows(), len(service.EJBNames())),
+		CallDet: detect.NewCallMatrixDetector(t.CallMatrixRows(), len(t.CallCallees())),
 		ring:    make([][][]float64, cfg.WindowTicks),
+	}
+	rows, cols := t.CallMatrixRows(), len(t.CallCallees())
+	for i := range h.ring {
+		h.ring[i] = make([][]float64, rows)
+		backing := make([]float64, rows*cols)
+		for r := 0; r < rows; r++ {
+			h.ring[i][r] = backing[r*cols : (r+1)*cols : (r+1)*cols]
+		}
+	}
+	if a, ok := t.(*targets.Auction); ok {
+		h.Svc = a.Service()
+		h.Gen = a.Workload()
+		h.Inj = a.Injector()
+		h.Act = a.Actuator()
 	}
 	h.WarmUp()
 	return h
 }
 
-// WarmUp runs the healthy service long enough to freeze the symptom
+// WarmUp runs the healthy target long enough to freeze the symptom
 // baseline and the call-matrix baseline.
 func (h *Harness) WarmUp() {
 	for i := 0; i < h.Cfg.WarmupTicks; i++ {
@@ -94,22 +129,32 @@ func (h *Harness) WarmUp() {
 	}
 	series := h.Coll.Series()
 	base := metrics.NewBaseline(series.Tail(h.Cfg.WarmupTicks * 3 / 4))
-	h.Builder = detect.NewSymptomBuilder(base)
+	// Symptom dimensions are assigned by metric *name* through the
+	// process-wide space, so vectors from different target kinds align on
+	// their shared names — the contract that lets heterogeneous fleets
+	// pool experience in one knowledge base. A single-kind process gets
+	// the identity mapping (vectors identical to schema order).
+	h.Builder = detect.NewAlignedSymptomBuilder(base, detect.DefaultSymptomSpace, series.Schema().Names())
 	h.baselineFrozen = true
 }
 
-// Step advances one tick: workload arrives, the service processes it,
-// metrics are collected, the monitor observes, and call matrices are
-// accumulated (into the χ² baseline only while the service looks healthy).
-func (h *Harness) Step() service.TickStats {
-	st := h.Svc.Tick(h.Gen.Arrivals(h.Svc.Now()))
-	h.Coll.Collect(h.Svc.Now())
+// Step advances one tick: the target processes its workload, metrics are
+// collected, the monitor observes, and call matrices are accumulated
+// (into the χ² baseline only while the target looks healthy).
+func (h *Harness) Step() detect.Sample {
+	st := h.Target.Tick()
+	h.Coll.Collect(h.Target.Now())
 	h.Monitor.Observe(st)
 
-	m := h.Svc.CallMatrix()
-	cp := copyMatrix(m)
-	h.ring[h.ringPos] = cp
+	m := h.Target.CallMatrix()
+	cp := h.ring[h.ringPos]
+	for i := range m {
+		copy(cp[i], m[i])
+	}
 	h.ringPos = (h.ringPos + 1) % len(h.ring)
+	if h.ringFilled < len(h.ring) {
+		h.ringFilled++
+	}
 	if !h.Monitor.Failing() && h.Monitor.CleanFor() > h.Cfg.WindowTicks {
 		h.CallDet.AccumulateBaseline(cp)
 	}
@@ -121,62 +166,43 @@ func (h *Harness) Step() service.TickStats {
 	return st
 }
 
-// StepN advances n ticks and returns the last tick's stats.
-func (h *Harness) StepN(n int) service.TickStats {
-	var st service.TickStats
+// StepN advances n ticks and returns the last tick's sample.
+func (h *Harness) StepN(n int) detect.Sample {
+	var st detect.Sample
 	for i := 0; i < n; i++ {
 		st = h.Step()
 	}
 	return st
 }
 
-func copyMatrix(m [][]float64) [][]float64 {
-	out := make([][]float64, len(m))
-	for i := range m {
-		out[i] = append([]float64(nil), m[i]...)
-	}
-	return out
-}
-
 // BuildContext assembles the FailureContext for a failure detected now.
 func (h *Harness) BuildContext() *FailureContext {
 	series := h.Coll.Series()
 	recent := series.Tail(h.Cfg.WindowTicks)
-	// Rebuild the χ² current window from the matrix ring.
+	// Rebuild the χ² current window from the matrix ring. Slots not yet
+	// written this early in the run are skipped, exactly as the lazily
+	// allocated ring used to skip nil entries.
 	h.CallDet.ResetCurrent()
-	for _, m := range h.ring {
-		if m != nil {
+	if h.ringFilled == len(h.ring) {
+		for _, m := range h.ring {
 			h.CallDet.AccumulateCurrent(m)
 		}
-	}
-	// Sample request paths from the live service state: per class,
-	// weighted toward the busier classes so failure-path inference sees a
-	// realistic traffic mix.
-	sampler := trace.NewSampler(h.Svc, h.Svc.Now()^0x5eed)
-	var paths []trace.Path
-	rates := h.Gen.Rates(h.Svc.Now())
-	for c := 0; c < service.NumClasses(); c++ {
-		n := 4
-		if c < len(rates) && rates[c] > 20 {
-			n = 10
-		}
-		if c < len(rates) && rates[c] <= 0 {
-			continue
-		}
-		for i := 0; i < n; i++ {
-			paths = append(paths, sampler.Sample(c))
+	} else {
+		for i := 0; i < h.ringFilled; i++ {
+			h.CallDet.AccumulateCurrent(h.ring[i])
 		}
 	}
 	return &FailureContext{
-		DetectedAt:    h.Svc.Now(),
+		DetectedAt:    h.Target.Now(),
 		Symptom:       h.Builder.Vector(recent),
+		KBSymptom:     h.Builder.Aligned(recent),
 		Schema:        series.Schema(),
 		Baseline:      h.Builder.Baseline(),
 		Recent:        recent,
 		History:       series.Tail(h.Cfg.HistoryTicks),
-		CallCallees:   service.EJBNames(),
+		CallCallees:   h.Target.CallCallees(),
 		CallAnomalies: h.CallDet.AnomalousCallees(),
-		Paths:         paths,
+		Paths:         h.Target.SamplePaths(),
 	}
 }
 

@@ -5,9 +5,14 @@ import (
 
 	"selfheal/internal/catalog"
 	"selfheal/internal/faults"
-	"selfheal/internal/fixes"
 	"selfheal/internal/synopsis"
+	"selfheal/internal/targets"
 )
+
+// Fault is the target-agnostic fault descriptor the healing loop injects
+// and records: kind, cause, strike target and ground-truth fix. Concrete
+// fault mechanics live with the target that manufactured the fault.
+type Fault = targets.Fault
 
 // HealerConfig parameterizes the Figure 3 loop.
 type HealerConfig struct {
@@ -59,7 +64,11 @@ type Attempt struct {
 
 // Episode is the outcome of healing one failure.
 type Episode struct {
-	Fault       faults.Fault
+	// Err records why the episode never ran: the fault was built for a
+	// different target kind and injection was refused. Nil for every
+	// episode the loop actually drove, including failed ones.
+	Err         error
+	Fault       Fault
 	InjectedAt  int64
 	Detected    bool
 	DetectedAt  int64
@@ -96,7 +105,9 @@ func (e Episode) DetectionToRecovery() int64 {
 
 // Healer drives the Figure 3 loop: wait for a failure, query the approach
 // for a probable fix, apply it, check it, feed the outcome back, and repeat
-// until fixed or the threshold triggers the general costly fix.
+// until fixed or the threshold triggers the general costly fix. It talks
+// to the managed system only through the harness's Target interface, so
+// the same loop heals every registered target kind unmodified.
 type Healer struct {
 	Cfg      HealerConfig
 	H        *Harness
@@ -106,12 +117,15 @@ type Healer struct {
 	Sink EventSink
 
 	// AdminOracle plays the administrator of Figure 3 lines 19–20: it
-	// returns the correct fix for the live fault. Wired to the fault
-	// injector's ground truth by the experiment harnesses; nil means the
+	// returns the correct fix for the live fault. Wired to the target's
+	// ground truth by the experiment harnesses; nil means the
 	// administrator merely restarts and the episode ends unlabeled.
 	AdminOracle func() (Action, bool)
 
 	episodes int
+	// targetName is the target kind stamped on events, cached because
+	// Target.Spec returns the whole catalog by value.
+	targetName string
 	// pending buffers learn events when Cfg.LearnBatch ≥ 1; sinceFlush
 	// counts episodes since the buffer last drained.
 	pending    []Observation
@@ -120,11 +134,13 @@ type Healer struct {
 
 // NewHealer builds a healer over an environment and an approach.
 func NewHealer(h *Harness, a Approach, cfg HealerConfig) *Healer {
-	return &Healer{Cfg: cfg, H: h, Approach: a}
+	return &Healer{Cfg: cfg, H: h, Approach: a, targetName: h.Target.Spec().Name}
 }
 
 // OracleFromInjector returns an AdminOracle that reveals the correct fix of
-// the first uncleared fault — the administrator's diagnosis.
+// the first uncleared fault — the administrator's diagnosis. It is the
+// auction-simulator special case of OracleFromTarget, kept for experiment
+// harnesses that hold the injector directly.
 func OracleFromInjector(inj *faults.Injector) func() (Action, bool) {
 	return func() (Action, bool) {
 		for _, f := range inj.Active() {
@@ -136,6 +152,12 @@ func OracleFromInjector(inj *faults.Injector) func() (Action, bool) {
 		}
 		return Action{}, false
 	}
+}
+
+// OracleFromTarget returns an AdminOracle backed by the target's own
+// ground truth — the generic administrator for any target kind.
+func OracleFromTarget(t targets.Target) func() (Action, bool) {
+	return t.CorrectFix
 }
 
 // observe routes one learn event: straight to the approach when
@@ -179,34 +201,51 @@ func (hl *Healer) FlushLearned() {
 	hl.pending = hl.pending[:0]
 }
 
-// emit sends ev to the sink, stamping the episode number.
+// emit sends ev to the sink, stamping the episode number and target kind.
 func (hl *Healer) emit(ev Event) {
 	if hl.Sink == nil {
 		return
 	}
 	ev.Episode = hl.episodes
+	ev.Target = hl.targetName
 	hl.Sink.Emit(ev)
+}
+
+// applyAction performs one recovery action through the target and steps
+// through its settle window; apply errors (unknown fix, nonsense target)
+// surface as a zero settle so the loop's success check fails naturally.
+func (hl *Healer) applyAction(a Action) {
+	if settle, err := hl.H.Target.Apply(a); err == nil {
+		hl.H.StepN(int(settle))
+	}
 }
 
 // RunEpisode injects f and heals the resulting failure to completion. The
 // context cancels the episode: on cancellation or deadline the loop stops
 // stepping, reaps the fault, and returns the episode as observed so far.
-func (hl *Healer) RunEpisode(ctx context.Context, f faults.Fault) Episode {
+// A fault built for a different target kind is refused by the target: the
+// episode returns immediately with Err set and nothing injected —
+// campaigns should draw from the target's own fault generator.
+func (hl *Healer) RunEpisode(ctx context.Context, f Fault) Episode {
 	h := hl.H
 	hl.episodes++
-	ep := Episode{Fault: f, InjectedAt: h.Svc.Now()}
-	h.Inj.Inject(f)
+	ep := Episode{Fault: f, InjectedAt: h.Target.Now()}
+	if err := h.Target.Inject(f); err != nil {
+		ep.Err = err
+		hl.endEpisode()
+		return ep
+	}
 	hl.emit(Event{Kind: EventFaultInjected, Tick: ep.InjectedAt, Fault: f})
 
 	budget := hl.Cfg.EpisodeBudget
 	if !h.RunUntilFailing(ctx, budget) {
 		// The fault never became SLO-visible; let it age out quietly.
-		h.Inj.Reap()
+		h.Target.Reap()
 		hl.endEpisode()
 		return ep
 	}
 	ep.Detected = true
-	ep.DetectedAt = h.Svc.Now()
+	ep.DetectedAt = h.Target.Now()
 	hl.emit(Event{Kind: EventDetected, Tick: ep.DetectedAt})
 
 	fctx := h.BuildContext()
@@ -215,7 +254,7 @@ func (hl *Healer) RunEpisode(ctx context.Context, f faults.Fault) Episode {
 		if ctx.Err() != nil {
 			break
 		}
-		if h.Svc.Now()-ep.InjectedAt > int64(budget) {
+		if h.Target.Now()-ep.InjectedAt > int64(budget) {
 			break
 		}
 		if count >= hl.Cfg.Threshold {
@@ -228,11 +267,8 @@ func (hl *Healer) RunEpisode(ctx context.Context, f faults.Fault) Episode {
 			break
 		}
 		tried = append(tried, action)
-		att := Attempt{Action: action, Confidence: conf, AppliedAt: h.Svc.Now()}
-		app, err := h.Act.Apply(action.Fix, action.Target)
-		if err == nil {
-			h.StepN(int(app.SettleTicks))
-		}
+		att := Attempt{Action: action, Confidence: conf, AppliedAt: h.Target.Now()}
+		hl.applyAction(action)
 		// Check fix: the service must hold a full clean window (§4.1
 		// "Detecting success/failure of fixes").
 		recovered := h.RunUntilRecovered(ctx, hl.Cfg.CheckTicks)
@@ -251,17 +287,17 @@ func (hl *Healer) RunEpisode(ctx context.Context, f faults.Fault) Episode {
 		ep.Attempts = append(ep.Attempts, att)
 		hl.observe(fctx, action, recovered)
 		hl.emit(Event{
-			Kind: EventAttemptApplied, Tick: h.Svc.Now(),
+			Kind: EventAttemptApplied, Tick: h.Target.Now(),
 			Action: action, Confidence: conf, Attempt: count + 1, Success: recovered,
 		})
 		if recovered {
 			ep.Recovered = true
-			ep.RecoveredAt = h.Svc.Now()
+			ep.RecoveredAt = h.Target.Now()
 			ep.CorrectFirst = count == 0
 			break
 		}
 	}
-	h.Inj.Reap()
+	h.Target.Reap()
 	if ep.Recovered {
 		hl.emit(Event{Kind: EventRecovered, Tick: ep.RecoveredAt, TTR: ep.TTR()})
 	}
@@ -282,25 +318,21 @@ func (hl *Healer) escalate(ctx context.Context, fctx *FailureContext, ep *Episod
 	if hl.AdminOracle != nil {
 		adminAction, haveAdmin = hl.AdminOracle()
 	}
-	hl.emit(Event{Kind: EventEscalated, Tick: h.Svc.Now(), Action: adminAction})
+	hl.emit(Event{Kind: EventEscalated, Tick: h.Target.Now(), Action: adminAction})
 	if hl.Cfg.EscalateRestart {
-		if _, err := h.Act.Apply(catalog.FixFullRestart, ""); err == nil {
-			h.StepN(int(fixes.ProfileFor(catalog.FixFullRestart).SettleTicks))
-		}
+		hl.applyAction(Action{Fix: catalog.FixFullRestart})
 	}
-	if _, err := h.Act.Apply(catalog.FixNotifyAdmin, ""); err == nil {
+	if _, err := h.Target.Apply(Action{Fix: catalog.FixNotifyAdmin}); err == nil {
 		h.StepN(hl.Cfg.AdminDelayTicks)
 	}
 	if haveAdmin {
-		if app, err := h.Act.Apply(adminAction.Fix, adminAction.Target); err == nil {
-			h.StepN(int(app.SettleTicks))
-		}
+		hl.applyAction(adminAction)
 		// "Update synopsis S with fix found by the administrator."
 		hl.observe(fctx, adminAction, true)
 	}
 	if h.RunUntilRecovered(ctx, hl.Cfg.CheckTicks*4) {
 		ep.Recovered = true
-		ep.RecoveredAt = h.Svc.Now()
+		ep.RecoveredAt = h.Target.Now()
 	}
 }
 
@@ -308,19 +340,21 @@ func (hl *Healer) escalate(ctx context.Context, fctx *FailureContext, ep *Episod
 // test sets: inject f, wait for detection, snapshot the symptom, then apply
 // the correct fix so the service returns to health. Used to build the fixed
 // 1000-point test set of Figure 4 without polluting any learner.
-func LabeledFailure(ctx context.Context, h *Harness, f faults.Fault, budget int) (synopsis.Point, bool) {
-	h.Inj.Inject(f)
+func LabeledFailure(ctx context.Context, h *Harness, f Fault, budget int) (synopsis.Point, bool) {
+	if err := h.Target.Inject(f); err != nil {
+		return synopsis.Point{}, false
+	}
 	if !h.RunUntilFailing(ctx, budget) {
-		h.Inj.Reap()
+		h.Target.Reap()
 		return synopsis.Point{}, false
 	}
 	fctx := h.BuildContext()
 	fix, target := f.CorrectFix()
 	action := Action{Fix: fix, Target: target}
-	if app, err := h.Act.Apply(fix, target); err == nil {
-		h.StepN(int(app.SettleTicks))
+	if settle, err := h.Target.Apply(action); err == nil {
+		h.StepN(int(settle))
 	}
 	h.RunUntilRecovered(ctx, 240)
-	h.Inj.Reap()
-	return synopsis.Point{X: fctx.Symptom, Action: action, Success: true}, true
+	h.Target.Reap()
+	return synopsis.Point{X: fctx.Features(), Action: action, Success: true}, true
 }

@@ -117,9 +117,9 @@ func (p *Proactive) RunWithProactive(maxTicks int) (actions int, badTicks int) {
 			continue
 		}
 		if action, _, ok := p.Check(); ok {
-			if app, err := p.H.Act.Apply(action.Fix, action.Target); err == nil {
+			if settle, err := p.H.Target.Apply(action); err == nil {
 				actions++
-				cooldown = int(app.SettleTicks) + p.FitWindow
+				cooldown = int(settle) + p.FitWindow
 			}
 		}
 	}

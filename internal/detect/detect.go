@@ -7,8 +7,26 @@ package detect
 
 import (
 	"selfheal/internal/metrics"
-	"selfheal/internal/service"
 )
+
+// Sample is one tick's health reading as the SLO monitor sees it. It is
+// deliberately target-agnostic — any managed system (the auction
+// simulator, the replicated topology, a future real service) reduces its
+// tick to these fields, so detection never depends on a concrete
+// simulator type.
+type Sample struct {
+	// Arrivals is offered load this tick (requests).
+	Arrivals float64
+	// Errors is user-visible failed requests this tick.
+	Errors float64
+	// AvgLatencyMS is the mean served-request latency this tick.
+	AvgLatencyMS float64
+	// SLOViolations counts requests that individually missed their
+	// latency objective or failed.
+	SLOViolations float64
+	// Down reports a whole-service outage.
+	Down bool
+}
 
 // SLO is a service-level objective (§1: e.g. "all transactions complete
 // within 1 second"): bounds on average latency, user-visible error rate,
@@ -28,7 +46,7 @@ func DefaultSLO() SLO {
 
 // Violated reports whether one tick breaks the objective. Ticks with no
 // traffic cannot violate the SLO.
-func (s SLO) Violated(st service.TickStats) bool {
+func (s SLO) Violated(st Sample) bool {
 	if st.Down {
 		return true
 	}
@@ -77,7 +95,7 @@ func NewMonitor(slo SLO, k, n int) *Monitor {
 
 // Observe folds one tick into the monitor and returns whether that tick
 // violated the SLO.
-func (m *Monitor) Observe(st service.TickStats) bool {
+func (m *Monitor) Observe(st Sample) bool {
 	v := m.SLO.Violated(st)
 	m.window[m.pos] = v
 	m.pos = (m.pos + 1) % m.N
@@ -128,19 +146,60 @@ func (m *Monitor) Reset() {
 type SymptomBuilder struct {
 	baseline *metrics.Baseline
 	clamp    float64
+	// index maps schema column i to its symptom dimension (nil means the
+	// identity: dimension i is column i).
+	index []int
+	dim   int
 }
 
-// NewSymptomBuilder builds a symptom builder over a healthy baseline.
+// NewSymptomBuilder builds a symptom builder over a healthy baseline,
+// with dimensions in schema-column order.
 func NewSymptomBuilder(baseline *metrics.Baseline) *SymptomBuilder {
 	return &SymptomBuilder{baseline: baseline, clamp: 8}
+}
+
+// NewAlignedSymptomBuilder builds a symptom builder whose output
+// dimensions are assigned by the shared SymptomSpace, so vectors from
+// schemas with shared metric names align by name across target kinds.
+// The first schema registered into a space gets the identity mapping —
+// identical output to NewSymptomBuilder.
+func NewAlignedSymptomBuilder(baseline *metrics.Baseline, space *SymptomSpace, names []string) *SymptomBuilder {
+	b := NewSymptomBuilder(baseline)
+	b.index = space.Indices(names)
+	for _, d := range b.index {
+		if d+1 > b.dim {
+			b.dim = d + 1
+		}
+	}
+	return b
 }
 
 // Baseline returns the underlying baseline.
 func (b *SymptomBuilder) Baseline() *metrics.Baseline { return b.baseline }
 
-// Vector builds the symptom feature vector for the current window.
+// Vector builds the symptom feature vector for the current window, in
+// schema-column order: Vector(w)[i] is the z-score of schema column i.
+// Diagnosis approaches rely on this positional correspondence.
 func (b *SymptomBuilder) Vector(window *metrics.Series) []float64 {
 	return b.baseline.ZScores(window, b.clamp)
+}
+
+// Aligned builds the name-aligned symptom vector for knowledge bases:
+// the same z-scores as Vector, scattered into the shared SymptomSpace
+// dimensions so vectors from different target kinds compare by metric
+// name. Dimensions belonging to names this schema lacks read zero (no
+// anomaly in a metric the target does not measure). A builder
+// constructed without a space returns Vector's positional layout.
+func (b *SymptomBuilder) Aligned(window *metrics.Series) []float64 {
+	z := b.baseline.ZScores(window, b.clamp)
+	if b.index == nil {
+		return z
+	}
+	out := make([]float64, b.dim)
+	for i, v := range z {
+		out[b.index[i]] = v
+	}
+	return out
 }
 
 // UserActivityMonitor watches a service-level activity metric (the paper's

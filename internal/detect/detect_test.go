@@ -1,18 +1,18 @@
 package detect
 
 import (
+	"reflect"
 	"testing"
 
 	"selfheal/internal/metrics"
-	"selfheal/internal/service"
 )
 
-func healthyTick() service.TickStats {
-	return service.TickStats{Arrivals: 150, Served: 149, Errors: 1, AvgLatencyMS: 90, SLOViolations: 1}
+func healthyTick() Sample {
+	return Sample{Arrivals: 150, Errors: 1, AvgLatencyMS: 90, SLOViolations: 1}
 }
 
-func slowTick() service.TickStats {
-	return service.TickStats{Arrivals: 150, Served: 150, AvgLatencyMS: 600, SLOViolations: 150}
+func slowTick() Sample {
+	return Sample{Arrivals: 150, AvgLatencyMS: 600, SLOViolations: 150}
 }
 
 func TestSLOViolationConditions(t *testing.T) {
@@ -28,11 +28,11 @@ func TestSLOViolationConditions(t *testing.T) {
 	if !slo.Violated(errTick) {
 		t.Error("6% error rate not violated")
 	}
-	down := service.TickStats{Down: true}
+	down := Sample{Down: true}
 	if !slo.Violated(down) {
 		t.Error("outage not violated")
 	}
-	idle := service.TickStats{Arrivals: 0}
+	idle := Sample{Arrivals: 0}
 	if slo.Violated(idle) {
 		t.Error("idle tick violated")
 	}
@@ -176,5 +176,76 @@ func TestSymptomBuilder(t *testing.T) {
 	}
 	if v[1] > 1 || v[1] < -1 {
 		t.Errorf("unchanged metric z=%v", v[1])
+	}
+}
+
+func TestSymptomSpaceAssignsByName(t *testing.T) {
+	space := NewSymptomSpace()
+	a := space.Indices([]string{"svc.x", "a.only", "svc.y"})
+	if want := []int{0, 1, 2}; !reflect.DeepEqual(a, want) {
+		t.Fatalf("first schema got %v, want identity %v", a, want)
+	}
+	b := space.Indices([]string{"svc.y", "b.only", "svc.x"})
+	if b[0] != a[2] || b[2] != a[0] {
+		t.Errorf("shared names not aligned: first %v, second %v", a, b)
+	}
+	if b[1] != 3 {
+		t.Errorf("new name got dimension %d, want 3", b[1])
+	}
+	// Re-registering is stable.
+	if again := space.Indices([]string{"svc.x", "a.only", "svc.y"}); !reflect.DeepEqual(again, a) {
+		t.Errorf("re-registration moved dimensions: %v vs %v", again, a)
+	}
+}
+
+func TestAlignedSymptomBuildersShareDimensions(t *testing.T) {
+	space := NewSymptomSpace()
+	mkSeries := func(names []string, val float64) (*metrics.Series, *metrics.Series) {
+		schema := metrics.NewSchema(names)
+		base := metrics.NewSeries(schema)
+		for i := 0; i < 50; i++ {
+			row := make([]float64, len(names))
+			for j := range row {
+				row[j] = 10 + float64(i%3)
+			}
+			base.Append(int64(i), row)
+		}
+		cur := metrics.NewSeries(schema)
+		row := make([]float64, len(names))
+		for j := range row {
+			row[j] = 10
+		}
+		row[0] = val
+		cur.Append(50, row)
+		return base, cur
+	}
+
+	// Target A registers first: identity layout.
+	aNames := []string{"svc.errors", "a.only"}
+	aBase, aCur := mkSeries(aNames, 100)
+	aB := NewAlignedSymptomBuilder(metrics.NewBaseline(aBase), space, aNames)
+	av := aB.Aligned(aCur)
+	if len(av) != 2 {
+		t.Fatalf("first-registered builder width %d, want identity 2", len(av))
+	}
+
+	// Target B shares svc.errors (at a different schema position) and
+	// adds its own dimension.
+	bNames := []string{"b.only", "svc.errors"}
+	bBase, bCur := mkSeries(bNames, 0) // col 0 (b.only) dropped to 0
+	bB := NewAlignedSymptomBuilder(metrics.NewBaseline(bBase), space, bNames)
+	bv := bB.Aligned(bCur)
+	if len(bv) != 3 {
+		t.Fatalf("second builder width %d, want 3 (2 shared space + 1 own)", len(bv))
+	}
+	// svc.errors must land at the same dimension (0) for both targets.
+	bCur2 := metrics.NewSeries(metrics.NewSchema(bNames))
+	bCur2.Append(51, []float64{10, 100}) // elevated svc.errors
+	bv2 := bB.Aligned(bCur2)
+	if bv2[0] <= 3 {
+		t.Errorf("target B's elevated svc.errors z=%v not at target A's dimension", bv2[0])
+	}
+	if av[1] > 1 || bv2[1] > 1 {
+		t.Errorf("unshared dimensions leaked anomalies: a=%v b=%v", av[1], bv2[1])
 	}
 }

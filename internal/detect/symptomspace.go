@@ -1,0 +1,48 @@
+package detect
+
+import "sync"
+
+// SymptomSpace assigns stable dimension indices to metric names, so that
+// symptom vectors built from different target kinds align by *name*
+// rather than by schema position. Dimensions with shared names (the
+// service-level svc.* block, tier utilizations) land at identical indices
+// for every target; names unique to one kind get indices of their own,
+// where every other kind's vector holds zero (no anomaly) or simply ends
+// (the synopsis distance compares over the shorter vector). This is what
+// lets heterogeneous fleets pool experience in one shared knowledge base:
+// cross-kind distances are computed over aligned, meaningful dimensions.
+//
+// Indices are assigned first-come in name order, so a process that only
+// ever builds one target kind gets the identity mapping — symptom vectors
+// are byte-for-byte what a positional builder would produce.
+type SymptomSpace struct {
+	mu  sync.Mutex
+	idx map[string]int
+}
+
+// NewSymptomSpace returns an empty space.
+func NewSymptomSpace() *SymptomSpace {
+	return &SymptomSpace{idx: make(map[string]int)}
+}
+
+// DefaultSymptomSpace is the process-wide space the harness registers
+// every target's metric schema into; one shared space per process is what
+// makes knowledge bases portable across systems (§4.2) and fleets.
+var DefaultSymptomSpace = NewSymptomSpace()
+
+// Indices maps each name to its dimension, assigning fresh dimensions to
+// names seen for the first time, in order.
+func (s *SymptomSpace) Indices(names []string) []int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]int, len(names))
+	for i, name := range names {
+		d, ok := s.idx[name]
+		if !ok {
+			d = len(s.idx)
+			s.idx[name] = d
+		}
+		out[i] = d
+	}
+	return out
+}

@@ -45,7 +45,7 @@ func RunHybridAblation(seed int64, episodes int) HybridAblation {
 	res := HybridAblation{}
 	for _, make := range mk {
 		a := make()
-		gen := faults.NewGenerator(seed+11, LearningKinds()...)
+		gen := faults.MustNewGenerator(seed+11, LearningKinds()...)
 		hcfg := core.DefaultHealerConfig()
 		var stats EpisodeStats
 		for i := 0; i < episodes; i++ {
@@ -89,7 +89,7 @@ func RunOnlineDriftAblation(seed int64, episodes int) OnlineDriftAblation {
 	frozen := synopsis.NewNearestNeighbor()
 	online := synopsis.NewOnline(synopsis.NewNearestNeighbor(), episodes/2+4)
 	ref := buildReferenceBaseline(seed)
-	gen := faults.NewGenerator(seed+3, LearningKinds()...)
+	gen := faults.MustNewGenerator(seed+3, LearningKinds()...)
 
 	res := OnlineDriftAblation{Episodes: episodes}
 	var frozenOK, onlineOK, n int
@@ -113,13 +113,13 @@ func RunOnlineDriftAblation(seed int64, episodes int) OnlineDriftAblation {
 		fix, target := f.CorrectFix()
 		want := core.Action{Fix: fix, Target: target}
 		n++
-		if sug, ok := frozen.Suggest(ctx.Symptom, nil); ok && sug.Action.Fix == want.Fix {
+		if sug, ok := frozen.Suggest(ctx.Features(), nil); ok && sug.Action.Fix == want.Fix {
 			frozenOK++
 		}
-		if sug, ok := online.Suggest(ctx.Symptom, nil); ok && sug.Action.Fix == want.Fix {
+		if sug, ok := online.Suggest(ctx.Features(), nil); ok && sug.Action.Fix == want.Fix {
 			onlineOK++
 		}
-		p := synopsis.Point{X: ctx.Symptom, Action: want, Success: true}
+		p := synopsis.Point{X: ctx.Features(), Action: want, Success: true}
 		// The frozen synopsis stops learning after the undrifted prefix;
 		// the online one keeps folding new signatures in and forgetting
 		// old ones.
@@ -162,7 +162,7 @@ func RunConfidenceAblation(seed int64, episodes int) ConfidenceAblation {
 
 	run := func(a core.Approach) float64 {
 		var stats EpisodeStats
-		gen2 := faults.NewGenerator(seed+29, LearningKinds()...)
+		gen2 := faults.MustNewGenerator(seed+29, LearningKinds()...)
 		for i := 0; i < episodes; i++ {
 			h := episodeEnv(seed + int64(i)*307)
 			hl := core.NewHealer(h, a, hcfg)
@@ -185,7 +185,7 @@ type unrankedApproach struct {
 func (u *unrankedApproach) Name() string { return "unranked" }
 
 func (u *unrankedApproach) Recommend(ctx *core.FailureContext, tried []core.Action) (core.Action, float64, bool) {
-	ranked := u.syn.Rank(ctx.Symptom)
+	ranked := u.syn.Rank(ctx.Features())
 	seen := map[string]bool{}
 	for _, a := range tried {
 		seen[a.Key()] = true
@@ -200,7 +200,7 @@ func (u *unrankedApproach) Recommend(ctx *core.FailureContext, tried []core.Acti
 }
 
 func (u *unrankedApproach) Observe(ctx *core.FailureContext, a core.Action, ok bool) {
-	u.syn.Add(synopsis.Point{X: ctx.Symptom, Action: a, Success: ok})
+	u.syn.Add(synopsis.Point{X: ctx.Features(), Action: a, Success: ok})
 }
 
 // Format renders the confidence ablation.
@@ -227,7 +227,7 @@ type NegativeDataAblation struct {
 // channel). The plain synopsis repeats the poisoned suggestion on every
 // recurrence; the negative-aware one damps it after the first failure.
 func RunNegativeDataAblation(seed int64, episodes int) NegativeDataAblation {
-	gen := faults.NewGenerator(seed+41, catalog.FaultBufferContention)
+	gen := faults.MustNewGenerator(seed+41, catalog.FaultBufferContention)
 	// Recurrence stream of labeled failures.
 	var stream []synopsis.Point
 	for i := 0; len(stream) < episodes && i < episodes*4; i++ {

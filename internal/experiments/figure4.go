@@ -113,7 +113,7 @@ func RunFigure4(cfg Figure4Config) Figure4Result {
 func runLearning(cfg Figure4Config, name string, syn synopsis.Synopsis, test []synopsis.Point) LearningCurve {
 	ts := &timed{inner: syn}
 	approach := core.NewFixSym(ts)
-	gen := faults.NewGenerator(cfg.Seed+999, LearningKinds()...)
+	gen := faults.MustNewGenerator(cfg.Seed+999, LearningKinds()...)
 	curve := LearningCurve{Synopsis: name}
 	start := time.Now()
 	hcfg := core.DefaultHealerConfig()

@@ -22,7 +22,7 @@ func TestLoopLabelQuality(t *testing.T) {
 	}
 	syn := synopsis.NewNearestNeighbor()
 	approach := core.NewFixSym(syn)
-	gen := faults.NewGenerator(999+2007, LearningKinds()...)
+	gen := faults.MustNewGenerator(999+2007, LearningKinds()...)
 	hcfg := core.DefaultHealerConfig()
 
 	perKind := map[string][2]int{} // injected, labeled

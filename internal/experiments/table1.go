@@ -97,7 +97,7 @@ func RunTable1(seed int64) Table1Result {
 
 // drawFault deterministically draws the row's canonical fault instance.
 func drawFault(rowSeed int64, kind catalog.FaultKind) faults.Fault {
-	return faults.NewGenerator(rowSeed, kind).NextOfKind(kind)
+	return faults.MustNewGenerator(rowSeed, kind).NextOfKind(kind)
 }
 
 // tryFix injects the row's fault instance on a fresh environment and

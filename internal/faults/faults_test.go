@@ -1,6 +1,7 @@
 package faults
 
 import (
+	"strings"
 	"testing"
 	"testing/quick"
 
@@ -65,7 +66,7 @@ func tierOf(name string) catalog.Tier {
 // kind: after injection the fault is live; after its own correct fix it
 // reports cleared.
 func TestEveryKindInjectsAndClears(t *testing.T) {
-	gen := NewGenerator(5)
+	gen := MustNewGenerator(5)
 	for _, kind := range catalog.FaultKinds() {
 		t.Run(kind.String(), func(t *testing.T) {
 			inj, env := newEnv(t)
@@ -173,7 +174,7 @@ func TestBottleneckClearsWhenSurgeEnds(t *testing.T) {
 func TestQuickGeneratorWellFormed(t *testing.T) {
 	cfg := &quick.Config{MaxCount: 300}
 	if err := quick.Check(func(seed int64) bool {
-		g := NewGenerator(seed)
+		g := MustNewGenerator(seed)
 		f := g.Next()
 		fix, _ := f.CorrectFix()
 		candidates := catalog.CandidateFixes(f.Kind())
@@ -190,7 +191,7 @@ func TestQuickGeneratorWellFormed(t *testing.T) {
 }
 
 func TestGeneratorWeights(t *testing.T) {
-	g := NewGenerator(3, catalog.FaultDeadlock, catalog.FaultStaleStats)
+	g := MustNewGenerator(3, catalog.FaultDeadlock, catalog.FaultStaleStats)
 	g.SetWeights([]float64{0, 1})
 	for i := 0; i < 50; i++ {
 		if g.Next().Kind() != catalog.FaultStaleStats {
@@ -203,4 +204,26 @@ func TestGeneratorWeights(t *testing.T) {
 		}
 	}()
 	g.SetWeights([]float64{1})
+}
+
+// TestNewGeneratorValidatesKinds: unknown kinds are rejected at
+// construction with an error listing the valid ones, instead of being
+// silently accepted and panicking at the first draw.
+func TestNewGeneratorValidatesKinds(t *testing.T) {
+	if _, err := NewGenerator(1); err != nil {
+		t.Fatalf("full catalog rejected: %v", err)
+	}
+	if _, err := NewGenerator(1, catalog.FaultDeadlock, catalog.FaultAging); err != nil {
+		t.Fatalf("valid kinds rejected: %v", err)
+	}
+	_, err := NewGenerator(1, catalog.FaultKind(99), catalog.FaultNone)
+	if err == nil {
+		t.Fatal("unknown kinds accepted")
+	}
+	msg := err.Error()
+	for _, want := range []string{"fault(99)", "none", "valid kinds", catalog.FaultDeadlock.String()} {
+		if !strings.Contains(msg, want) {
+			t.Errorf("error %q missing %q", msg, want)
+		}
+	}
 }

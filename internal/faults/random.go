@@ -1,6 +1,9 @@
 package faults
 
 import (
+	"fmt"
+	"strings"
+
 	"selfheal/internal/catalog"
 	"selfheal/internal/service"
 	"selfheal/internal/sim"
@@ -17,16 +20,53 @@ type Generator struct {
 }
 
 // NewGenerator builds a fault generator over the given kinds with uniform
-// weights.
-func NewGenerator(seed int64, kinds ...catalog.FaultKind) *Generator {
+// weights. Every kind is validated against the Table 1 catalog up front;
+// unknown kinds return an error listing the valid ones, instead of the
+// old behavior of silently accepting them and panicking mid-campaign at
+// the first draw.
+func NewGenerator(seed int64, kinds ...catalog.FaultKind) (*Generator, error) {
 	if len(kinds) == 0 {
 		kinds = catalog.FaultKinds()
+	}
+	var bad []string
+	for _, k := range kinds {
+		if !validKind(k) {
+			bad = append(bad, k.String())
+		}
+	}
+	if len(bad) > 0 {
+		valid := make([]string, 0, len(catalog.FaultKinds()))
+		for _, k := range catalog.FaultKinds() {
+			valid = append(valid, k.String())
+		}
+		return nil, fmt.Errorf("faults: unknown fault kind(s) %s (valid kinds: %s)",
+			strings.Join(bad, ", "), strings.Join(valid, ", "))
 	}
 	w := make([]float64, len(kinds))
 	for i := range w {
 		w[i] = 1
 	}
-	return &Generator{rng: sim.NewRNG(seed), kinds: kinds, weights: w}
+	return &Generator{rng: sim.NewRNG(seed), kinds: kinds, weights: w}, nil
+}
+
+// MustNewGenerator is NewGenerator panicking on invalid kinds, for
+// callers with statically-known catalogs (tests, experiment harnesses).
+func MustNewGenerator(seed int64, kinds ...catalog.FaultKind) *Generator {
+	g, err := NewGenerator(seed, kinds...)
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+// validKind reports whether k is a real Table 1 kind.
+func validKind(k catalog.FaultKind) bool {
+	for _, have := range catalog.FaultKinds() {
+		if have == k {
+			return true
+		}
+	}
+	return false
 }
 
 // SetWeights overrides the kind weights (aligned with the kinds passed at

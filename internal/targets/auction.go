@@ -1,0 +1,200 @@
+package targets
+
+import (
+	"fmt"
+
+	"selfheal/internal/catalog"
+	"selfheal/internal/detect"
+	"selfheal/internal/faults"
+	"selfheal/internal/fixes"
+	"selfheal/internal/metrics"
+	"selfheal/internal/service"
+	"selfheal/internal/trace"
+	"selfheal/internal/workload"
+)
+
+// AuctionName is the registered kind of the default RUBiS-style target.
+const AuctionName = "auction"
+
+// AuctionSpec returns the default target's catalog: the full Table 1
+// fault/fix vocabulary over the three-tier auction service.
+func AuctionSpec() Spec {
+	cands := make(map[catalog.FaultKind][]catalog.FixID)
+	for _, k := range catalog.FaultKinds() {
+		cands[k] = catalog.CandidateFixes(k)
+	}
+	return Spec{
+		Name:           AuctionName,
+		Description:    "RUBiS-style auction service: web + EJB app tier + database (the paper's Example 1)",
+		FaultKinds:     catalog.FaultKinds(),
+		CandidateFixes: cands,
+		Tiers:          catalog.Tiers(),
+		SLO:            detect.DefaultSLO(),
+		Mixes:          []string{"bidding", "browsing"},
+	}
+}
+
+// Auction is the default target: the analytical RUBiS-style simulator of
+// internal/service together with its workload generator, Table 1 fault
+// injector and fix actuator. It is a thin adapter — the simulator's
+// behavior is unchanged, tick for tick and random draw for random draw,
+// from when core.Harness held these four components directly.
+type Auction struct {
+	svc  *service.Service
+	gen  *workload.Generator
+	inj  *faults.Injector
+	act  *fixes.Actuator
+	spec Spec
+}
+
+// NewAuction builds the default target at cfg. The service's internal
+// seed is derived as seed*7919+17, matching what the facade always did.
+func NewAuction(cfg Config) (*Auction, error) {
+	spec := AuctionSpec()
+	if !spec.ValidMix(cfg.Mix) {
+		return nil, fmt.Errorf("targets: auction target has no workload mix %q (mixes: %v)", cfg.Mix, spec.Mixes)
+	}
+	scfg := service.DefaultConfig()
+	scfg.Seed = cfg.Seed*7919 + 17
+	mix := workload.BiddingMix()
+	if cfg.Mix == "browsing" {
+		mix = workload.BrowsingMix()
+	}
+	return NewAuctionWith(scfg, mix, cfg.Seed), nil
+}
+
+// NewAuctionWith builds the default target from explicit simulator
+// configuration — the constructor the experiment harnesses use to size
+// the service and workload directly.
+func NewAuctionWith(scfg service.Config, mix workload.Mix, seed int64) *Auction {
+	svc := service.New(scfg)
+	gen := workload.NewGenerator(mix, seed)
+	return &Auction{
+		svc:  svc,
+		gen:  gen,
+		inj:  faults.NewInjector(svc, gen),
+		act:  fixes.NewActuator(svc),
+		spec: AuctionSpec(),
+	}
+}
+
+// Service exposes the underlying simulator, for experiment harnesses and
+// fault constructors that manipulate simulator state directly.
+func (a *Auction) Service() *service.Service { return a.svc }
+
+// Workload exposes the workload generator (load scaling, drift, surges).
+func (a *Auction) Workload() *workload.Generator { return a.gen }
+
+// Injector exposes the fault injector's ground truth, used by experiment
+// harnesses that label test data.
+func (a *Auction) Injector() *faults.Injector { return a.inj }
+
+// Actuator exposes the fix actuator and its application history.
+func (a *Auction) Actuator() *fixes.Actuator { return a.act }
+
+// Spec implements Target.
+func (a *Auction) Spec() Spec { return a.spec }
+
+// Now implements Target.
+func (a *Auction) Now() int64 { return a.svc.Now() }
+
+// Tick implements Target: workload arrives and the service processes it.
+func (a *Auction) Tick() detect.Sample {
+	st := a.svc.Tick(a.gen.Arrivals(a.svc.Now()))
+	return detect.Sample{
+		Arrivals:      st.Arrivals,
+		Errors:        st.Errors,
+		AvgLatencyMS:  st.AvgLatencyMS,
+		SLOViolations: st.SLOViolations,
+		Down:          st.Down,
+	}
+}
+
+// Sources implements Target.
+func (a *Auction) Sources() []metrics.Source { return []metrics.Source{a.svc} }
+
+// CallMatrix implements Target.
+func (a *Auction) CallMatrix() [][]float64 { return a.svc.CallMatrix() }
+
+// CallMatrixRows implements Target.
+func (a *Auction) CallMatrixRows() int { return a.svc.CallMatrixRows() }
+
+// CallCallees implements Target.
+func (a *Auction) CallCallees() []string { return service.EJBNames() }
+
+// SamplePaths implements Target: per class, weighted toward the busier
+// classes so failure-path inference sees a realistic traffic mix.
+func (a *Auction) SamplePaths() []trace.Path {
+	sampler := trace.NewSampler(a.svc, a.svc.Now()^0x5eed)
+	var paths []trace.Path
+	rates := a.gen.Rates(a.svc.Now())
+	for c := 0; c < service.NumClasses(); c++ {
+		n := 4
+		if c < len(rates) && rates[c] > 20 {
+			n = 10
+		}
+		if c < len(rates) && rates[c] <= 0 {
+			continue
+		}
+		for i := 0; i < n; i++ {
+			paths = append(paths, sampler.Sample(c))
+		}
+	}
+	return paths
+}
+
+// Inject implements Target: only simulator faults (internal/faults) make
+// sense here.
+func (a *Auction) Inject(f Fault) error {
+	sf, ok := f.(faults.Fault)
+	if !ok {
+		return fmt.Errorf("targets: auction target cannot inject %T (%v)", f, f.Kind())
+	}
+	a.inj.Inject(sf)
+	return nil
+}
+
+// Reap implements Target.
+func (a *Auction) Reap() { a.inj.Reap() }
+
+// CorrectFix implements Target: the ground-truth fix of the first
+// uncleared fault — the administrator's diagnosis from live state.
+func (a *Auction) CorrectFix() (Action, bool) {
+	for _, f := range a.inj.Active() {
+		if f.Cleared(a.inj.Env()) {
+			continue
+		}
+		fix, target := f.CorrectFix()
+		return Action{Fix: fix, Target: target}, true
+	}
+	return Action{}, false
+}
+
+// Apply implements Target.
+func (a *Auction) Apply(act Action) (int64, error) {
+	app, err := a.act.Apply(act.Fix, act.Target)
+	if err != nil {
+		return 0, err
+	}
+	return app.SettleTicks, nil
+}
+
+// NewFaults implements Target: the Table 1 generator, validated against
+// the target's own spec (the Target contract) — faults.NewGenerator's
+// catalog check then never fires.
+func (a *Auction) NewFaults(seed int64, kinds ...catalog.FaultKind) (FaultGen, error) {
+	if err := a.Spec().ValidateKinds(kinds); err != nil {
+		return nil, err
+	}
+	g, err := faults.NewGenerator(seed, kinds...)
+	if err != nil {
+		return nil, err
+	}
+	return simFaultGen{g}, nil
+}
+
+// simFaultGen adapts *faults.Generator to the target-agnostic FaultGen.
+type simFaultGen struct{ g *faults.Generator }
+
+func (s simFaultGen) Next() Fault                { return s.g.Next() }
+func (s simFaultGen) Kinds() []catalog.FaultKind { return s.g.Kinds() }

@@ -1,0 +1,198 @@
+// Package targets defines the pluggable managed-system API: the Target
+// interface the healing stack drives, and the per-target catalogs
+// (TargetSpec) that scope fault kinds, candidate fixes, tiers and SLOs to
+// one kind of system.
+//
+// The paper's healing loop (Figure 3) is defined over *any*
+// database-centric multitier service; this package is the seam that makes
+// that literal in code. A Target advances simulated time under its own
+// workload, exposes monitoring data (metric sources, a component call
+// matrix, request paths), accepts fault injection, and applies recovery
+// actions — everything internal/core needs to detect failures, assemble a
+// FailureContext and run the Figure 3 loop, and nothing more. The learning
+// layers still see only monitoring data, never a concrete simulator type,
+// so heterogeneous targets can pool experience into one shared knowledge
+// base: the harness assigns symptom dimensions by metric *name* through
+// detect.DefaultSymptomSpace, so shared names (the svc.* block, tier
+// utilizations) land at identical indices for every kind, names unique to
+// one kind get dimensions of their own (zero — no anomaly — elsewhere),
+// and the synopsis distance tolerates the differing vector lengths.
+//
+// Two targets ship: Auction, wrapping the RUBiS-style simulator of
+// internal/service byte-for-byte unchanged in behavior, and Replicated, a
+// three-tier topology (1 web, 2 app replicas, primary/standby DB with
+// failover routing) whose faults are replica-partial and whose fixes are
+// rebalance/failover — episodes the single-image auction service cannot
+// produce. New targets register through the facade's RegisterTarget; see
+// ADDING_TARGETS.md for the walkthrough.
+package targets
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"selfheal/internal/catalog"
+	"selfheal/internal/detect"
+	"selfheal/internal/metrics"
+	"selfheal/internal/synopsis"
+	"selfheal/internal/trace"
+)
+
+// Action is a concrete recovery action (a fix plus its target), shared
+// with the learning layers.
+type Action = synopsis.Action
+
+// Fault is the target-agnostic view of one injectable failure: what kind
+// it is, what caused it, what it strikes, and its ground-truth fix. It
+// deliberately omits the injection mechanics — those belong to the target
+// that manufactured the fault, and Target.Inject rejects faults built for
+// a different target kind. The simulator's faults.Fault satisfies this
+// interface, as do the Replicated target's fault types.
+type Fault interface {
+	// Kind is the catalog failure type.
+	Kind() catalog.FaultKind
+	// Cause is the Figure 1 cause category.
+	Cause() catalog.Cause
+	// Target names the component/replica/tier the fault strikes ("" if
+	// service-wide).
+	Target() string
+	// CorrectFix is the ground-truth fix and its target, used only to
+	// label held-out data and play the administrator (Figure 3 lines
+	// 18–21); the learning layers never read it.
+	CorrectFix() (catalog.FixID, string)
+}
+
+// FaultGen draws random fault instances for campaigns, scoped to one
+// target's catalog.
+type FaultGen interface {
+	// Next draws one fault instance.
+	Next() Fault
+	// Kinds returns the kinds this generator draws from.
+	Kinds() []catalog.FaultKind
+}
+
+// Spec is a target's static catalog: the vocabulary one kind of managed
+// system shares with the healing stack before any instance exists.
+type Spec struct {
+	// Name is the registered target kind ("auction", "replicated", ...).
+	Name string
+	// Description is a one-line summary for help output.
+	Description string
+	// FaultKinds enumerates the failures this target can suffer.
+	FaultKinds []catalog.FaultKind
+	// CandidateFixes maps each fault kind to its candidate fixes in
+	// preference order — the target-scoped analogue of the paper's
+	// Table 1.
+	CandidateFixes map[catalog.FaultKind][]catalog.FixID
+	// Tiers lists the target's tiers front to back.
+	Tiers []catalog.Tier
+	// SLO is the target's default service-level objective.
+	SLO detect.SLO
+	// Mixes names the workload mixes the target understands; the first
+	// entry is the default.
+	Mixes []string
+}
+
+// HasKind reports whether k is in the target's fault catalog.
+func (s Spec) HasKind(k catalog.FaultKind) bool {
+	for _, have := range s.FaultKinds {
+		if have == k {
+			return true
+		}
+	}
+	return false
+}
+
+// ValidateKinds checks every kind against the target's catalog; unknown
+// kinds produce an error listing the valid ones.
+func (s Spec) ValidateKinds(kinds []catalog.FaultKind) error {
+	var bad []string
+	for _, k := range kinds {
+		if !s.HasKind(k) {
+			bad = append(bad, k.String())
+		}
+	}
+	if len(bad) == 0 {
+		return nil
+	}
+	valid := make([]string, len(s.FaultKinds))
+	for i, k := range s.FaultKinds {
+		valid[i] = k.String()
+	}
+	sort.Strings(bad)
+	return fmt.Errorf("targets: target %q cannot inject %s (valid kinds: %s)",
+		s.Name, strings.Join(bad, ", "), strings.Join(valid, ", "))
+}
+
+// ValidMix reports whether the target understands the named workload mix
+// ("" always means the default).
+func (s Spec) ValidMix(mix string) bool {
+	if mix == "" {
+		return true
+	}
+	for _, m := range s.Mixes {
+		if m == mix {
+			return true
+		}
+	}
+	return false
+}
+
+// Config parameterizes one target instance.
+type Config struct {
+	// Seed makes the instance deterministic; targets derive their
+	// internal sub-streams from it.
+	Seed int64
+	// Mix names the workload mix ("" = the spec's default).
+	Mix string
+}
+
+// Target is one managed system under healing: it advances simulated time
+// under its own workload, exposes the monitoring data the detection and
+// learning layers consume, and accepts the fault injections and recovery
+// actions of its catalog. Implementations must be deterministic in their
+// Config.Seed; they need not be safe for concurrent use (each fleet
+// replica owns its target).
+type Target interface {
+	// Spec returns the target's static catalog.
+	Spec() Spec
+	// Now returns the current simulated tick.
+	Now() int64
+	// Tick advances one tick under workload and reports the health
+	// sample the SLO monitor consumes.
+	Tick() detect.Sample
+	// Sources returns the target's metric sources, polled each tick into
+	// the multidimensional series of §4.2. Stable for the target's
+	// lifetime.
+	Sources() []metrics.Source
+	// CallMatrix returns the current tick's component call matrix (rows:
+	// callers, cols: callees). The returned slices may be reused between
+	// ticks; callers must copy what they keep.
+	CallMatrix() [][]float64
+	// CallMatrixRows returns the number of caller rows.
+	CallMatrixRows() int
+	// CallCallees names the callee columns.
+	CallCallees() []string
+	// SamplePaths draws representative request paths from the live
+	// state, for path-based failure management.
+	SamplePaths() []trace.Path
+	// Inject applies a fault manufactured by this target's NewFaults (or
+	// constructors). Faults built for another target kind are rejected.
+	Inject(f Fault) error
+	// Reap drops faults whose effects are gone from the live state.
+	Reap()
+	// CorrectFix plays the administrator of Figure 3 lines 19–20: the
+	// ground-truth fix for the first still-active fault, diagnosed from
+	// the live failure state.
+	CorrectFix() (Action, bool)
+	// Apply performs a recovery action and returns how many ticks the
+	// system needs before a meaningful success check. Unknown fixes and
+	// nonsense targets return errors; the healing loop treats those as
+	// failed attempts.
+	Apply(a Action) (settleTicks int64, err error)
+	// NewFaults builds a deterministic random fault generator over the
+	// given kinds (the whole catalog when empty), validating every kind
+	// against the spec.
+	NewFaults(seed int64, kinds ...catalog.FaultKind) (FaultGen, error)
+}

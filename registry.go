@@ -7,6 +7,7 @@ import (
 	"selfheal/internal/core"
 	"selfheal/internal/diagnose"
 	"selfheal/internal/synopsis"
+	"selfheal/internal/targets"
 )
 
 // ApproachKind names a fix-identification technique a System heals with.
@@ -94,6 +95,103 @@ func ApproachKinds() []ApproachKind {
 	approachRegistry.RLock()
 	defer approachRegistry.RUnlock()
 	return append([]ApproachKind(nil), approachRegistry.order...)
+}
+
+// TargetKind names a managed-system kind a System or Fleet heals.
+type TargetKind string
+
+// The built-in targets.
+const (
+	// TargetAuction is the default RUBiS-style three-tier simulator (the
+	// paper's Example 1).
+	TargetAuction TargetKind = targets.AuctionName
+	// TargetReplicated is the replicated topology: 1 web LB + 2 app
+	// replicas + primary/standby DB with failover routing.
+	TargetReplicated TargetKind = targets.ReplicatedName
+)
+
+// TargetFactory constructs a fresh, unshared target instance at the
+// given configuration. A Fleet calls the factory once per replica, so
+// factories must not capture mutable state.
+type TargetFactory func(cfg TargetConfig) (Target, error)
+
+var targetRegistry = struct {
+	sync.RWMutex
+	specs     map[TargetKind]TargetSpec
+	factories map[TargetKind]TargetFactory
+	order     []TargetKind
+}{specs: make(map[TargetKind]TargetSpec), factories: make(map[TargetKind]TargetFactory)}
+
+// RegisterTarget installs a new managed-system kind under spec.Name,
+// making it available to New, NewFleet, WithTarget/WithTargets and every
+// cmd/ tool without editing the facade — the mirror of RegisterApproach
+// for the system being healed. Registering an empty name, a nil factory,
+// an empty fault catalog, or a name that is already taken returns an
+// error.
+func RegisterTarget(spec TargetSpec, factory TargetFactory) error {
+	kind := TargetKind(spec.Name)
+	if kind == "" {
+		return fmt.Errorf("selfheal: cannot register a target with an empty name")
+	}
+	if factory == nil {
+		return fmt.Errorf("selfheal: target %q registered with a nil factory", kind)
+	}
+	if len(spec.FaultKinds) == 0 {
+		return fmt.Errorf("selfheal: target %q registered with an empty fault catalog", kind)
+	}
+	targetRegistry.Lock()
+	defer targetRegistry.Unlock()
+	if _, dup := targetRegistry.factories[kind]; dup {
+		return fmt.Errorf("selfheal: target %q already registered", kind)
+	}
+	targetRegistry.specs[kind] = spec
+	targetRegistry.factories[kind] = factory
+	targetRegistry.order = append(targetRegistry.order, kind)
+	return nil
+}
+
+// MustRegisterTarget is RegisterTarget panicking on error, for
+// package-init registration of extensions.
+func MustRegisterTarget(spec TargetSpec, factory TargetFactory) {
+	if err := RegisterTarget(spec, factory); err != nil {
+		panic(err)
+	}
+}
+
+// NewTarget constructs a fresh target of the given registered kind.
+func NewTarget(kind TargetKind, cfg TargetConfig) (Target, error) {
+	targetRegistry.RLock()
+	factory, ok := targetRegistry.factories[kind]
+	targetRegistry.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("selfheal: unknown target %q (registered: %v)", kind, TargetKinds())
+	}
+	return factory(cfg)
+}
+
+// TargetSpecFor returns the registered spec of a target kind.
+func TargetSpecFor(kind TargetKind) (TargetSpec, bool) {
+	targetRegistry.RLock()
+	defer targetRegistry.RUnlock()
+	spec, ok := targetRegistry.specs[kind]
+	return spec, ok
+}
+
+// TargetKinds lists every registered target in registration order (the
+// built-ins first).
+func TargetKinds() []TargetKind {
+	targetRegistry.RLock()
+	defer targetRegistry.RUnlock()
+	return append([]TargetKind(nil), targetRegistry.order...)
+}
+
+func init() {
+	MustRegisterTarget(targets.AuctionSpec(), func(cfg TargetConfig) (Target, error) {
+		return targets.NewAuction(cfg)
+	})
+	MustRegisterTarget(targets.ReplicatedSpec(), func(cfg TargetConfig) (Target, error) {
+		return targets.NewReplicated(cfg)
+	})
 }
 
 func init() {

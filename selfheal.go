@@ -28,24 +28,36 @@
 // batch at episode granularity (WithLearnBatch). New techniques plug into
 // everything above through RegisterApproach, without editing this package.
 //
-// Everything underneath lives in internal/ packages: the analytical
-// service simulator (internal/service), Table 1's faults and fixes
-// (internal/faults, internal/fixes), SLO and χ² detection
-// (internal/detect), the learned synopses (internal/synopsis), the
-// diagnosis-based approaches (internal/diagnose), and the FixSym healing
-// loop with its hybrid and proactive extensions (internal/core).
+// The system being healed is itself pluggable: a Target (internal/targets)
+// is any managed system that can advance a tick under workload, expose
+// metric samples and a call matrix, accept fault injection and apply
+// recovery actions, carrying its own fault/fix catalog (TargetSpec). Two
+// targets ship — the default "auction" simulator and a "replicated"
+// three-tier topology with failover routing — selected per System with
+// WithTarget and mixed across a Fleet with WithTargets; new target kinds
+// plug in through RegisterTarget exactly as approaches do through
+// RegisterApproach. See ADDING_TARGETS.md.
+//
+// Everything underneath lives in internal/ packages: the managed-system
+// targets (internal/targets, over the analytical simulator of
+// internal/service), Table 1's faults and fixes (internal/faults,
+// internal/fixes), SLO and χ² detection (internal/detect), the learned
+// synopses (internal/synopsis), the diagnosis-based approaches
+// (internal/diagnose), and the FixSym healing loop with its hybrid and
+// proactive extensions (internal/core).
 package selfheal
 
 import (
 	"context"
 	"fmt"
+	"strings"
 
 	"selfheal/internal/catalog"
 	"selfheal/internal/core"
 	"selfheal/internal/faults"
 	"selfheal/internal/service"
 	"selfheal/internal/synopsis"
-	"selfheal/internal/workload"
+	"selfheal/internal/targets"
 )
 
 // Re-exported core types: the facade's vocabulary.
@@ -56,9 +68,22 @@ type (
 	Approach = core.Approach
 	// Episode is the outcome of healing one failure.
 	Episode = core.Episode
-	// Fault is one injectable failure (Table 1 + Figure 1 categories).
-	Fault = faults.Fault
-	// Harness couples the simulated service with monitoring and healing.
+	// Fault is one injectable failure: the target-agnostic descriptor
+	// (kind, cause, strike target, ground-truth fix). Each target's fault
+	// constructors and generators produce faults only that target can
+	// inject.
+	Fault = core.Fault
+	// Target is one managed system under healing; see WithTarget and
+	// RegisterTarget.
+	Target = targets.Target
+	// TargetSpec is a target kind's static catalog: its fault kinds,
+	// candidate-fix map, tiers, default SLO and workload mixes.
+	TargetSpec = targets.Spec
+	// TargetConfig parameterizes one target instance (seed, workload mix).
+	TargetConfig = targets.Config
+	// FaultGen draws random faults scoped to one target's catalog.
+	FaultGen = targets.FaultGen
+	// Harness couples a target with monitoring and healing.
 	Harness = core.Harness
 	// FailureContext is what approaches observe about a detected failure.
 	FailureContext = core.FailureContext
@@ -80,7 +105,8 @@ type (
 	Tier = catalog.Tier
 )
 
-// Fault constructors, re-exported from the fault catalog.
+// Fault constructors for the default auction target, re-exported from the
+// fault catalog.
 var (
 	NewDeadlock         = faults.NewDeadlock
 	NewException        = faults.NewException
@@ -92,6 +118,17 @@ var (
 	NewCodeBug          = faults.NewCodeBug
 	NewHardware         = faults.NewHardware
 	NewNetwork          = faults.NewNetwork
+)
+
+// Fault constructors for the replicated-topology target: replica-partial
+// failures whose fixes are rebalance/failover operations.
+var (
+	NewReplicaDown     = targets.NewReplicaDown
+	NewPrimaryDegraded = targets.NewPrimaryDegraded
+	NewRoutingSkew     = targets.NewRoutingSkew
+	NewReplicaLeak     = targets.NewReplicaLeak
+	NewBadDeploy       = targets.NewBadDeploy
+	NewSearchSurge     = targets.NewSearchSurge
 )
 
 // Tier constants.
@@ -107,7 +144,8 @@ type config struct {
 	approachKind        ApproachKind
 	approach            Approach
 	syn                 Synopsis
-	browsing            bool
+	targetKinds         []TargetKind
+	mix                 string
 	threshold           int
 	adminDelayTicks     int
 	noEscalationRestart bool
@@ -118,6 +156,71 @@ type config struct {
 
 func defaultConfig() config {
 	return config{seed: 42, approachKind: ApproachHybrid}
+}
+
+// targetKindFor returns the target kind replica i runs: WithTargets
+// round-robins a heterogeneous fleet, WithTarget pins one kind, and the
+// default is the auction simulator.
+func (c *config) targetKindFor(i int) TargetKind {
+	if len(c.targetKinds) == 0 {
+		return TargetAuction
+	}
+	return c.targetKinds[i%len(c.targetKinds)]
+}
+
+// distinctKinds returns the configured target kinds, deduplicated in
+// order.
+func (c *config) distinctKinds() []TargetKind {
+	if len(c.targetKinds) == 0 {
+		return []TargetKind{TargetAuction}
+	}
+	seen := make(map[TargetKind]bool, len(c.targetKinds))
+	var out []TargetKind
+	for _, k := range c.targetKinds {
+		if !seen[k] {
+			seen[k] = true
+			out = append(out, k)
+		}
+	}
+	return out
+}
+
+// checkMix verifies that at least one configured target kind understands
+// cfg.mix. Mix names are target-scoped, so a heterogeneous fleet is only
+// an error when *no* kind speaks the name; kinds that don't speak it run
+// their default (see mixFor).
+func (c *config) checkMix() error {
+	if c.mix == "" {
+		return nil
+	}
+	var details []string
+	for _, k := range c.distinctKinds() {
+		spec, ok := TargetSpecFor(k)
+		if !ok {
+			// Unknown kind: let target construction report it.
+			return nil
+		}
+		if spec.ValidMix(c.mix) {
+			return nil
+		}
+		details = append(details, fmt.Sprintf("%s: %s", k, strings.Join(spec.Mixes, "/")))
+	}
+	return fmt.Errorf("selfheal: no configured target understands workload mix %q (%s)",
+		c.mix, strings.Join(details, "; "))
+}
+
+// mixFor resolves the workload mix replica kind actually runs: cfg.mix
+// when the kind's spec understands it, the kind's own default otherwise —
+// so a heterogeneous fleet applies a mix to the kinds that define it
+// without rejecting the rest.
+func (c *config) mixFor(kind TargetKind) string {
+	if c.mix == "" {
+		return ""
+	}
+	if spec, ok := TargetSpecFor(kind); ok && !spec.ValidMix(c.mix) {
+		return ""
+	}
+	return c.mix
 }
 
 // Option configures a System or a Fleet.
@@ -173,10 +276,50 @@ func WithSynopsis(s Synopsis) Option {
 	}
 }
 
+// WithTarget picks the managed system being healed by registered target
+// kind (default TargetAuction, the RUBiS-style simulator). The target's
+// spec supplies its fault catalog, candidate fixes, workload mixes and
+// default SLO.
+func WithTarget(kind TargetKind) Option {
+	return func(c *config) error {
+		if kind == "" {
+			kind = TargetAuction
+		}
+		c.targetKinds = []TargetKind{kind}
+		return nil
+	}
+}
+
+// WithTargets builds a heterogeneous fleet: replica i runs target kind
+// kinds[i mod len(kinds)]. With a shared knowledge base the targets pool
+// experience across kinds — symptom dimensions with shared metric names
+// align, target-specific dimensions only discriminate within their own
+// kind. A single System uses kinds[0].
+func WithTargets(kinds ...TargetKind) Option {
+	return func(c *config) error {
+		if len(kinds) == 0 {
+			return fmt.Errorf("selfheal: WithTargets needs at least one kind")
+		}
+		c.targetKinds = append([]TargetKind(nil), kinds...)
+		return nil
+	}
+}
+
+// WithWorkloadMix selects a workload mix by name from the target's spec
+// (e.g. "bidding" and "browsing" on the auction target, "balanced" and
+// "readheavy" on the replicated one). An empty name keeps the target's
+// default. Mix names are target-scoped: in a heterogeneous fleet the mix
+// applies to the kinds whose spec defines it and the remaining kinds run
+// their defaults; construction fails only when no configured kind
+// understands the name.
+func WithWorkloadMix(name string) Option {
+	return func(c *config) error { c.mix = name; return nil }
+}
+
 // WithBrowsingMix switches the workload to the read-only RUBiS browsing
-// mix.
+// mix — shorthand for WithWorkloadMix("browsing") on the auction target.
 func WithBrowsingMix() Option {
-	return func(c *config) error { c.browsing = true; return nil }
+	return WithWorkloadMix("browsing")
 }
 
 // WithThreshold overrides the Figure 3 THRESHOLD: failed attempts before
@@ -258,7 +401,7 @@ func WithWorkers(n int) Option {
 // serialize behind a mutex and republish the snapshot once per write.
 func NewSharedSynopsis(base Synopsis) *SharedSynopsis { return synopsis.NewShared(base) }
 
-// System is a simulated multitier service with a healing loop attached.
+// System is one managed-system target with a healing loop attached.
 type System struct {
 	*core.Harness
 	Healer   *core.Healer
@@ -278,23 +421,27 @@ func New(ctx context.Context, opts ...Option) (*System, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	return newSystem(&cfg, cfg.seed, cfg.sink)
+	if err := cfg.checkMix(); err != nil {
+		return nil, err
+	}
+	return newSystem(&cfg, cfg.targetKindFor(0), cfg.seed, cfg.sink)
 }
 
-// newSystem realizes one replica of cfg at the given seed. Fleet replicas
-// share cfg but differ in seed and sink.
-func newSystem(cfg *config, seed int64, sink EventSink) (*System, error) {
+// newSystem realizes one replica of cfg at the given target kind and
+// seed. Fleet replicas share cfg but differ in kind, seed and sink.
+func newSystem(cfg *config, kind TargetKind, seed int64, sink EventSink) (*System, error) {
 	approach, err := resolveApproach(cfg)
+	if err != nil {
+		return nil, err
+	}
+	t, err := NewTarget(kind, TargetConfig{Seed: seed, Mix: cfg.mixFor(kind)})
 	if err != nil {
 		return nil, err
 	}
 	hcfg := core.DefaultHarnessConfig()
 	hcfg.Seed = seed
-	hcfg.Service.Seed = seed*7919 + 17
-	if cfg.browsing {
-		hcfg.Mix = workload.BrowsingMix()
-	}
-	h := core.NewHarness(hcfg)
+	hcfg.SLO = t.Spec().SLO
+	h := core.NewTargetHarness(t, hcfg)
 	hlcfg := core.DefaultHealerConfig()
 	if cfg.threshold > 0 {
 		hlcfg.Threshold = cfg.threshold
@@ -307,7 +454,7 @@ func newSystem(cfg *config, seed int64, sink EventSink) (*System, error) {
 	}
 	hlcfg.LearnBatch = cfg.learnBatch
 	hl := core.NewHealer(h, approach, hlcfg)
-	hl.AdminOracle = core.OracleFromInjector(h.Inj)
+	hl.AdminOracle = core.OracleFromTarget(t)
 	hl.Sink = sink
 	return &System{Harness: h, Healer: hl, approach: approach}, nil
 }
@@ -339,9 +486,25 @@ func MustNew(ctx context.Context, opts ...Option) *System {
 // Approach returns the system's healing approach.
 func (s *System) Approach() Approach { return s.approach }
 
+// Target returns the managed system under healing.
+func (s *System) Target() Target { return s.Harness.Target }
+
+// TargetSpec returns the catalog of the system's target kind.
+func (s *System) TargetSpec() TargetSpec { return s.Harness.Target.Spec() }
+
+// NewFaults returns a deterministic random fault generator scoped to the
+// system's target catalog; unknown kinds return an error listing the
+// valid ones.
+func (s *System) NewFaults(seed int64, kinds ...FaultKind) (FaultGen, error) {
+	return s.Harness.Target.NewFaults(seed, kinds...)
+}
+
 // HealEpisode injects the fault and drives the Figure 3 loop until the
 // service recovers (or escalation completes). Cancelling the context stops
-// the episode where it stands and returns what was observed.
+// the episode where it stands and returns what was observed. A fault
+// built for a different target kind (e.g. NewReplicaDown against the
+// default auction target) is refused: the returned Episode has Err set
+// and nothing was injected.
 func (s *System) HealEpisode(ctx context.Context, f Fault) Episode {
 	return s.Healer.RunEpisode(ctx, f)
 }
@@ -351,19 +514,31 @@ func (s *System) HealEpisode(ctx context.Context, f Fault) Episode {
 // campaign does this per replica automatically.
 func (s *System) FlushLearned() { s.Healer.FlushLearned() }
 
-// ServiceConfig returns the simulated service's configuration.
-func (s *System) ServiceConfig() service.Config { return s.Svc.Config() }
+// ServiceConfig returns the simulated service's configuration. It is
+// meaningful only for the default auction target; other targets return
+// the zero Config.
+func (s *System) ServiceConfig() service.Config {
+	if s.Svc == nil {
+		return service.Config{}
+	}
+	return s.Svc.Config()
+}
 
 // NewProactive attaches a §5.3 forecast-driven healer to the system.
 func (s *System) NewProactive() *core.Proactive { return core.NewProactive(s.Harness) }
 
-// RandomFaults returns a deterministic random fault generator over the
-// given kinds (all Table 1 kinds when empty).
+// RandomFaults returns a deterministic random fault generator for the
+// default auction target over the given kinds (all Table 1 kinds when
+// empty). Kinds are validated up front: unknown kinds panic at
+// construction with the valid list, instead of the old silent acceptance
+// that crashed mid-campaign. For error-returning, target-scoped
+// generation use System.NewFaults or Target.NewFaults.
 func RandomFaults(seed int64, kinds ...FaultKind) *faults.Generator {
-	return faults.NewGenerator(seed, kinds...)
+	return faults.MustNewGenerator(seed, kinds...)
 }
 
-// CandidateFixes re-exports the Table 1 fault→fix map.
+// CandidateFixes re-exports the Table 1 fault→fix map of the default
+// auction target. Target-scoped maps live on each TargetSpec.
 func CandidateFixes(k FaultKind) []FixID { return catalog.CandidateFixes(k) }
 
 // Knowledge-base construction and portability.
@@ -383,6 +558,12 @@ var (
 	// NewFixSym builds a FixSym approach over any synopsis.
 	NewFixSym = core.NewFixSym
 	// SaveSynopsis serializes a synopsis's training history (the §5.1
+	// knowledge base). Point vectors are expressed in the saving
+	// process's symptom-space coordinates: a process importing the file
+	// must construct its target kinds in the same order so shared metric
+	// names land on the same dimensions. Single-kind processes (like the
+	// examples/knowledgebase staging→production flow) always agree — the
+	// layout is the target's own schema order.
 	// knowledge base) as JSON.
 	SaveSynopsis = synopsis.Save
 	// LoadSynopsis replays a serialized history into any synopsis.
