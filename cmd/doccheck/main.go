@@ -1,0 +1,38 @@
+// Command doccheck is the documentation gate CI runs over the markdown
+// guides: `go` code blocks must be real code (complete programs build
+// against this module, fragments parse), and relative links — including
+// #anchors — must resolve. Exit status 1 when anything is broken.
+//
+//	doccheck README.md ADDING_TARGETS.md KNOWLEDGE_BASES.md
+//	doccheck -root /path/to/repo README.md
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"selfheal/internal/docs"
+)
+
+func main() {
+	root := flag.String("root", ".", "module root the files are relative to")
+	flag.Parse()
+	if flag.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "usage: doccheck [-root dir] <file.md>...")
+		os.Exit(2)
+	}
+	issues, err := docs.CheckFiles(*root, flag.Args())
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "doccheck:", err)
+		os.Exit(2)
+	}
+	for _, iss := range issues {
+		fmt.Println(iss)
+	}
+	if len(issues) > 0 {
+		fmt.Fprintf(os.Stderr, "doccheck: %d issue(s)\n", len(issues))
+		os.Exit(1)
+	}
+	fmt.Printf("doccheck: %d file(s) clean\n", flag.NArg())
+}

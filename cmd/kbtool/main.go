@@ -1,0 +1,359 @@
+// Command kbtool works with portable knowledge-base snapshots (the §5.1
+// knowledge base "a practitioner can use"): inspect what a file holds,
+// convert legacy positional (v1) files to the schema-carrying v2 format,
+// merge many fleets' experience into one file, and diff two files.
+//
+//	kbtool inspect kb.json
+//	kbtool inspect -symptoms kb.json
+//	kbtool convert -targets replicated,auction -o kb2.json old-kb.json
+//	kbtool merge -o all.json fleetA.json fleetB.json fleetC.json
+//	kbtool diff fleetA.json fleetB.json
+//
+// See KNOWLEDGE_BASES.md for the file format and the portability rules
+// each subcommand relies on.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"selfheal"
+	"selfheal/internal/detect"
+	"selfheal/internal/synopsis"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "inspect":
+		err = cmdInspect(os.Args[2:])
+	case "convert":
+		err = cmdConvert(os.Args[2:])
+	case "merge":
+		err = cmdMerge(os.Args[2:])
+	case "diff":
+		err = cmdDiff(os.Args[2:])
+	case "-h", "--help", "help":
+		usage()
+		return
+	default:
+		fmt.Fprintf(os.Stderr, "kbtool: unknown subcommand %q\n\n", os.Args[1])
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "kbtool:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprint(os.Stderr, `usage: kbtool <subcommand> [flags] <file>...
+
+subcommands:
+  inspect [-symptoms] <kb.json>            summarize a snapshot
+  convert [-targets a,b] [-o out] <kb.json>  rewrite as format v2
+  merge -o <out.json> <kb.json>...         fold snapshots into one
+  diff <a.json> <b.json>                   compare two snapshots
+
+convert attaches a symptom-space name table to a positional (v1) file;
+-targets must list the writer's target kinds in the order that process
+registered them. merge and diff refuse to mix named and unnamed files.
+`)
+}
+
+// decodeFile reads one snapshot from disk.
+func decodeFile(path string) (*synopsis.Snapshot, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	snap, err := synopsis.Decode(f)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return snap, nil
+}
+
+// encodeTo writes a snapshot to path, or stdout when path is empty.
+func encodeTo(path string, snap *synopsis.Snapshot) error {
+	if path == "" {
+		return snap.Encode(os.Stdout)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := snap.Encode(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// warnUnnamed prints the portability caveat for positional snapshots.
+func warnUnnamed(snap *synopsis.Snapshot, path string) {
+	if len(snap.Symptoms) == 0 {
+		fmt.Fprintf(os.Stderr, "kbtool: warning: %s carries no symptom name table; "+
+			"its vectors are positional and rank fixes correctly only in a process that "+
+			"registered target kinds in the writer's order (convert with -targets to fix)\n", path)
+	}
+}
+
+func cmdInspect(args []string) error {
+	fs := flag.NewFlagSet("inspect", flag.ExitOnError)
+	symptoms := fs.Bool("symptoms", false, "print the full symptom-space name table")
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		return fmt.Errorf("inspect wants exactly one file")
+	}
+	path := fs.Arg(0)
+	snap, err := decodeFile(path)
+	if err != nil {
+		return err
+	}
+	warnUnnamed(snap, path)
+
+	successes, width := 0, 0
+	perFix := map[string]int{}
+	for _, p := range snap.Points {
+		if p.Success {
+			successes++
+		}
+		if len(p.X) > width {
+			width = len(p.X)
+		}
+		perFix[p.Action.String()]++
+	}
+	fmt.Printf("%s: format v%d, synopsis %q\n", path, snap.Version, snap.Synopsis)
+	fmt.Printf(" points: %d (%d successes, %d negatives), widest vector %d dims\n",
+		len(snap.Points), successes, len(snap.Points)-successes, width)
+	fmt.Printf(" symptom space: %d named dimensions\n", len(snap.Symptoms))
+	if *symptoms {
+		for d, name := range snap.Symptoms {
+			fmt.Printf("   [%3d] %s\n", d, name)
+		}
+	}
+	for _, kind := range sortedKeys(snap.Targets) {
+		cat := snap.Targets[kind]
+		fmt.Printf(" target %q: %d fault kinds (%s)\n", kind, len(cat.FaultKinds), cat.Description)
+	}
+	for _, action := range sortedKeys(perFix) {
+		fmt.Printf("   %4d× %s\n", perFix[action], action)
+	}
+	return nil
+}
+
+func cmdConvert(args []string) error {
+	fs := flag.NewFlagSet("convert", flag.ExitOnError)
+	out := fs.String("o", "", "output file (default stdout)")
+	targetList := fs.String("targets", "", "comma-separated target kinds in the writer's registration order")
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		return fmt.Errorf("convert wants exactly one input file")
+	}
+	snap, err := decodeFile(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+
+	kinds := splitList(*targetList)
+	if len(kinds) == 0 {
+		if len(snap.Symptoms) == 0 {
+			return fmt.Errorf("%s carries no symptom name table: pass -targets with the writer's target kinds in registration order", fs.Arg(0))
+		}
+		// Already named: normalize the version and re-encode.
+		snap.Version = synopsis.FormatV2
+		return encodeTo(*out, snap)
+	}
+
+	// Reconstruct the symptom space a process registering these kinds in
+	// this order would have built.
+	space := detect.NewSymptomSpace()
+	catalogs := selfheal.TargetCatalogs()
+	targets := make(map[string]selfheal.KBTargetCatalog, len(kinds))
+	for _, kind := range kinds {
+		names, err := selfheal.TargetMetricNames(selfheal.TargetKind(kind))
+		if err != nil {
+			return err
+		}
+		space.Indices(names)
+		if cat, ok := catalogs[kind]; ok {
+			targets[kind] = cat
+		}
+	}
+
+	if len(snap.Symptoms) > 0 {
+		// Re-coordinate a named file into the reconstructed layout. The
+		// file's own recorded catalogs are the writer's metadata and win
+		// over this binary's registry; -targets only adds missing kinds.
+		for i := range snap.Points {
+			snap.Points[i].X = space.Remap(snap.Symptoms, snap.Points[i].X)
+		}
+		for kind, cat := range snap.Targets {
+			targets[kind] = cat
+		}
+	} else {
+		// Positional file: the reconstructed space IS its coordinate
+		// system, by the operator's assertion via -targets.
+		for i, p := range snap.Points {
+			if len(p.X) > space.Dim() {
+				return fmt.Errorf("point %d has %d dimensions but targets %q only name %d — wrong kinds or wrong order",
+					i, len(p.X), *targetList, space.Dim())
+			}
+		}
+	}
+	snap.Version = synopsis.FormatV2
+	snap.Symptoms = space.Names()
+	if len(targets) > 0 {
+		snap.Targets = targets
+	}
+	return encodeTo(*out, snap)
+}
+
+func cmdMerge(args []string) error {
+	fs := flag.NewFlagSet("merge", flag.ExitOnError)
+	out := fs.String("o", "", "output file (default stdout)")
+	fs.Parse(args)
+	if fs.NArg() < 1 {
+		return fmt.Errorf("merge wants at least one input file")
+	}
+	var snaps []*synopsis.Snapshot
+	for _, path := range fs.Args() {
+		snap, err := decodeFile(path)
+		if err != nil {
+			return err
+		}
+		warnUnnamed(snap, path)
+		snaps = append(snaps, snap)
+	}
+	merged, err := synopsis.Merge(snaps...)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "kbtool: merged %d snapshots: %d points, %d named dimensions, %d target kinds\n",
+		len(snaps), len(merged.Points), len(merged.Symptoms), len(merged.Targets))
+	return encodeTo(*out, merged)
+}
+
+func cmdDiff(args []string) error {
+	fs := flag.NewFlagSet("diff", flag.ExitOnError)
+	fs.Parse(args)
+	if fs.NArg() != 2 {
+		return fmt.Errorf("diff wants exactly two files")
+	}
+	a, err := decodeFile(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	b, err := decodeFile(fs.Arg(1))
+	if err != nil {
+		return err
+	}
+	if (len(a.Symptoms) > 0) != (len(b.Symptoms) > 0) {
+		return fmt.Errorf("cannot diff a named against an unnamed snapshot: convert %s first",
+			pick(len(a.Symptoms) == 0, fs.Arg(0), fs.Arg(1)))
+	}
+
+	different := false
+	report := func(format string, args ...any) {
+		different = true
+		fmt.Printf(format+"\n", args...)
+	}
+	if a.Synopsis != b.Synopsis {
+		report("synopsis: %q vs %q", a.Synopsis, b.Synopsis)
+	}
+	diffNames(report, "symptom", a.Symptoms, b.Symptoms)
+	diffNames(report, "target", sortedKeys(a.Targets), sortedKeys(b.Targets))
+
+	// Points compare by canonical identity in one shared space, so two
+	// files that merely laid out the same named experience differently
+	// diff as equal.
+	space := detect.NewSymptomSpace()
+	ka, kb := a.Keys(space), b.Keys(space)
+	onlyA, onlyB := 0, 0
+	for k, n := range ka {
+		if d := n - kb[k]; d > 0 {
+			onlyA += d
+		}
+	}
+	for k, n := range kb {
+		if d := n - ka[k]; d > 0 {
+			onlyB += d
+		}
+	}
+	if onlyA > 0 || onlyB > 0 {
+		report("points: %d only in %s, %d only in %s (%d vs %d total)",
+			onlyA, fs.Arg(0), onlyB, fs.Arg(1), len(a.Points), len(b.Points))
+	}
+	if !different {
+		fmt.Printf("snapshots hold identical experience (%d points)\n", len(a.Points))
+		return nil
+	}
+	os.Exit(1)
+	return nil
+}
+
+// diffNames reports set differences between two name lists.
+func diffNames(report func(string, ...any), what string, a, b []string) {
+	as, bs := toSet(a), toSet(b)
+	var onlyA, onlyB []string
+	for _, n := range a {
+		if !bs[n] {
+			onlyA = append(onlyA, n)
+		}
+	}
+	for _, n := range b {
+		if !as[n] {
+			onlyB = append(onlyB, n)
+		}
+	}
+	if len(onlyA) > 0 {
+		report("%ss only in first: %s", what, strings.Join(onlyA, ", "))
+	}
+	if len(onlyB) > 0 {
+		report("%ss only in second: %s", what, strings.Join(onlyB, ", "))
+	}
+}
+
+func toSet(names []string) map[string]bool {
+	out := make(map[string]bool, len(names))
+	for _, n := range names {
+		out[n] = true
+	}
+	return out
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func splitList(s string) []string {
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		if part = strings.TrimSpace(part); part != "" {
+			out = append(out, part)
+		}
+	}
+	return out
+}
+
+func pick(cond bool, a, b string) string {
+	if cond {
+		return a
+	}
+	return b
+}

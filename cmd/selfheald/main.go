@@ -9,9 +9,17 @@
 // replicas round-robin over the kinds (pair it with -share to pool their
 // experience in one knowledge base).
 //
+// The knowledge base the fleet learns survives the process: -kb-out
+// saves it as a portable format-v2 snapshot (symptom names recorded next
+// to the vectors), -kb-in preloads one saved anywhere — by this daemon,
+// a staging bootstrap, or a kbtool merge of many fleets — regardless of
+// the order in which the writer registered its target kinds.
+//
 //	selfheald -episodes 20 -approach hybrid -seed 7
 //	selfheald -episodes 64 -replicas 8 -workers 4 -share -batch 1
 //	selfheald -episodes 24 -replicas 4 -target auction,replicated -share
+//	selfheald -episodes 32 -target replicated -kb-out fleetB.kb.json
+//	selfheald -episodes 32 -target auction,replicated -kb-in merged.kb.json
 package main
 
 import (
@@ -93,6 +101,8 @@ func main() {
 		seed     = flag.Int64("seed", 7, "deterministic seed")
 		share    = flag.Bool("share", false, "replicas learn into one shared knowledge base")
 		batch    = flag.Int("batch", 0, "flush learn events every N episodes in one batch (0 = learn per attempt)")
+		kbIn     = flag.String("kb-in", "", "preload the knowledge base from this snapshot file before the campaign (implies -share)")
+		kbOut    = flag.String("kb-out", "", "save the knowledge base to this snapshot file after the campaign (implies -share)")
 	)
 	flag.Parse()
 	ctx := context.Background()
@@ -115,10 +125,13 @@ func main() {
 		selfheal.WithWorkloadMix(*mix),
 		selfheal.WithEventSink(sink),
 	}
-	if *share {
+	var kb *selfheal.SharedSynopsis
+	if *share || *kbIn != "" || *kbOut != "" {
 		// A shared knowledge base means FixSym over one synopsis; the
-		// -approach flag is superseded.
-		opts = append(opts, selfheal.WithSynopsis(selfheal.NewSharedSynopsis(selfheal.NewNNSynopsis())))
+		// -approach flag is superseded. -kb-in/-kb-out force one so the
+		// fleet's whole experience lives in a single persistable KB.
+		kb = selfheal.NewSharedSynopsis(selfheal.NewNNSynopsis())
+		opts = append(opts, selfheal.WithSynopsis(kb))
 	}
 	if *workers != 0 {
 		opts = append(opts, selfheal.WithWorkers(*workers))
@@ -132,8 +145,19 @@ func main() {
 		fmt.Fprintln(os.Stderr, "selfheald:", err)
 		os.Exit(2)
 	}
+	if *kbIn != "" {
+		// Load after NewFleet: the replicas' warmups have registered this
+		// process's metric schemas, so the snapshot's vectors remap into
+		// an already-populated symptom space.
+		n, err := loadKB(*kbIn, kb)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "selfheald:", err)
+			os.Exit(2)
+		}
+		fmt.Printf("selfheald: knowledge base preloaded from %s (%d signatures)\n", *kbIn, n)
+	}
 	fmt.Printf("selfheald: %d episodes over %d replica(s), approach=%s, target=%s, seed=%d, shared-kb=%v, learn-batch=%d\n\n",
-		*episodes, *replicas, fleet.Replica(0).Approach().Name(), *target, *seed, *share, *batch)
+		*episodes, *replicas, fleet.Replica(0).Approach().Name(), *target, *seed, kb != nil, *batch)
 
 	if _, err := fleet.RunCampaign(ctx, selfheal.Campaign{Episodes: *episodes}); err != nil {
 		fmt.Fprintln(os.Stderr, "selfheald:", err)
@@ -141,4 +165,38 @@ func main() {
 	}
 	fmt.Println()
 	fmt.Println(sink.summary())
+	if *kbOut != "" {
+		if err := saveKB(*kbOut, kb); err != nil {
+			fmt.Fprintln(os.Stderr, "selfheald:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("knowledge base saved to %s (%d signatures)\n", *kbOut, kb.TrainingSize())
+	}
+}
+
+// loadKB replays a knowledge-base snapshot into the fleet's shared
+// synopsis and reports how many signatures it now holds.
+func loadKB(path string, kb *selfheal.SharedSynopsis) (int, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return 0, err
+	}
+	defer f.Close()
+	if err := selfheal.LoadKnowledgeBase(f, kb); err != nil {
+		return 0, err
+	}
+	return kb.TrainingSize(), nil
+}
+
+// saveKB writes the fleet's shared synopsis as a format-v2 snapshot.
+func saveKB(path string, kb *selfheal.SharedSynopsis) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := selfheal.SaveKnowledgeBase(f, kb); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }

@@ -1,8 +1,13 @@
 // Knowledgebase demonstrates the §4.2/§5.1 preproduction workflow: actively
 // stimulate a staging copy of the service with injected faults to bootstrap
-// a synopsis, persist the learned knowledge base as JSON, and ship it to a
-// production healer — which then fixes its very first failure without ever
-// bothering the administrator.
+// a synopsis, persist the learned knowledge base as a portable snapshot,
+// and ship it to a production healer — which then fixes its very first
+// failure without ever bothering the administrator.
+//
+// The snapshot is format v2 (see KNOWLEDGE_BASES.md): next to the training
+// points it records the symptom-space name table and the registered target
+// catalogs, so the production process may register its target kinds in any
+// order — vectors are realigned by metric name on load.
 package main
 
 import (
@@ -26,17 +31,25 @@ func main() {
 	fmt.Printf("   learned %d labeled failure signatures\n", n)
 
 	// 2. Persist the knowledge base (§5.1: "a knowledge-base that a
-	//    practitioner can use").
+	//    practitioner can use"). SaveKnowledgeBase records the symptom
+	//    name table and target catalogs that make the file portable.
 	var kb bytes.Buffer
-	if err := selfheal.SaveSynopsis(&kb, staging); err != nil {
+	if err := selfheal.SaveKnowledgeBase(&kb, staging); err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("2. knowledge base serialized: %d bytes of JSON\n", kb.Len())
+	snap, err := selfheal.DecodeKnowledgeBase(bytes.NewReader(kb.Bytes()))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("2. knowledge base serialized: %d bytes of JSON (format v%d, %d named symptom dimensions, %d target catalogs)\n",
+		kb.Len(), snap.Version, len(snap.Symptoms), len(snap.Targets))
 
 	// 3. Production: a different learner (AdaBoost) is rebuilt from the
-	//    same history — the knowledge base is learner-agnostic.
+	//    same history — the knowledge base is learner-agnostic, and the
+	//    load remaps every vector into this process's symptom space by
+	//    metric name.
 	production := selfheal.NewAdaBoostSynopsis(60)
-	if err := selfheal.LoadSynopsis(&kb, production); err != nil {
+	if err := selfheal.LoadKnowledgeBase(bytes.NewReader(kb.Bytes()), production); err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("3. production healer rebuilt from the knowledge base (%d signatures, %s)\n",

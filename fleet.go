@@ -122,17 +122,25 @@ const defaultCampaignBatch = 8
 
 // ReplicaResult is one replica's share of a campaign.
 type ReplicaResult struct {
-	Replica  int
-	Seed     int64
+	// Replica is the replica's index in the fleet.
+	Replica int
+	// Seed is the replica's derived deterministic seed.
+	Seed int64
+	// Episodes are the replica's healed episodes, in injection order.
 	Episodes []Episode
 }
 
 // FleetStats aggregates recovery and time-to-repair over a campaign.
 type FleetStats struct {
-	Episodes     int
-	Detected     int
-	Recovered    int
-	Escalated    int
+	// Episodes counts every injected episode.
+	Episodes int
+	// Detected counts episodes whose failure the monitor declared.
+	Detected int
+	// Recovered counts episodes that ended with a clean service window.
+	Recovered int
+	// Escalated counts episodes that reached the administrator.
+	Escalated int
+	// CorrectFirst counts episodes healed by their very first attempt.
 	CorrectFirst int
 	// MeanTTR averages injection-through-recovery over recovered episodes.
 	MeanTTR float64
@@ -151,8 +159,10 @@ func (s FleetStats) RecoveryRate() float64 {
 
 // FleetResult is the outcome of one fleet campaign.
 type FleetResult struct {
+	// Replicas holds each replica's share, indexed by replica id.
 	Replicas []ReplicaResult
-	Stats    FleetStats
+	// Stats aggregates the whole campaign.
+	Stats FleetStats
 }
 
 // campaignShard is one replica's remaining share of a campaign: its

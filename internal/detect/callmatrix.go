@@ -82,7 +82,9 @@ func add(dst, src [][]float64) {
 
 // Anomaly is one implicated callee EJB column with its aggregate score.
 type Anomaly struct {
-	Col   int
+	// Col is the callee column index (see Target.CallCallees for names).
+	Col int
+	// Score is the accumulated positive χ² over-representation.
 	Score float64
 }
 

@@ -33,8 +33,12 @@ type Sample struct {
 // and the share of individual requests missing their latency target —
 // the per-transaction form the paper's brokerage example uses.
 type SLO struct {
-	MaxAvgLatencyMS   float64
-	MaxErrorRate      float64
+	// MaxAvgLatencyMS bounds the per-tick mean served-request latency.
+	MaxAvgLatencyMS float64
+	// MaxErrorRate bounds user-visible errors per arrival.
+	MaxErrorRate float64
+	// MaxViolationShare bounds the fraction of individual requests
+	// missing their own latency objective (0 disables the check).
 	MaxViolationShare float64
 }
 
@@ -70,7 +74,9 @@ func (s SLO) Violated(st Sample) bool {
 // health is declared only after a clean run of N ticks — the "care should be
 // taken to let the service recover fully" caveat of §4.1.
 type Monitor struct {
-	SLO  SLO
+	// SLO is the objective each tick is judged against.
+	SLO SLO
+	// K violated ticks out of the last N declare a failure.
 	K, N int
 
 	window   []bool

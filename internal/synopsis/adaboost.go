@@ -42,7 +42,7 @@ type treeNode struct {
 
 func (n *treeNode) predict(x []float64) int {
 	for !n.leaf {
-		if n.feature < len(x) && x[n.feature] <= n.threshold {
+		if feature(x, n.feature) <= n.threshold {
 			n = n.left
 		} else {
 			n = n.right
@@ -199,14 +199,13 @@ func (s *AdaBoost) buildTree(idx []int, w []float64, thresholds [][]float64, k, 
 	if depth == 0 || total <= 0 || majorW >= total-1e-12 || len(idx) < 2 {
 		return leaf
 	}
-	feature, threshold, gain := s.bestSplit(idx, w, thresholds, k, total-majorW)
+	feat, threshold, gain := s.bestSplit(idx, w, thresholds, k, total-majorW)
 	if gain <= 1e-12 {
 		return leaf
 	}
 	var li, ri []int
 	for _, i := range idx {
-		x := s.points[i].X
-		if feature < len(x) && x[feature] <= threshold {
+		if feature(s.points[i].X, feat) <= threshold {
 			li = append(li, i)
 		} else {
 			ri = append(ri, i)
@@ -216,7 +215,7 @@ func (s *AdaBoost) buildTree(idx []int, w []float64, thresholds [][]float64, k, 
 		return leaf
 	}
 	return &treeNode{
-		feature:   feature,
+		feature:   feat,
 		threshold: threshold,
 		left:      s.buildTree(li, w, thresholds, k, depth-1),
 		right:     s.buildTree(ri, w, thresholds, k, depth-1),
@@ -238,9 +237,8 @@ func (s *AdaBoost) bestSplit(idx []int, w []float64, thresholds [][]float64, k i
 			}
 			var lTot, rTot float64
 			for _, i := range idx {
-				x := s.points[i].X
 				c := s.labels[i]
-				if f < len(x) && x[f] <= th {
+				if feature(s.points[i].X, f) <= th {
 					leftW[c] += w[i]
 					lTot += w[i]
 				} else {
@@ -272,15 +270,13 @@ func (s *AdaBoost) candidateThresholds() [][]float64 {
 	if len(s.points) == 0 {
 		return nil
 	}
-	dim := len(s.points[0].X)
+	dim := width(s.points)
 	out := make([][]float64, dim)
 	vals := make([]float64, 0, len(s.points))
 	for f := 0; f < dim; f++ {
 		vals = vals[:0]
 		for i := range s.points {
-			if f < len(s.points[i].X) {
-				vals = append(vals, s.points[i].X[f])
-			}
+			vals = append(vals, feature(s.points[i].X, f))
 		}
 		sort.Float64s(vals)
 		uniq := vals[:0:0]

@@ -34,9 +34,7 @@ func (s *NaiveBayes) Add(p Point) {
 	if !p.Success {
 		return
 	}
-	if s.dim == 0 {
-		s.dim = len(p.X)
-	}
+	s.grow(len(p.X))
 	c := s.classes.index(p.Action.Fix)
 	for len(s.count) <= c {
 		s.count = append(s.count, 0)
@@ -45,13 +43,32 @@ func (s *NaiveBayes) Add(p Point) {
 	}
 	s.count[c]++
 	n := s.count[c]
-	for f := 0; f < s.dim && f < len(p.X); f++ {
-		d := p.X[f] - s.mean[c][f]
+	for f := 0; f < s.dim; f++ {
+		x := feature(p.X, f)
+		d := x - s.mean[c][f]
 		s.mean[c][f] += d / n
-		s.m2[c][f] += d * (p.X[f] - s.mean[c][f])
+		s.m2[c][f] += d * (x - s.mean[c][f])
 	}
 	s.ex.add(p)
 	s.n++
+}
+
+// grow widens the per-class moment arrays to dim coordinates. Every prior
+// observation implicitly held zero in the new coordinates (see feature),
+// and the Welford moments of an all-zero stream are exactly zero, so
+// extending with zeros keeps the running statistics identical to the ones
+// a fixed-width learner would have accumulated.
+func (s *NaiveBayes) grow(dim int) {
+	if dim <= s.dim {
+		return
+	}
+	for c := range s.mean {
+		for len(s.mean[c]) < dim {
+			s.mean[c] = append(s.mean[c], 0)
+			s.m2[c] = append(s.m2[c], 0)
+		}
+	}
+	s.dim = dim
 }
 
 // AddBatch implements Batcher. The Welford update is already incremental,
@@ -96,12 +113,12 @@ func (s *NaiveBayes) rankFixes(x []float64) []fixScore {
 			continue
 		}
 		lp := math.Log(s.count[c] / float64(s.n))
-		for f := 0; f < s.dim && f < len(x); f++ {
+		for f := 0; f < s.dim; f++ {
 			v := varFloor
 			if s.count[c] > 1 {
 				v += s.m2[c][f] / s.count[c]
 			}
-			d := x[f] - s.mean[c][f]
+			d := feature(x, f) - s.mean[c][f]
 			lp += -0.5*math.Log(2*math.Pi*v) - d*d/(2*v)
 		}
 		logps = append(logps, lp)

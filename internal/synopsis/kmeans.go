@@ -88,10 +88,10 @@ func (s *KMeans) recluster() {
 			delete(s.centroids, fix)
 			continue
 		}
-		dim := len(pts[0].X)
+		dim := width(pts)
 		c := make([]float64, dim)
 		for _, p := range pts {
-			for d := 0; d < dim && d < len(p.X); d++ {
+			for d := 0; d < len(p.X); d++ {
 				c[d] += p.X[d]
 			}
 		}

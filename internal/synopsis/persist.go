@@ -2,10 +2,12 @@ package synopsis
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 
 	"selfheal/internal/catalog"
+	"selfheal/internal/detect"
 )
 
 // Persistence turns a learned synopsis into the portable knowledge base
@@ -13,18 +15,98 @@ import (
 // practitioner can use"): the training observations are serialized, and
 // any synopsis can be rebuilt from them — including a different learner
 // over the same history.
+//
+// Snapshot format v2 makes the file portable across processes. Alongside
+// the points it records the symptom-space name table (dimension → metric
+// name, from detect.SymptomSpace) and the fix catalogs of the target
+// kinds that produced the experience. On import, every point vector is
+// remapped by name into the importing process's own symptom space —
+// dimensions are reordered, names the writer never measured read zero,
+// and names the reader has never seen extend its space — so a knowledge
+// base built by a fleet that registered target kinds as (replicated,
+// auction) ranks fixes identically in a process that registered them as
+// (auction, replicated).
+//
+// Version 1 files (and v2 files written by a process with an empty
+// symptom space, e.g. pure-vector users that never built a harness) carry
+// no name table and keep the historical same-order semantics: vectors are
+// replayed positionally, so they are only portable between processes that
+// construct their target kinds in the same order. kbtool convert can
+// attach a name table to such files after the fact.
+
+// Format versions of the on-disk snapshot.
+const (
+	// FormatV1 is the original format: raw aligned vectors, no name
+	// table; loads are positional (same-order semantics).
+	FormatV1 = 1
+	// FormatV2 adds the symptom-space name table and per-target fix
+	// catalogs; loads remap vectors by metric name.
+	FormatV2 = 2
+)
+
+// ErrNotExportable reports a synopsis that implements Exporter but cannot
+// currently surrender its training history — e.g. an Online wrapper over
+// a base learner with no Export. Callers that persist knowledge bases
+// should treat it as "saving would silently write an empty history".
+var ErrNotExportable = errors.New("training history is not exportable")
 
 // Exporter is implemented by synopses that can surrender their training
-// observations.
+// observations. A non-nil error (typically wrapping ErrNotExportable)
+// means the history exists but cannot be produced; persistence must fail
+// loudly rather than write an empty knowledge base.
 type Exporter interface {
-	Export() []Point
+	// Export returns a copy of the training observations in arrival
+	// order (negatives last for learners that keep them).
+	Export() ([]Point, error)
 }
 
-// snapshot is the on-disk format.
-type snapshot struct {
-	Version int         `json:"version"`
-	Name    string      `json:"synopsis"`
-	Points  []jsonPoint `json:"points"`
+// TargetCatalog records one target kind's healing vocabulary inside a
+// snapshot, so a knowledge base names the fault kinds and candidate
+// fixes that were available to the process that wrote it even when read
+// far from that process (or that binary). It describes the writer's
+// registered vocabulary, not which kinds actually produced points —
+// points do not record their target kind.
+type TargetCatalog struct {
+	// Description is the target kind's one-line summary.
+	Description string `json:"description,omitempty"`
+	// FaultKinds lists the kind's injectable failures in catalog order.
+	FaultKinds []string `json:"fault_kinds,omitempty"`
+	// CandidateFixes maps each fault kind to its candidate fixes in
+	// preference order — the target-scoped analogue of the paper's
+	// Table 1.
+	CandidateFixes map[string][]string `json:"candidate_fixes,omitempty"`
+}
+
+// Snapshot is a decoded knowledge-base file: the training history of a
+// synopsis plus the schema metadata that makes it portable. Point vectors
+// are expressed in the file's own coordinate layout, described by
+// Symptoms; Replay remaps them into a live symptom space.
+type Snapshot struct {
+	// Version is the format version (FormatV1 or FormatV2).
+	Version int
+	// Synopsis names the learner that produced the history ("merged"
+	// when snapshots from different learners were folded together). The
+	// history is learner-agnostic: any synopsis can replay it.
+	Synopsis string
+	// Symptoms is the name table: Symptoms[d] is the metric name of
+	// point-vector dimension d. Empty for v1 files and for v2 files
+	// written from an unnamed (empty) symptom space; such snapshots
+	// replay positionally.
+	Symptoms []string
+	// Targets carries the fix catalogs of the target kinds registered in
+	// the writing process, keyed by target kind name.
+	Targets map[string]TargetCatalog
+	// Points is the training history in file coordinates.
+	Points []Point
+}
+
+// snapshotWire is the JSON form of Snapshot.
+type snapshotWire struct {
+	Version  int                      `json:"version"`
+	Name     string                   `json:"synopsis"`
+	Symptoms []string                 `json:"symptoms,omitempty"`
+	Targets  map[string]TargetCatalog `json:"targets,omitempty"`
+	Points   []jsonPoint              `json:"points"`
 }
 
 type jsonPoint struct {
@@ -44,66 +126,198 @@ func fixByName(name string) (catalog.FixID, bool) {
 	return catalog.FixNone, false
 }
 
-// Save serializes the synopsis's training history as JSON.
+// SaveOptions parameterizes SaveWith.
+type SaveOptions struct {
+	// Space supplies the symptom-space name table recorded in the
+	// snapshot; nil means detect.DefaultSymptomSpace, the space every
+	// harness registers its target's metric schema into.
+	Space *detect.SymptomSpace
+	// Targets is recorded verbatim as the snapshot's per-target fix
+	// catalogs; the selfheal facade fills it from the target registry.
+	Targets map[string]TargetCatalog
+}
+
+// Save serializes the synopsis's training history as a format-v2 JSON
+// snapshot carrying the process-wide symptom-space name table
+// (detect.DefaultSymptomSpace), so the file stays portable across
+// processes that register target kinds in different orders. Synopses
+// whose history cannot be exported (see Exporter) return an error.
 func Save(w io.Writer, s Synopsis) error {
+	return SaveWith(w, s, SaveOptions{})
+}
+
+// SaveWith is Save with an explicit symptom space and target catalogs.
+func SaveWith(w io.Writer, s Synopsis, o SaveOptions) error {
+	snap, err := Capture(s, o)
+	if err != nil {
+		return err
+	}
+	return snap.Encode(w)
+}
+
+// Capture builds the format-v2 Snapshot of a live synopsis without
+// serializing it — the in-memory step shared by Save and the kbtool.
+func Capture(s Synopsis, o SaveOptions) (*Snapshot, error) {
 	ex, ok := s.(Exporter)
 	if !ok {
-		return fmt.Errorf("synopsis: %s cannot export its training data", s.Name())
+		return nil, fmt.Errorf("synopsis: %s cannot export its training data", s.Name())
 	}
-	snap := snapshot{Version: 1, Name: s.Name()}
-	for _, p := range ex.Export() {
-		snap.Points = append(snap.Points, jsonPoint{
+	pts, err := ex.Export()
+	if err != nil {
+		return nil, fmt.Errorf("synopsis: exporting %s: %w", s.Name(), err)
+	}
+	space := o.Space
+	if space == nil {
+		space = detect.DefaultSymptomSpace
+	}
+	names := space.Names()
+	if len(names) > 0 {
+		for i := range pts {
+			if len(pts[i].X) > len(names) {
+				return nil, fmt.Errorf("synopsis: point %d has %d dimensions but the symptom space names only %d — it was not built in this space",
+					i, len(pts[i].X), len(names))
+			}
+		}
+	}
+	return &Snapshot{
+		Version:  FormatV2,
+		Synopsis: s.Name(),
+		Symptoms: names,
+		Targets:  o.Targets,
+		Points:   pts,
+	}, nil
+}
+
+// Encode writes the snapshot as indented JSON.
+func (snap *Snapshot) Encode(w io.Writer) error {
+	wire := snapshotWire{
+		Version:  snap.Version,
+		Name:     snap.Synopsis,
+		Symptoms: snap.Symptoms,
+		Targets:  snap.Targets,
+	}
+	if wire.Version == 0 {
+		wire.Version = FormatV2
+	}
+	for _, p := range snap.Points {
+		wire.Points = append(wire.Points, jsonPoint{
 			X: p.X, Fix: p.Action.Fix.String(), Target: p.Action.Target, Success: p.Success,
 		})
 	}
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", " ")
-	return enc.Encode(snap)
+	return enc.Encode(wire)
 }
 
-// Load replays a serialized training history into the synopsis (which need
-// not be the same learner that produced it).
-func Load(r io.Reader, into Synopsis) error {
-	var snap snapshot
-	if err := json.NewDecoder(r).Decode(&snap); err != nil {
-		return fmt.Errorf("synopsis: decoding snapshot: %w", err)
+// Decode parses a snapshot file without replaying it into a synopsis:
+// the raw material for inspection, conversion, merging and diffing.
+// Unknown versions, unresolvable fix names, and v2 vectors wider than
+// their name table are rejected.
+func Decode(r io.Reader) (*Snapshot, error) {
+	var wire snapshotWire
+	if err := json.NewDecoder(r).Decode(&wire); err != nil {
+		return nil, fmt.Errorf("synopsis: decoding snapshot: %w", err)
 	}
-	if snap.Version != 1 {
-		return fmt.Errorf("synopsis: unsupported snapshot version %d", snap.Version)
+	if wire.Version != FormatV1 && wire.Version != FormatV2 {
+		return nil, fmt.Errorf("synopsis: unsupported snapshot version %d", wire.Version)
 	}
-	for i, jp := range snap.Points {
+	snap := &Snapshot{
+		Version:  wire.Version,
+		Synopsis: wire.Name,
+		Symptoms: wire.Symptoms,
+		Targets:  wire.Targets,
+	}
+	for i, jp := range wire.Points {
 		fix, ok := fixByName(jp.Fix)
 		if !ok {
-			return fmt.Errorf("synopsis: point %d has unknown fix %q", i, jp.Fix)
+			return nil, fmt.Errorf("synopsis: point %d has unknown fix %q", i, jp.Fix)
 		}
-		into.Add(Point{
+		if len(snap.Symptoms) > 0 && len(jp.X) > len(snap.Symptoms) {
+			return nil, fmt.Errorf("synopsis: point %d has %d dimensions but the name table covers %d",
+				i, len(jp.X), len(snap.Symptoms))
+		}
+		snap.Points = append(snap.Points, Point{
 			X:       jp.X,
 			Action:  Action{Fix: fix, Target: jp.Target},
 			Success: jp.Success,
 		})
 	}
+	return snap, nil
+}
+
+// LoadOptions parameterizes LoadWith.
+type LoadOptions struct {
+	// Space is the symptom space snapshot vectors are remapped into; nil
+	// means detect.DefaultSymptomSpace.
+	Space *detect.SymptomSpace
+}
+
+// Load replays a serialized training history into the synopsis (which
+// need not be the same learner that produced it). Format-v2 snapshots
+// are remapped by metric name into the process-wide symptom space
+// (detect.DefaultSymptomSpace), so the file's target-registration order
+// does not matter. Version-1 files — and v2 files saved from an unnamed
+// space — carry no name table and are replayed positionally: they rank
+// fixes correctly only in a process that registered its target kinds in
+// the same order as the writer (single-kind processes always agree).
+func Load(r io.Reader, into Synopsis) error {
+	return LoadWith(r, into, LoadOptions{})
+}
+
+// LoadWith is Load with an explicit destination symptom space.
+func LoadWith(r io.Reader, into Synopsis, o LoadOptions) error {
+	snap, err := Decode(r)
+	if err != nil {
+		return err
+	}
+	return snap.Replay(into, o.Space)
+}
+
+// Replay folds the snapshot's history into a synopsis in one batch
+// (through AddBatch when the learner supports it, so refitting models pay
+// one refit for the whole file). When the snapshot carries a name table,
+// every vector is remapped into space (nil: detect.DefaultSymptomSpace)
+// first; unnamed snapshots replay positionally — see Load for the
+// portability caveat.
+func (snap *Snapshot) Replay(into Synopsis, space *detect.SymptomSpace) error {
+	pts := snap.Points
+	if len(snap.Symptoms) > 0 {
+		if space == nil {
+			space = detect.DefaultSymptomSpace
+		}
+		pts = make([]Point, len(snap.Points))
+		for i, p := range snap.Points {
+			p.X = space.Remap(snap.Symptoms, p.X)
+			pts[i] = p
+		}
+	}
+	AddAll(into, pts)
 	return nil
 }
 
 // Export implements Exporter: successes in arrival order, then negatives.
-func (s *NearestNeighbor) Export() []Point {
+func (s *NearestNeighbor) Export() ([]Point, error) {
 	out := append([]Point(nil), s.ex.all...)
-	return append(out, s.negatives...)
+	return append(out, s.negatives...), nil
 }
 
 // Export implements Exporter.
-func (s *KMeans) Export() []Point { return append([]Point(nil), s.ex.all...) }
+func (s *KMeans) Export() ([]Point, error) { return append([]Point(nil), s.ex.all...), nil }
 
 // Export implements Exporter.
-func (s *AdaBoost) Export() []Point { return append([]Point(nil), s.points...) }
+func (s *AdaBoost) Export() ([]Point, error) { return append([]Point(nil), s.points...), nil }
 
 // Export implements Exporter.
-func (s *NaiveBayes) Export() []Point { return append([]Point(nil), s.ex.all...) }
+func (s *NaiveBayes) Export() ([]Point, error) { return append([]Point(nil), s.ex.all...), nil }
 
-// Export implements Exporter (the base's view of the window).
-func (s *Online) Export() []Point {
-	if ex, ok := s.base.(Exporter); ok {
-		return ex.Export()
+// Export implements Exporter (the base's view of the window). A base
+// without Export returns an error wrapping ErrNotExportable — the old
+// behavior of quietly returning an empty history let a later Save write
+// a knowledge base with every observation dropped.
+func (s *Online) Export() ([]Point, error) {
+	ex, ok := s.base.(Exporter)
+	if !ok {
+		return nil, fmt.Errorf("synopsis: %s: base %s: %w", s.Name(), s.base.Name(), ErrNotExportable)
 	}
-	return nil
+	return ex.Export()
 }

@@ -101,7 +101,10 @@ func TestOnlineExportReflectsWindow(t *testing.T) {
 	for i := 0; i < 6; i++ {
 		on.Add(Point{X: []float64{float64(i)}, Action: Action{Fix: catalog.FixUpdateStats, Target: "items"}, Success: true})
 	}
-	pts := on.Export()
+	pts, err := on.Export()
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(pts) != 3 {
 		t.Fatalf("exported %d points, want the 3-point window", len(pts))
 	}

@@ -1,6 +1,7 @@
 package synopsis
 
 import (
+	"fmt"
 	"sync"
 	"sync/atomic"
 )
@@ -116,12 +117,13 @@ func (s *Shared) TrainingSize() int {
 }
 
 // Export implements Exporter when the wrapped synopsis does, so a shared
-// knowledge base can still be persisted with Save.
-func (s *Shared) Export() []Point {
+// knowledge base can still be persisted with Save. A base without Export
+// yields an error wrapping ErrNotExportable.
+func (s *Shared) Export() ([]Point, error) {
 	r, release := s.reader()
 	defer release()
 	if ex, ok := r.(Exporter); ok {
 		return ex.Export()
 	}
-	return nil
+	return nil, fmt.Errorf("synopsis: %s: base %s: %w", s.name, r.Name(), ErrNotExportable)
 }

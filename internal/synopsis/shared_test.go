@@ -43,8 +43,8 @@ func TestSharedConcurrentAddSuggest(t *testing.T) {
 	if got, want := sh.TrainingSize(), workers*perWorker; got != want {
 		t.Errorf("TrainingSize = %d, want %d", got, want)
 	}
-	if len(sh.Export()) != workers*perWorker {
-		t.Errorf("Export returned %d points, want %d", len(sh.Export()), workers*perWorker)
+	if pts, err := sh.Export(); err != nil || len(pts) != workers*perWorker {
+		t.Errorf("Export returned %d points (err %v), want %d", len(pts), err, workers*perWorker)
 	}
 }
 

@@ -27,7 +27,10 @@ import (
 // Action is a concrete recovery action: a fix and its target (e.g.
 // microreboot-ejb on ItemBean).
 type Action struct {
-	Fix    catalog.FixID
+	// Fix is the Table 1 candidate fix being applied.
+	Fix catalog.FixID
+	// Target names what the fix acts on — an EJB, a table, a replica —
+	// or "" for service-wide fixes.
 	Target string
 }
 
@@ -46,14 +49,21 @@ func (a Action) String() string {
 // action attempted against it, and whether the action recovered the
 // service.
 type Point struct {
-	X       []float64
-	Action  Action
+	// X is the symptom vector: per-metric z-scores against the healthy
+	// baseline, laid out in the symptom space's dimension order.
+	// Dimensions beyond len(X) read zero — "no anomaly" (see feature).
+	X []float64
+	// Action is the recovery action that was attempted.
+	Action Action
+	// Success records whether the action recovered the service.
 	Success bool
 }
 
 // Suggestion is a recommended action with a confidence in [0,1].
 type Suggestion struct {
-	Action     Action
+	// Action is the recommended fix and target.
+	Action Action
+	// Confidence is the learner's normalized score for the action.
 	Confidence float64
 }
 
@@ -62,9 +72,15 @@ type Suggestion struct {
 // symptom vector; Rank returns candidate actions ordered by confidence
 // (the §5.2 ranking extension).
 type Synopsis interface {
+	// Name identifies the learner (e.g. "nearest-neighbor").
 	Name() string
+	// Add folds one observation into the model.
 	Add(p Point)
+	// Suggest recommends the best action for symptom vector x whose
+	// exclude(action) is false (nil excludes nothing); ok is false when
+	// the model has nothing to offer.
 	Suggest(x []float64, exclude func(Action) bool) (Suggestion, bool)
+	// Rank returns every candidate action ordered by confidence.
 	Rank(x []float64) []Suggestion
 	// TrainingSize returns the number of successful observations held.
 	TrainingSize() int
@@ -76,6 +92,7 @@ type Synopsis interface {
 // of once per point, which is what makes flushing a whole episode's learn
 // events at a time worthwhile.
 type Batcher interface {
+	// AddBatch folds every point in one step, refitting once at the end.
 	AddBatch(ps []Point)
 }
 
@@ -96,19 +113,52 @@ func AddAll(s Synopsis, ps []Point) {
 // what is later Added to the original, and vice versa. Shared uses clones
 // as lock-free read snapshots; every built-in learner implements it.
 type Cloner interface {
+	// Clone returns the independent read snapshot, or nil for "cannot
+	// snapshot right now" (callers must fall back to locking).
 	Clone() Synopsis
 }
 
-// euclidean returns the L2 distance between two equal-length vectors
-// (shorter length governs if they differ).
+// feature reads coordinate d of x under the space's sparse-vector
+// convention: symptom vectors are finitely-supported points in the named
+// symptom space (detect.SymptomSpace), and a dimension beyond a vector's
+// length is simply a metric the producing schema did not measure — zero,
+// "no anomaly". Every learner reads coordinates through this helper so a
+// vector and its zero-padded (or zero-truncated) form are fully
+// interchangeable; that equivalence is what makes remapped knowledge-base
+// points (snapshot format v2) behave identically to natively-built ones.
+func feature(x []float64, d int) float64 {
+	if d < len(x) {
+		return x[d]
+	}
+	return 0
+}
+
+// width returns the dimensionality spanned by a set of points: the length
+// of the longest vector. Coordinates past any one point's length read
+// zero (see feature).
+func width(ps []Point) int {
+	w := 0
+	for i := range ps {
+		if len(ps[i].X) > w {
+			w = len(ps[i].X)
+		}
+	}
+	return w
+}
+
+// euclidean returns the L2 distance between two vectors in the symptom
+// space, zero-extending the shorter one: a dimension only one side
+// measures contributes that side's full anomaly magnitude. (Equal-length
+// vectors — every single-target-kind process — are compared exactly as
+// before.)
 func euclidean(a, b []float64) float64 {
 	n := len(a)
-	if len(b) < n {
+	if len(b) > n {
 		n = len(b)
 	}
 	s := 0.0
 	for i := 0; i < n; i++ {
-		d := a[i] - b[i]
+		d := feature(a, i) - feature(b, i)
 		s += d * d
 	}
 	return math.Sqrt(s)

@@ -50,6 +50,7 @@ package selfheal
 import (
 	"context"
 	"fmt"
+	"io"
 	"strings"
 
 	"selfheal/internal/catalog"
@@ -404,6 +405,9 @@ func NewSharedSynopsis(base Synopsis) *SharedSynopsis { return synopsis.NewShare
 // System is one managed-system target with a healing loop attached.
 type System struct {
 	*core.Harness
+	// Healer drives the Figure 3 loop over the harness; exposed for
+	// callers that tune or replace pieces of it (e.g. swapping Approach
+	// after construction, as examples/knowledgebase does).
 	Healer   *core.Healer
 	approach Approach
 }
@@ -558,15 +562,17 @@ var (
 	// NewFixSym builds a FixSym approach over any synopsis.
 	NewFixSym = core.NewFixSym
 	// SaveSynopsis serializes a synopsis's training history (the §5.1
-	// knowledge base). Point vectors are expressed in the saving
-	// process's symptom-space coordinates: a process importing the file
-	// must construct its target kinds in the same order so shared metric
-	// names land on the same dimensions. Single-kind processes (like the
-	// examples/knowledgebase staging→production flow) always agree — the
-	// layout is the target's own schema order.
-	// knowledge base) as JSON.
+	// knowledge base) as a format-v2 JSON snapshot carrying the
+	// process-wide symptom-space name table, so the file stays portable
+	// across processes that register target kinds in different orders.
+	// Prefer SaveKnowledgeBase, which also records the registered target
+	// catalogs. See KNOWLEDGE_BASES.md for the format.
 	SaveSynopsis = synopsis.Save
-	// LoadSynopsis replays a serialized history into any synopsis.
+	// LoadSynopsis replays a serialized history into any synopsis,
+	// remapping format-v2 point vectors by metric name into this
+	// process's symptom space. Version-1 files replay positionally and
+	// are only portable between processes that registered their target
+	// kinds in the same order.
 	LoadSynopsis = synopsis.Load
 	// Synopsis constructors.
 	NewNNSynopsis         = synopsis.NewNearestNeighbor
@@ -574,3 +580,89 @@ var (
 	NewAdaBoostSynopsis   = synopsis.NewAdaBoost
 	NewNaiveBayesSynopsis = synopsis.NewNaiveBayes
 )
+
+// Portable knowledge-base snapshots (format v2). See KNOWLEDGE_BASES.md.
+type (
+	// KBSnapshot is a decoded knowledge-base file: a synopsis's training
+	// history plus the symptom-space name table and target catalogs that
+	// make it portable across processes.
+	KBSnapshot = synopsis.Snapshot
+	// KBTargetCatalog records one target kind's fault kinds and
+	// candidate fixes inside a snapshot.
+	KBTargetCatalog = synopsis.TargetCatalog
+)
+
+// DecodeKnowledgeBase parses a knowledge-base snapshot without replaying
+// it into a synopsis — the raw material for inspection, merging and
+// conversion (cmd/kbtool is a thin wrapper over it).
+func DecodeKnowledgeBase(r io.Reader) (*KBSnapshot, error) { return synopsis.Decode(r) }
+
+// MergeKnowledgeBases folds N snapshots into one: symptom schemas are
+// unioned by metric name, points are remapped into the union space and
+// deduplicated, and target catalogs are unioned. See synopsis.Merge for
+// the full rules; the operation is associative.
+func MergeKnowledgeBases(snaps ...*KBSnapshot) (*KBSnapshot, error) { return synopsis.Merge(snaps...) }
+
+// SaveKnowledgeBase serializes a synopsis's training history as a
+// format-v2 snapshot carrying this process's symptom-space name table
+// and the fix catalogs of every registered target kind — the §5.1
+// knowledge base "a practitioner can use", portable to processes that
+// register their target kinds in any order. The synopsis must be able to
+// export its history (every built-in learner, the Online wrapper over an
+// exportable base, and SharedSynopsis can); otherwise an error is
+// returned, wrapping synopsis.ErrNotExportable when the history exists
+// but cannot be surrendered.
+func SaveKnowledgeBase(w io.Writer, s Synopsis) error {
+	return synopsis.SaveWith(w, s, synopsis.SaveOptions{Targets: TargetCatalogs()})
+}
+
+// LoadKnowledgeBase replays a saved knowledge base into any synopsis,
+// remapping format-v2 point vectors into this process's symptom space by
+// metric name — build the Systems or Fleet first so the process's own
+// targets have registered their schemas, then load. Version-1 files
+// replay positionally (see LoadSynopsis).
+func LoadKnowledgeBase(r io.Reader, into Synopsis) error {
+	return synopsis.Load(r, into)
+}
+
+// TargetCatalogs returns the fix catalogs of every registered target
+// kind in snapshot form — what SaveKnowledgeBase records so a knowledge
+// base names the vocabulary its experience covers.
+func TargetCatalogs() map[string]KBTargetCatalog {
+	out := make(map[string]KBTargetCatalog)
+	for _, kind := range TargetKinds() {
+		spec, ok := TargetSpecFor(kind)
+		if !ok {
+			continue
+		}
+		cat := KBTargetCatalog{
+			Description:    spec.Description,
+			CandidateFixes: make(map[string][]string, len(spec.CandidateFixes)),
+		}
+		for _, k := range spec.FaultKinds {
+			cat.FaultKinds = append(cat.FaultKinds, k.String())
+			for _, f := range spec.CandidateFixes[k] {
+				cat.CandidateFixes[k.String()] = append(cat.CandidateFixes[k.String()], f.String())
+			}
+		}
+		out[spec.Name] = cat
+	}
+	return out
+}
+
+// TargetMetricNames returns a registered target kind's metric-schema
+// names in the target's own schema order — the names its harness
+// registers into the process symptom space at warmup. kbtool convert
+// uses them to reconstruct the symptom space a v1 writer had, given the
+// order in which that writer registered its target kinds.
+func TargetMetricNames(kind TargetKind) ([]string, error) {
+	t, err := NewTarget(kind, TargetConfig{Seed: 1})
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, src := range t.Sources() {
+		names = append(names, src.MetricNames()...)
+	}
+	return names, nil
+}
