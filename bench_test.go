@@ -324,3 +324,54 @@ func BenchmarkFleetCampaign(b *testing.B) {
 		})
 	}
 }
+
+// BenchmarkDeltaSince measures the federation increment: what one
+// /kb/delta poll costs a serving daemon. The grid holds the increment
+// fixed (new=64 points) while the knowledge base grows 16×; flat ns/op
+// across kb sizes is the O(new points), never O(KB), contract — the
+// property that keeps steady-state sync traffic independent of how much
+// a fleet has learned.
+func BenchmarkDeltaSince(b *testing.B) {
+	mkPoint := func(rng *rand.Rand) selfheal.Point {
+		x := make([]float64, 24)
+		for d := range x {
+			x[d] = rng.NormFloat64()
+		}
+		return selfheal.Point{
+			X:       x,
+			Action:  selfheal.Action{Fix: selfheal.CandidateFixes(selfheal.NewStaleStats("items", 6).Kind())[0], Target: "items"},
+			Success: true,
+		}
+	}
+	const newPts = 64
+	for _, kbSize := range []int{4096, 65536} {
+		b.Run(fmt.Sprintf("kb=%d/new=%d", kbSize, newPts), func(b *testing.B) {
+			rng := rand.New(rand.NewSource(9))
+			kb := selfheal.NewSharedSynopsis(selfheal.NewNNSynopsis())
+			batch := make([]selfheal.Point, 0, 128)
+			for i := 0; i < kbSize; i += 128 {
+				batch = batch[:0]
+				for j := 0; j < 128; j++ {
+					batch = append(batch, mkPoint(rng))
+				}
+				kb.AddBatch(batch)
+			}
+			// The cursor a steady-state peer presents: current minus one
+			// write of newPts points.
+			tail := make([]selfheal.Point, newPts)
+			for j := range tail {
+				tail[j] = mkPoint(rng)
+			}
+			cursor := kb.Seq()
+			kb.AddBatch(tail)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				pts, _ := kb.DeltaSince(cursor)
+				if len(pts) != newPts {
+					b.Fatalf("delta returned %d points, want %d", len(pts), newPts)
+				}
+			}
+			b.ReportMetric(newPts, "points/delta")
+		})
+	}
+}

@@ -1,13 +1,20 @@
 // Command kbtool works with portable knowledge-base snapshots (the §5.1
 // knowledge base "a practitioner can use"): inspect what a file holds,
 // convert legacy positional (v1) files to the schema-carrying v2 format,
-// merge many fleets' experience into one file, and diff two files.
+// merge many fleets' experience into one file, diff two files, and fetch
+// the live knowledge base of a running selfheald daemon over its ops
+// plane.
 //
 //	kbtool inspect kb.json
 //	kbtool inspect -symptoms kb.json
 //	kbtool convert -targets replicated,auction -o kb2.json old-kb.json
 //	kbtool merge -o all.json fleetA.json fleetB.json fleetC.json
 //	kbtool diff fleetA.json fleetB.json
+//	kbtool fetch -o live.kb.json http://daemon-host:8701
+//
+// Exit status is script-friendly: 0 on success (for diff: the snapshots
+// hold identical experience), 1 when diff finds the snapshots differ,
+// and 2 on any error (unreadable file, bad flags, unreachable daemon).
 //
 // See KNOWLEDGE_BASES.md for the file format and the portability rules
 // each subcommand relies on.
@@ -16,9 +23,11 @@ package main
 import (
 	"flag"
 	"fmt"
+	"net/http"
 	"os"
 	"sort"
 	"strings"
+	"time"
 
 	"selfheal"
 	"selfheal/internal/detect"
@@ -40,6 +49,8 @@ func main() {
 		err = cmdMerge(os.Args[2:])
 	case "diff":
 		err = cmdDiff(os.Args[2:])
+	case "fetch":
+		err = cmdFetch(os.Args[2:])
 	case "-h", "--help", "help":
 		usage()
 		return
@@ -50,7 +61,7 @@ func main() {
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "kbtool:", err)
-		os.Exit(1)
+		os.Exit(2)
 	}
 }
 
@@ -62,10 +73,15 @@ subcommands:
   convert [-targets a,b] [-o out] <kb.json>  rewrite as format v2
   merge -o <out.json> <kb.json>...         fold snapshots into one
   diff <a.json> <b.json>                   compare two snapshots
+  fetch [-o out.json] <daemon-url>         pull a live daemon's KB
 
 convert attaches a symptom-space name table to a positional (v1) file;
 -targets must list the writer's target kinds in the order that process
 registered them. merge and diff refuse to mix named and unnamed files.
+fetch GETs <daemon-url>/kb/snapshot from a selfheald -serve ops plane.
+
+exit status: 0 success (diff: identical), 1 diff found differences,
+2 error.
 `)
 }
 
@@ -136,6 +152,9 @@ func cmdInspect(args []string) error {
 	fmt.Printf("%s: format v%d, synopsis %q\n", path, snap.Version, snap.Synopsis)
 	fmt.Printf(" points: %d (%d successes, %d negatives), widest vector %d dims\n",
 		len(snap.Points), successes, len(snap.Points)-successes, width)
+	if snap.Seq > 0 {
+		fmt.Printf(" kb sequence: %d (writer's publish sequence at capture)\n", snap.Seq)
+	}
 	fmt.Printf(" symptom space: %d named dimensions\n", len(snap.Symptoms))
 	if *symptoms {
 		for d, name := range snap.Symptoms {
@@ -298,8 +317,47 @@ func cmdDiff(args []string) error {
 		fmt.Printf("snapshots hold identical experience (%d points)\n", len(a.Points))
 		return nil
 	}
+	// Script-friendly contract: differences exit 1 (errors exit 2 via
+	// main), so `kbtool diff a b || handle-drift` just works.
 	os.Exit(1)
 	return nil
+}
+
+// cmdFetch pulls a running daemon's knowledge base over its ops plane:
+// GET <url>/kb/snapshot, the same bytes selfheald -kb-out would write at
+// that instant. The body is decoded (so a broken daemon fails loudly
+// here, not at the next load) and re-encoded to -o.
+func cmdFetch(args []string) error {
+	fs := flag.NewFlagSet("fetch", flag.ExitOnError)
+	out := fs.String("o", "", "output file (default stdout)")
+	timeout := fs.Duration("timeout", 30*time.Second, "HTTP timeout")
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		return fmt.Errorf("fetch wants exactly one daemon URL")
+	}
+	url := strings.TrimRight(strings.TrimSpace(fs.Arg(0)), "/")
+	if !strings.Contains(url, "://") {
+		url = "http://" + url
+	}
+	if !strings.HasSuffix(url, "/kb/snapshot") {
+		url += "/kb/snapshot"
+	}
+	client := &http.Client{Timeout: *timeout}
+	resp, err := client.Get(url)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("GET %s: %s", url, resp.Status)
+	}
+	snap, err := synopsis.Decode(resp.Body)
+	if err != nil {
+		return fmt.Errorf("%s: %w", url, err)
+	}
+	fmt.Fprintf(os.Stderr, "kbtool: fetched %d points (kb seq %d, %d named dimensions, %d target kinds) from %s\n",
+		len(snap.Points), snap.Seq, len(snap.Symptoms), len(snap.Targets), url)
+	return encodeTo(*out, snap)
 }
 
 // diffNames reports set differences between two name lists.

@@ -15,11 +15,23 @@
 // a staging bootstrap, or a kbtool merge of many fleets — regardless of
 // the order in which the writer registered its target kinds.
 //
+// With -serve and/or -peers the daemon is one node of a federated
+// knowledge plane: -serve exposes the ops endpoints (/healthz, /metrics,
+// /kb/snapshot, /kb/delta) and -peers pulls other daemons' knowledge
+// deltas on -sync-interval, so a fleet of daemons converges on pooled
+// experience at runtime with no human carrying files. A serving daemon
+// stays up after its campaign (episodes may be 0 for a pure
+// hub/aggregator) until SIGINT/SIGTERM; shutdown is graceful either way:
+// the campaign context is cancelled, the partial result is reported
+// truthfully, and -kb-out is still written.
+//
 //	selfheald -episodes 20 -approach hybrid -seed 7
 //	selfheald -episodes 64 -replicas 8 -workers 4 -share -batch 1
 //	selfheald -episodes 24 -replicas 4 -target auction,replicated -share
 //	selfheald -episodes 32 -target replicated -kb-out fleetB.kb.json
-//	selfheald -episodes 32 -target auction,replicated -kb-in merged.kb.json
+//	selfheald -episodes 32 -serve :8701 -kb-out hub.kb.json
+//	selfheald -episodes 32 -serve :8702 -peers http://hub:8701 -sync-interval 1s
+//	selfheald -episodes 0 -serve :8700 -peers http://a:8701,http://b:8702
 package main
 
 import (
@@ -27,8 +39,11 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
 	"sync"
+	"syscall"
+	"time"
 
 	"selfheal"
 )
@@ -92,7 +107,7 @@ func (c *console) summary() string {
 
 func main() {
 	var (
-		episodes = flag.Int("episodes", 12, "total failure episodes to inject and heal")
+		episodes = flag.Int("episodes", 12, "total failure episodes to inject and heal (0: no campaign, serve/sync only)")
 		replicas = flag.Int("replicas", 1, "service replicas healing concurrently")
 		workers  = flag.Int("workers", 0, "max concurrently-healing replicas (0 = all)")
 		approach = flag.String("approach", string(selfheal.ApproachHybrid), "healing approach (see ApproachKinds)")
@@ -102,10 +117,19 @@ func main() {
 		share    = flag.Bool("share", false, "replicas learn into one shared knowledge base")
 		batch    = flag.Int("batch", 0, "flush learn events every N episodes in one batch (0 = learn per attempt)")
 		kbIn     = flag.String("kb-in", "", "preload the knowledge base from this snapshot file before the campaign (implies -share)")
-		kbOut    = flag.String("kb-out", "", "save the knowledge base to this snapshot file after the campaign (implies -share)")
+		kbOut    = flag.String("kb-out", "", "save the knowledge base to this snapshot file on exit (implies -share)")
+		serve    = flag.String("serve", "", "serve the ops plane (/healthz /metrics /kb/...) on this address and stay up until SIGINT (implies -share)")
+		peers    = flag.String("peers", "", "comma-separated peer ops-plane URLs to pull knowledge deltas from (implies -share)")
+		syncIvl  = flag.Duration("sync-interval", 2*time.Second, "steady-state peer poll period (jittered ±25%)")
 	)
 	flag.Parse()
-	ctx := context.Background()
+
+	// One context gates everything; SIGINT/SIGTERM cancels it, which
+	// stops the campaign at its next step and starts the graceful
+	// shutdown below — no episode is lost silently and -kb-out is still
+	// written.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 
 	var targetKinds []selfheal.TargetKind
 	for _, name := range strings.Split(*target, ",") {
@@ -115,6 +139,12 @@ func main() {
 	}
 	if len(targetKinds) == 0 {
 		targetKinds = []selfheal.TargetKind{selfheal.TargetAuction}
+	}
+	var peerURLs []string
+	for _, u := range strings.Split(*peers, ",") {
+		if u = strings.TrimSpace(u); u != "" {
+			peerURLs = append(peerURLs, u)
+		}
 	}
 
 	sink := &console{}
@@ -126,10 +156,11 @@ func main() {
 		selfheal.WithEventSink(sink),
 	}
 	var kb *selfheal.SharedSynopsis
-	if *share || *kbIn != "" || *kbOut != "" {
+	if *share || *kbIn != "" || *kbOut != "" || *serve != "" || len(peerURLs) > 0 {
 		// A shared knowledge base means FixSym over one synopsis; the
-		// -approach flag is superseded. -kb-in/-kb-out force one so the
-		// fleet's whole experience lives in a single persistable KB.
+		// -approach flag is superseded. -kb-in/-kb-out and the federation
+		// flags force one so the fleet's whole experience lives in a
+		// single persistable, versioned KB.
 		kb = selfheal.NewSharedSynopsis(selfheal.NewNNSynopsis())
 		opts = append(opts, selfheal.WithSynopsis(kb))
 	}
@@ -139,12 +170,34 @@ func main() {
 	if *batch != 0 {
 		opts = append(opts, selfheal.WithLearnBatch(*batch))
 	}
+	if *serve != "" {
+		opts = append(opts, selfheal.WithServeAddr(*serve))
+	}
+	if len(peerURLs) > 0 {
+		opts = append(opts, selfheal.WithPeers(peerURLs...), selfheal.WithSyncInterval(*syncIvl))
+	}
 
 	fleet, err := selfheal.NewFleet(ctx, *replicas, opts...)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "selfheald:", err)
 		os.Exit(2)
 	}
+
+	var ops *selfheal.Ops
+	if *serve != "" || len(peerURLs) > 0 {
+		ops, err = fleet.ServeOps(ctx)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "selfheald:", err)
+			os.Exit(2)
+		}
+		if ops.Addr() != "" {
+			fmt.Printf("selfheald: ops plane listening on http://%s\n", ops.Addr())
+		}
+		for _, p := range ops.Peers() {
+			fmt.Printf("selfheald: pulling knowledge deltas from %s every %v\n", p.URL, *syncIvl)
+		}
+	}
+
 	if *kbIn != "" {
 		// Load after NewFleet: the replicas' warmups have registered this
 		// process's metric schemas, so the snapshot's vectors remap into
@@ -159,18 +212,57 @@ func main() {
 	fmt.Printf("selfheald: %d episodes over %d replica(s), approach=%s, target=%s, seed=%d, shared-kb=%v, learn-batch=%d\n\n",
 		*episodes, *replicas, fleet.Replica(0).Approach().Name(), *target, *seed, kb != nil, *batch)
 
-	if _, err := fleet.RunCampaign(ctx, selfheal.Campaign{Episodes: *episodes}); err != nil {
-		fmt.Fprintln(os.Stderr, "selfheald:", err)
-		os.Exit(1)
+	interrupted := false
+	if *episodes > 0 {
+		result, err := fleet.RunCampaign(ctx, selfheal.Campaign{Episodes: *episodes})
+		switch {
+		case err == nil:
+		case ctx.Err() != nil:
+			// Signal-driven cancellation: report the partial campaign
+			// truthfully and carry on with the graceful shutdown.
+			interrupted = true
+			completed := 0
+			if result != nil {
+				completed = result.Stats.Episodes
+			}
+			fmt.Fprintf(os.Stderr, "\nselfheald: interrupted: %d/%d episodes completed\n", completed, *episodes)
+		default:
+			fmt.Fprintln(os.Stderr, "selfheald:", err)
+			os.Exit(1)
+		}
+		fmt.Println()
+		fmt.Println(sink.summary())
 	}
-	fmt.Println()
-	fmt.Println(sink.summary())
+
+	if ops != nil && !interrupted && ctx.Err() == nil {
+		if *serve != "" {
+			fmt.Println("selfheald: campaign done; serving until SIGINT/SIGTERM")
+		} else {
+			fmt.Println("selfheald: campaign done; syncing peers until SIGINT/SIGTERM")
+		}
+		<-ctx.Done()
+		fmt.Fprintln(os.Stderr, "selfheald: shutting down")
+	}
+
+	if ops != nil {
+		// The signal context is already cancelled here; give in-flight
+		// ops requests their own small drain window.
+		shutCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		if err := ops.Close(shutCtx); err != nil {
+			fmt.Fprintln(os.Stderr, "selfheald: ops shutdown:", err)
+		}
+		cancel()
+	}
 	if *kbOut != "" {
 		if err := saveKB(*kbOut, kb); err != nil {
 			fmt.Fprintln(os.Stderr, "selfheald:", err)
 			os.Exit(1)
 		}
-		fmt.Printf("knowledge base saved to %s (%d signatures)\n", *kbOut, kb.TrainingSize())
+		what := ""
+		if interrupted {
+			what = " (partial campaign)"
+		}
+		fmt.Printf("knowledge base saved to %s (%d signatures, seq %d)%s\n", *kbOut, kb.TrainingSize(), kb.Seq(), what)
 	}
 }
 

@@ -1,0 +1,230 @@
+package selfheal
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"net/http"
+	"time"
+
+	"selfheal/internal/httpapi"
+	"selfheal/internal/kbsync"
+)
+
+// The federated knowledge plane: a Fleet configured with WithServeAddr
+// and/or WithPeers becomes one node of a distributed knowledge base.
+// ServeOps starts its ops plane — /healthz, /metrics, /kb/snapshot and
+// /kb/delta over HTTP — and, when peers are configured, a background
+// syncer that pulls their knowledge-base deltas on a jittered interval
+// and folds them in with Merge semantics. In any connected topology
+// (hub/spoke, chain, full mesh) the nodes converge: once syncing
+// quiesces, every node ranks fixes exactly as it would against
+// MergeKnowledgeBases of all nodes' snapshots. See KNOWLEDGE_BASES.md,
+// "Running a federated fleet".
+
+// WithServeAddr makes the fleet serve its ops plane on addr (e.g.
+// ":8701" or "127.0.0.1:0") once ServeOps is called. Requires a shared
+// knowledge base (WithSynopsis + NewSharedSynopsis) — the ops plane
+// serves that knowledge.
+func WithServeAddr(addr string) Option {
+	return func(c *config) error {
+		if addr == "" {
+			return fmt.Errorf("selfheal: WithServeAddr(\"\")")
+		}
+		c.serveAddr = addr
+		return nil
+	}
+}
+
+// WithPeers makes the fleet pull knowledge-base deltas from the given
+// peer ops planes (base URLs, e.g. "http://host:8701") once ServeOps is
+// called. Requires a shared knowledge base, which the pulled experience
+// is folded into.
+func WithPeers(urls ...string) Option {
+	return func(c *config) error {
+		if len(urls) == 0 {
+			return fmt.Errorf("selfheal: WithPeers needs at least one URL")
+		}
+		c.peers = append([]string(nil), urls...)
+		return nil
+	}
+}
+
+// WithSyncInterval sets the steady-state peer poll period (default 2s;
+// each poll is jittered ±25%, and failing peers back off exponentially).
+func WithSyncInterval(d time.Duration) Option {
+	return func(c *config) error {
+		if d <= 0 {
+			return fmt.Errorf("selfheal: sync interval %v <= 0", d)
+		}
+		c.syncInterval = d
+		return nil
+	}
+}
+
+// federated reports whether any federation option is set.
+func (c *config) federated() bool { return c.serveAddr != "" || len(c.peers) > 0 }
+
+// sharedKB returns the fleet's shared knowledge base, or an error when
+// federation is configured over anything else: the knowledge plane
+// exchanges the KB's publish sequence, which only SharedSynopsis tracks.
+func (c *config) sharedKB() (*SharedSynopsis, error) {
+	kb, ok := c.syn.(*SharedSynopsis)
+	if !ok || kb == nil {
+		return nil, fmt.Errorf("selfheal: federation (WithServeAddr/WithPeers) needs WithSynopsis(NewSharedSynopsis(...))")
+	}
+	return kb, nil
+}
+
+// KnowledgeSeq returns the publish sequence of the fleet's shared
+// knowledge base — its version: every Add or learn flush advances it,
+// and two equal sequences on one node mean identical contents. Zero when
+// the fleet has no shared knowledge base (or nothing was learned yet).
+func (fl *Fleet) KnowledgeSeq() uint64 {
+	if kb, ok := fl.cfg.syn.(*SharedSynopsis); ok && kb != nil {
+		return kb.Seq()
+	}
+	return 0
+}
+
+// Ops is a running ops plane: the HTTP listener serving this node's
+// health, metrics and knowledge, plus the peer syncer when peers are
+// configured. Close shuts both down; cancelling the ServeOps context
+// stops only the background syncer — the listener stays bound until
+// Close so in-flight snapshot pulls can drain on the caller's terms.
+type Ops struct {
+	node   *kbsync.Node
+	syncer *kbsync.Syncer
+	srv    *http.Server
+	ln     net.Listener
+	cancel context.CancelFunc
+	done   chan struct{} // closed when the serve goroutine exits
+	sync   chan struct{} // closed when the syncer goroutine exits
+}
+
+// Addr returns the listener's address ("" for a pull-only node), with
+// any ":0" port resolved — tests bind "127.0.0.1:0" and read it back.
+func (o *Ops) Addr() string {
+	if o.ln == nil {
+		return ""
+	}
+	return o.ln.Addr().String()
+}
+
+// URL returns the node's base URL ("" for a pull-only node) — what a
+// peer passes to WithPeers or kbtool fetch.
+func (o *Ops) URL() string {
+	if o.ln == nil {
+		return ""
+	}
+	return "http://" + o.Addr()
+}
+
+// KnowledgeSeq returns the served knowledge base's publish sequence.
+func (o *Ops) KnowledgeSeq() uint64 { return o.node.Seq() }
+
+// SyncNow pulls every configured peer once, immediately and
+// sequentially, returning how many new observations arrived — the
+// deterministic sync step convergence tests and drain-before-shutdown
+// use. A node with no peers returns (0, nil).
+func (o *Ops) SyncNow(ctx context.Context) (int, error) {
+	if o.syncer == nil {
+		return 0, nil
+	}
+	return o.syncer.SyncOnce(ctx)
+}
+
+// Peers reports each configured peer's sync state (URL, last pulled
+// sequence, pulled points, consecutive failures); nil without peers.
+func (o *Ops) Peers() []kbsync.PeerStatus {
+	if o.syncer == nil {
+		return nil
+	}
+	return o.syncer.Peers()
+}
+
+// Close shuts the ops plane down: the syncer stops, the HTTP server
+// drains in-flight requests until ctx expires. Safe to call twice.
+func (o *Ops) Close(ctx context.Context) error {
+	o.cancel()
+	var err error
+	if o.srv != nil {
+		err = o.srv.Shutdown(ctx)
+		<-o.done
+	}
+	if o.sync != nil {
+		<-o.sync
+	}
+	return err
+}
+
+// ServeOps starts the fleet's federated knowledge plane as configured by
+// WithServeAddr, WithPeers and WithSyncInterval: it binds the listener,
+// serves the ops endpoints, and starts the background peer syncer. The
+// returned Ops reports the bound address and shuts everything down on
+// Close; cancelling ctx stops the syncer too. Calling it on a fleet with
+// no federation options is an error.
+func (fl *Fleet) ServeOps(ctx context.Context) (*Ops, error) {
+	if !fl.cfg.federated() {
+		return nil, fmt.Errorf("selfheal: ServeOps needs WithServeAddr or WithPeers")
+	}
+	kb, err := fl.cfg.sharedKB()
+	if err != nil {
+		return nil, err
+	}
+	node := kbsync.NewNode(kb, nil)
+	runCtx, cancel := context.WithCancel(ctx)
+	o := &Ops{node: node, cancel: cancel}
+
+	if len(fl.cfg.peers) > 0 {
+		// Seed is deliberately left zero (clock-seeded): the campaign
+		// seed makes replicas reproducible, but a fleet of daemons
+		// launched with identical configs must not share poll-jitter
+		// streams or they all hit their hub at the same instants.
+		// Deterministic sync for tests goes through SyncNow, not the
+		// jittered background loop.
+		syncer, err := kbsync.NewSyncer(node, kbsync.Config{
+			Peers:    fl.cfg.peers,
+			Interval: fl.cfg.syncInterval,
+		})
+		if err != nil {
+			cancel()
+			return nil, err
+		}
+		o.syncer = syncer
+		o.sync = make(chan struct{})
+		go func() {
+			defer close(o.sync)
+			syncer.Run(runCtx)
+		}()
+	}
+
+	if fl.cfg.serveAddr != "" {
+		handler, err := httpapi.NewServer(httpapi.Config{
+			Node:      node,
+			Collector: fl.collector,
+			Syncer:    o.syncer,
+			Catalogs:  TargetCatalogs(),
+		})
+		if err != nil {
+			o.Close(ctx)
+			return nil, err
+		}
+		ln, err := net.Listen("tcp", fl.cfg.serveAddr)
+		if err != nil {
+			o.Close(ctx)
+			return nil, fmt.Errorf("selfheal: ops listener: %w", err)
+		}
+		o.ln = ln
+		o.srv = &http.Server{Handler: handler, ReadHeaderTimeout: 5 * time.Second}
+		o.done = make(chan struct{})
+		go func() {
+			defer close(o.done)
+			if err := o.srv.Serve(ln); err != nil && err != http.ErrServerClosed {
+				// The listener died underneath us; nothing to do but stop.
+				_ = err
+			}
+		}()
+	}
+	return o, nil
+}

@@ -6,6 +6,7 @@ import (
 	"sync"
 
 	"selfheal/internal/core"
+	"selfheal/internal/httpapi"
 )
 
 // Fleet is N independent deterministic service replicas, each with its own
@@ -22,6 +23,9 @@ type Fleet struct {
 	cfg      config
 	replicas []*System
 	seeds    []int64
+	// collector tallies the event stream for the ops plane's /metrics;
+	// nil unless the fleet is federated (WithServeAddr / WithPeers).
+	collector *httpapi.Collector
 }
 
 // replicaSeedStride separates replica seed streams; replica 0 keeps the
@@ -57,6 +61,22 @@ func NewFleet(ctx context.Context, n int, opts ...Option) (*Fleet, error) {
 		return nil, err
 	}
 	fl := &Fleet{cfg: cfg}
+	if cfg.federated() {
+		// Fail at construction, not at ServeOps, when federation is
+		// configured without a sequence-tracking shared knowledge base.
+		if _, err := cfg.sharedKB(); err != nil {
+			return nil, err
+		}
+		// The ops plane's /metrics tallies the same event stream any
+		// user sink consumes; collect next to it.
+		fl.collector = httpapi.NewCollector()
+		if cfg.sink != nil {
+			cfg.sink = MultiSink(fl.collector, cfg.sink)
+		} else {
+			cfg.sink = fl.collector
+		}
+		fl.cfg = cfg
+	}
 	for i := 0; i < n; i++ {
 		if err := ctx.Err(); err != nil {
 			return nil, err

@@ -1,0 +1,323 @@
+// Package httpapi is a selfheald daemon's ops plane: a small HTTP
+// surface that makes one federated healing node observable and lets
+// peers pull its knowledge. It serves
+//
+//	GET /healthz      — liveness + knowledge-base version, JSON
+//	GET /metrics      — Prometheus text: episode throughput, recovery
+//	                    ratio, TTR histogram, KB size/sequence, peer sync
+//	                    state
+//	GET /kb/snapshot  — the full portable knowledge base (snapshot v2)
+//	GET /kb/delta     — ?since=seq, the observations published after seq
+//
+// /kb responses carry the knowledge base's publish sequence both as an
+// X-KB-Seq header and as a strong ETag, so pollers revalidate with
+// If-None-Match and pay a body only when there is news. The package is
+// deliberately dependency-free beyond the standard library — the daemon
+// runs it next to the healing loops the way the OPHID supervisor runs
+// health endpoints next to managed services.
+package httpapi
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strconv"
+	"sync"
+	"time"
+
+	"selfheal/internal/core"
+	"selfheal/internal/kbsync"
+	"selfheal/internal/synopsis"
+)
+
+// Collector tallies the healing event stream into the counters and TTR
+// histogram /metrics serves. It is an EventSink safe for concurrent
+// fleet use; attach it next to any operator console with MultiSink.
+type Collector struct {
+	start time.Time
+
+	mu        sync.Mutex
+	injected  int64
+	detected  int64
+	recovered int64
+	escalated int64
+	attempts  int64
+	firstTry  int64
+	ttrSum    int64
+	ttrBucket []int64 // cumulative-style counts per ttrBounds entry
+}
+
+// ttrBounds are the TTR histogram's upper bounds, in simulated seconds
+// (ticks). The paper's episodes recover in minutes; escalations sit at
+// human timescale — the top buckets separate the two regimes.
+var ttrBounds = []int64{60, 120, 300, 600, 1200, 2400, 4800}
+
+// NewCollector starts an empty collector; uptime counts from here.
+func NewCollector() *Collector {
+	return &Collector{start: time.Now(), ttrBucket: make([]int64, len(ttrBounds)+1)}
+}
+
+// Emit implements core.EventSink.
+func (c *Collector) Emit(ev core.Event) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	switch ev.Kind {
+	case core.EventFaultInjected:
+		c.injected++
+	case core.EventDetected:
+		c.detected++
+	case core.EventAttemptApplied:
+		c.attempts++
+		if ev.Success && ev.Attempt == 1 {
+			c.firstTry++
+		}
+	case core.EventEscalated:
+		c.escalated++
+	case core.EventRecovered:
+		c.recovered++
+		c.ttrSum += ev.TTR
+		i := len(ttrBounds)
+		for b, le := range ttrBounds {
+			if ev.TTR <= le {
+				i = b
+				break
+			}
+		}
+		c.ttrBucket[i]++
+	}
+}
+
+// Config assembles a Server.
+type Config struct {
+	// Node is the federation participant whose knowledge the /kb
+	// endpoints serve. Required.
+	Node *kbsync.Node
+	// Collector supplies episode metrics; nil serves KB metrics only.
+	Collector *Collector
+	// Syncer, when the daemon also pulls peers, contributes per-peer
+	// sync gauges to /metrics and /healthz.
+	Syncer *kbsync.Syncer
+	// Catalogs is recorded in served snapshots, exactly as
+	// SaveKnowledgeBase records it in files (the facade passes the
+	// target registry's catalogs).
+	Catalogs map[string]synopsis.TargetCatalog
+}
+
+// Server is the ops plane's http.Handler.
+type Server struct {
+	cfg Config
+	mux *http.ServeMux
+}
+
+// NewServer builds the handler.
+func NewServer(cfg Config) (*Server, error) {
+	if cfg.Node == nil {
+		return nil, fmt.Errorf("httpapi: Config.Node is required")
+	}
+	s := &Server{cfg: cfg, mux: http.NewServeMux()}
+	s.mux.HandleFunc("/healthz", s.handleHealthz)
+	s.mux.HandleFunc("/metrics", s.handleMetrics)
+	s.mux.HandleFunc("/kb/snapshot", s.handleSnapshot)
+	s.mux.HandleFunc("/kb/delta", s.handleDelta)
+	return s, nil
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// etag renders the knowledge base's version as a strong ETag. The node's
+// epoch is part of it: a restarted node re-numbers its history from
+// zero, and seq 57 of one life must never revalidate seq 57 of another.
+func (s *Server) etag(seq uint64) string {
+	return `"kb-` + s.cfg.Node.Epoch() + `-` + strconv.FormatUint(seq, 10) + `"`
+}
+
+// handleHealthz reports liveness plus the node's knowledge version.
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "GET only", http.StatusMethodNotAllowed)
+		return
+	}
+	st := struct {
+		Status   string  `json:"status"`
+		KBSeq    uint64  `json:"kb_seq"`
+		KBPoints int     `json:"kb_points"`
+		Peers    int     `json:"peers,omitempty"`
+		Uptime   float64 `json:"uptime_sec,omitempty"`
+	}{Status: "ok", KBSeq: s.cfg.Node.Seq(), KBPoints: s.cfg.Node.KB().TrainingSize()}
+	if s.cfg.Syncer != nil {
+		st.Peers = len(s.cfg.Syncer.Peers())
+	}
+	if s.cfg.Collector != nil {
+		st.Uptime = time.Since(s.cfg.Collector.start).Seconds()
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(st)
+}
+
+// handleMetrics serves the Prometheus text exposition.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "GET only", http.StatusMethodNotAllowed)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	s.writeMetrics(w)
+}
+
+// writeMetrics renders every gauge and counter the node exposes.
+func (s *Server) writeMetrics(w io.Writer) {
+	gauge := func(name, help string, v float64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %g\n", name, help, name, name, v)
+	}
+	counter := func(name, help string, v float64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %g\n", name, help, name, name, v)
+	}
+
+	gauge("selfheal_kb_points", "training observations in the knowledge base",
+		float64(s.cfg.Node.KB().TrainingSize()))
+	gauge("selfheal_kb_seq", "knowledge-base publish sequence",
+		float64(s.cfg.Node.Seq()))
+
+	if c := s.cfg.Collector; c != nil {
+		c.mu.Lock()
+		uptime := time.Since(c.start).Seconds()
+		counter("selfheal_episodes_injected_total", "faults injected", float64(c.injected))
+		counter("selfheal_episodes_detected_total", "failures the SLO monitor declared", float64(c.detected))
+		counter("selfheal_episodes_recovered_total", "episodes ending in a clean SLO window", float64(c.recovered))
+		counter("selfheal_episodes_escalated_total", "episodes escalated to the administrator", float64(c.escalated))
+		counter("selfheal_attempts_total", "fix attempts applied", float64(c.attempts))
+		counter("selfheal_first_attempt_total", "episodes healed by their first attempt", float64(c.firstTry))
+		gauge("selfheal_uptime_seconds", "seconds since the collector started", uptime)
+		eps := 0.0
+		if uptime > 0 {
+			eps = float64(c.recovered) / uptime
+		}
+		gauge("selfheal_episodes_per_sec", "recovered episodes per wall-clock second", eps)
+		ratio := 1.0
+		if c.detected > 0 {
+			ratio = float64(c.recovered) / float64(c.detected)
+		}
+		gauge("selfheal_recovered_ratio", "recovered / detected episodes", ratio)
+
+		fmt.Fprintf(w, "# HELP selfheal_ttr_ticks time to repair, simulated seconds\n# TYPE selfheal_ttr_ticks histogram\n")
+		cum := int64(0)
+		for i, le := range ttrBounds {
+			cum += c.ttrBucket[i]
+			fmt.Fprintf(w, "selfheal_ttr_ticks_bucket{le=\"%d\"} %d\n", le, cum)
+		}
+		cum += c.ttrBucket[len(ttrBounds)]
+		fmt.Fprintf(w, "selfheal_ttr_ticks_bucket{le=\"+Inf\"} %d\n", cum)
+		fmt.Fprintf(w, "selfheal_ttr_ticks_sum %d\n", c.ttrSum)
+		fmt.Fprintf(w, "selfheal_ttr_ticks_count %d\n", c.recovered)
+		c.mu.Unlock()
+	}
+
+	if s.cfg.Syncer != nil {
+		peers := s.cfg.Syncer.Peers()
+		sort.Slice(peers, func(i, j int) bool { return peers[i].URL < peers[j].URL })
+		fmt.Fprintf(w, "# HELP selfheal_sync_peer_seq peer publish sequence at last successful pull\n# TYPE selfheal_sync_peer_seq gauge\n")
+		for _, p := range peers {
+			fmt.Fprintf(w, "selfheal_sync_peer_seq{peer=%q} %d\n", p.URL, p.Seq)
+		}
+		fmt.Fprintf(w, "# HELP selfheal_sync_peer_points_total new observations pulled from peer\n# TYPE selfheal_sync_peer_points_total counter\n")
+		for _, p := range peers {
+			fmt.Fprintf(w, "selfheal_sync_peer_points_total{peer=%q} %d\n", p.URL, p.Points)
+		}
+		fmt.Fprintf(w, "# HELP selfheal_sync_peer_pulls_total successful pulls from peer\n# TYPE selfheal_sync_peer_pulls_total counter\n")
+		for _, p := range peers {
+			fmt.Fprintf(w, "selfheal_sync_peer_pulls_total{peer=%q} %d\n", p.URL, p.Pulls)
+		}
+		fmt.Fprintf(w, "# HELP selfheal_sync_peer_failures consecutive failed pulls (0 = healthy)\n# TYPE selfheal_sync_peer_failures gauge\n")
+		for _, p := range peers {
+			fmt.Fprintf(w, "selfheal_sync_peer_failures{peer=%q} %d\n", p.URL, p.Failures)
+		}
+	}
+}
+
+// handleSnapshot serves the full portable knowledge base, exactly the
+// file SaveKnowledgeBase writes — kbtool fetch's other end.
+func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "GET only", http.StatusMethodNotAllowed)
+		return
+	}
+	// Revalidate on the sequence alone before paying the O(KB) capture:
+	// a monitoring poller with a current ETag costs nothing. A write
+	// racing between this check and the capture only makes the response
+	// fresher than the tag promised.
+	seq := s.cfg.Node.Seq()
+	if r.Header.Get("If-None-Match") == s.etag(seq) {
+		w.Header().Set("ETag", s.etag(seq))
+		w.Header().Set("X-KB-Seq", strconv.FormatUint(seq, 10))
+		w.WriteHeader(http.StatusNotModified)
+		return
+	}
+	snap, err := synopsis.Capture(s.cfg.Node.KB(), synopsis.SaveOptions{
+		Space:   s.cfg.Node.Space(),
+		Targets: s.cfg.Catalogs,
+	})
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("ETag", s.etag(snap.Seq))
+	w.Header().Set("X-KB-Seq", strconv.FormatUint(snap.Seq, 10))
+	w.Header().Set("Content-Type", "application/json")
+	snap.Encode(w)
+}
+
+// handleDelta serves the observations published after ?since=seq. The
+// response's Seq and Epoch (echoed in X-KB-Seq and the ETag) are the
+// cursor for the next pull; If-None-Match with the previous ETag
+// short-circuits to 304 when nothing was published since.
+//
+// A cursor is only trusted when it was minted in this node's life: the
+// caller passes ?epoch= alongside ?since=, and any mismatch — a cursor
+// from before this node restarted, whatever its number — resets the
+// pull to the full history. The caller's dedup drops everything it
+// already has, so the reset costs bandwidth, never correctness. Without
+// the epoch a restarted node's re-numbered history could silently alias
+// under an old cursor and lose knowledge for good.
+func (s *Server) handleDelta(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "GET only", http.StatusMethodNotAllowed)
+		return
+	}
+	since := uint64(0)
+	if raw := r.URL.Query().Get("since"); raw != "" {
+		v, err := strconv.ParseUint(raw, 10, 64)
+		if err != nil {
+			http.Error(w, "bad since: "+err.Error(), http.StatusBadRequest)
+			return
+		}
+		since = v
+	}
+	// A missing epoch is trusted (a human with curl); kbsync.Syncer
+	// always presents the epoch its cursor came from.
+	epoch := r.URL.Query().Get("epoch")
+	sameLife := epoch == "" || epoch == s.cfg.Node.Epoch()
+	if !sameLife {
+		since = 0
+	}
+	seq := s.cfg.Node.Seq()
+	tag := s.etag(seq)
+	w.Header().Set("ETag", tag)
+	w.Header().Set("X-KB-Seq", strconv.FormatUint(seq, 10))
+	// The epoch-qualified ETag match is sufficient on its own; the bare
+	// cursor only short-circuits within a confirmed same-life pull.
+	if (sameLife && since == seq) || r.Header.Get("If-None-Match") == tag {
+		w.WriteHeader(http.StatusNotModified)
+		return
+	}
+	if since > seq {
+		since = 0
+	}
+	d := s.cfg.Node.Delta(since)
+	w.Header().Set("ETag", s.etag(d.Seq))
+	w.Header().Set("X-KB-Seq", strconv.FormatUint(d.Seq, 10))
+	w.Header().Set("Content-Type", "application/json")
+	d.Encode(w)
+}

@@ -1,0 +1,246 @@
+package httpapi
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"selfheal/internal/catalog"
+	"selfheal/internal/core"
+	"selfheal/internal/detect"
+	"selfheal/internal/kbsync"
+	"selfheal/internal/synopsis"
+)
+
+func newTestServer(t *testing.T) (*Server, *synopsis.Shared, *Collector) {
+	t.Helper()
+	space := detect.NewSymptomSpace()
+	space.Indices([]string{"m.a", "m.b"})
+	kb := synopsis.NewShared(synopsis.NewNearestNeighbor())
+	col := NewCollector()
+	srv, err := NewServer(Config{
+		Node:      kbsync.NewNode(kb, space),
+		Collector: col,
+		Catalogs: map[string]synopsis.TargetCatalog{
+			"auction": {Description: "test", FaultKinds: []string{"deadlock"}},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return srv, kb, col
+}
+
+// tag renders the ETag the server under test mints for seq.
+func tag(srv *Server, seq uint64) string { return srv.etag(seq) }
+
+func add(kb *synopsis.Shared, x ...float64) {
+	kb.Add(synopsis.Point{
+		X:       x,
+		Action:  synopsis.Action{Fix: catalog.FixUpdateStats, Target: "items"},
+		Success: true,
+	})
+}
+
+func get(t *testing.T, srv *Server, path string, hdr map[string]string) *httptest.ResponseRecorder {
+	t.Helper()
+	req := httptest.NewRequest(http.MethodGet, path, nil)
+	for k, v := range hdr {
+		req.Header.Set(k, v)
+	}
+	w := httptest.NewRecorder()
+	srv.ServeHTTP(w, req)
+	return w
+}
+
+func TestHealthz(t *testing.T) {
+	srv, kb, _ := newTestServer(t)
+	add(kb, 1, 2)
+	w := get(t, srv, "/healthz", nil)
+	if w.Code != http.StatusOK {
+		t.Fatalf("healthz = %d", w.Code)
+	}
+	var st struct {
+		Status   string `json:"status"`
+		KBSeq    uint64 `json:"kb_seq"`
+		KBPoints int    `json:"kb_points"`
+	}
+	if err := json.Unmarshal(w.Body.Bytes(), &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Status != "ok" || st.KBSeq != 1 || st.KBPoints != 1 {
+		t.Fatalf("healthz body %+v", st)
+	}
+}
+
+func TestDeltaEndpointSequenceAndETag(t *testing.T) {
+	srv, kb, _ := newTestServer(t)
+	add(kb, 1, 2)
+	add(kb, 3, 4)
+
+	w := get(t, srv, "/kb/delta?since=0", nil)
+	if w.Code != http.StatusOK {
+		t.Fatalf("delta = %d: %s", w.Code, w.Body)
+	}
+	if w.Header().Get("X-KB-Seq") != "2" || w.Header().Get("ETag") != tag(srv, 2) {
+		t.Fatalf("headers seq=%q etag=%q", w.Header().Get("X-KB-Seq"), w.Header().Get("ETag"))
+	}
+	d, err := synopsis.DecodeDelta(w.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Seq != 2 || len(d.Points) != 2 || len(d.Symptoms) != 2 {
+		t.Fatalf("delta %+v", d)
+	}
+	if d.Epoch == "" {
+		t.Fatal("delta carries no epoch")
+	}
+
+	// A caught-up cursor answers 304 with no body.
+	w = get(t, srv, "/kb/delta?since=2", nil)
+	if w.Code != http.StatusNotModified || w.Body.Len() != 0 {
+		t.Fatalf("caught-up delta = %d body=%q", w.Code, w.Body)
+	}
+	// So does a matching If-None-Match, whatever the cursor.
+	w = get(t, srv, "/kb/delta?since=1", map[string]string{"If-None-Match": tag(srv, 2)})
+	if w.Code != http.StatusNotModified {
+		t.Fatalf("If-None-Match delta = %d", w.Code)
+	}
+	// A partial cursor gets only the tail.
+	w = get(t, srv, "/kb/delta?since=1", nil)
+	d, err = synopsis.DecodeDelta(w.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Points) != 1 {
+		t.Fatalf("since=1 returned %d points, want 1", len(d.Points))
+	}
+}
+
+func TestDeltaEndpointResetsFutureCursor(t *testing.T) {
+	// A cursor beyond this node's sequence is from a previous life of
+	// the node (it restarted smaller): answer with the full history so
+	// the caller resets, rather than starving it with 304s forever.
+	srv, kb, _ := newTestServer(t)
+	add(kb, 1, 2)
+	w := get(t, srv, "/kb/delta?since=99", nil)
+	if w.Code != http.StatusOK {
+		t.Fatalf("future cursor = %d", w.Code)
+	}
+	d, err := synopsis.DecodeDelta(w.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Since != 0 || len(d.Points) != 1 || d.Seq != 1 {
+		t.Fatalf("future cursor delta %+v, want full history", d)
+	}
+}
+
+func TestDeltaEndpointResetsForeignEpochCursor(t *testing.T) {
+	// A cursor minted by a previous life of this node (the node
+	// restarted and re-numbered its history) must not alias into the
+	// new numbering — whatever its value, a foreign epoch resets the
+	// pull to the full history, and a stale epoch-qualified ETag must
+	// not produce a false 304.
+	srv, kb, _ := newTestServer(t)
+	add(kb, 1, 2)
+	add(kb, 3, 4)
+	w := get(t, srv, "/kb/delta?since=2&epoch=previous-life",
+		map[string]string{"If-None-Match": `"kb-previous-life-2"`})
+	if w.Code != http.StatusOK {
+		t.Fatalf("foreign-epoch cursor = %d, want 200 full history", w.Code)
+	}
+	d, err := synopsis.DecodeDelta(w.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Since != 0 || len(d.Points) != 2 {
+		t.Fatalf("foreign-epoch delta %+v, want full history", d)
+	}
+	// A matching epoch with the same cursor is a normal caught-up 304.
+	w = get(t, srv, "/kb/delta?since=2&epoch="+srv.cfg.Node.Epoch(), nil)
+	if w.Code != http.StatusNotModified {
+		t.Fatalf("same-epoch caught-up cursor = %d, want 304", w.Code)
+	}
+}
+
+func TestDeltaEndpointRejectsBadSince(t *testing.T) {
+	srv, _, _ := newTestServer(t)
+	if w := get(t, srv, "/kb/delta?since=banana", nil); w.Code != http.StatusBadRequest {
+		t.Fatalf("bad since = %d", w.Code)
+	}
+}
+
+func TestSnapshotEndpoint(t *testing.T) {
+	srv, kb, _ := newTestServer(t)
+	add(kb, 1, 2)
+	w := get(t, srv, "/kb/snapshot", nil)
+	if w.Code != http.StatusOK {
+		t.Fatalf("snapshot = %d", w.Code)
+	}
+	snap, err := synopsis.Decode(w.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.Version != synopsis.FormatV2 || len(snap.Points) != 1 || snap.Seq != 1 {
+		t.Fatalf("snapshot %+v", snap)
+	}
+	if _, ok := snap.Targets["auction"]; !ok {
+		t.Fatal("snapshot lost the target catalogs")
+	}
+	// Revalidation: the ETag answers 304 until the KB changes.
+	tag := w.Header().Get("ETag")
+	if w = get(t, srv, "/kb/snapshot", map[string]string{"If-None-Match": tag}); w.Code != http.StatusNotModified {
+		t.Fatalf("unchanged snapshot = %d", w.Code)
+	}
+	add(kb, 3, 4)
+	if w = get(t, srv, "/kb/snapshot", map[string]string{"If-None-Match": tag}); w.Code != http.StatusOK {
+		t.Fatalf("changed snapshot = %d", w.Code)
+	}
+}
+
+func TestMetrics(t *testing.T) {
+	srv, kb, col := newTestServer(t)
+	add(kb, 1, 2)
+	col.Emit(core.Event{Kind: core.EventFaultInjected})
+	col.Emit(core.Event{Kind: core.EventDetected})
+	col.Emit(core.Event{Kind: core.EventAttemptApplied, Attempt: 1, Success: true})
+	col.Emit(core.Event{Kind: core.EventRecovered, TTR: 90})
+
+	w := get(t, srv, "/metrics", nil)
+	if w.Code != http.StatusOK {
+		t.Fatalf("metrics = %d", w.Code)
+	}
+	body := w.Body.String()
+	for _, want := range []string{
+		"selfheal_kb_points 1",
+		"selfheal_kb_seq 1",
+		"selfheal_episodes_injected_total 1",
+		"selfheal_episodes_recovered_total 1",
+		"selfheal_first_attempt_total 1",
+		"selfheal_recovered_ratio 1",
+		`selfheal_ttr_ticks_bucket{le="60"} 0`,
+		`selfheal_ttr_ticks_bucket{le="120"} 1`,
+		`selfheal_ttr_ticks_bucket{le="+Inf"} 1`,
+		"selfheal_ttr_ticks_sum 90",
+		"selfheal_ttr_ticks_count 1",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("metrics missing %q", want)
+		}
+	}
+}
+
+func TestMethodNotAllowed(t *testing.T) {
+	srv, _, _ := newTestServer(t)
+	for _, path := range []string{"/healthz", "/metrics", "/kb/snapshot", "/kb/delta"} {
+		req := httptest.NewRequest(http.MethodPost, path, nil)
+		w := httptest.NewRecorder()
+		srv.ServeHTTP(w, req)
+		if w.Code != http.StatusMethodNotAllowed {
+			t.Errorf("POST %s = %d, want 405", path, w.Code)
+		}
+	}
+}

@@ -1,0 +1,409 @@
+// Package kbsync is the federation layer of the knowledge plane: it lets
+// selfheald daemons exchange knowledge-base deltas over HTTP and
+// converge at runtime, extending §5.1's portability argument from files
+// a human carries to a protocol the fleet runs itself.
+//
+// The protocol is pull-based and versioned by each node's publish
+// sequence (synopsis.Shared.Seq): a peer that was current at sequence s
+// asks GET /kb/delta?since=s and receives exactly the observations
+// published after s, named by the producer's symptom-space table so a
+// heterogeneous receiver remaps them exactly (the snapshot-v2 remap).
+// Applying a delta follows synopsis.Merge semantics — points already
+// present in the receiving knowledge base, under their canonical
+// identity, are dropped — which makes application idempotent and the
+// whole plane convergent: in any connected topology (hub/spoke, chain,
+// full mesh), under any poll order, every node's knowledge base settles
+// on the same canonical point set as one big synopsis.Merge of all
+// nodes' snapshots, because applied foreign points re-enter each node's
+// own delta log and relay transitively.
+package kbsync
+
+import (
+	"context"
+	cryptorand "crypto/rand"
+	"encoding/binary"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"net/url"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"selfheal/internal/detect"
+	"selfheal/internal/synopsis"
+)
+
+// Node wraps a shared knowledge base as one federation participant: it
+// produces deltas from the KB's arrival log and applies peers' deltas
+// with Merge semantics. Local learners keep writing to the Shared
+// directly — the node tails the KB's own log to know which canonical
+// points are already present, so deduplication covers every write path,
+// not just the ones routed through it.
+type Node struct {
+	kb    *synopsis.Shared
+	space *detect.SymptomSpace
+	epoch string
+
+	mu sync.Mutex // guards seen and scanned; serializes appliers
+	// seen holds the canonical key of every point known to be in the KB
+	// as of sequence scanned.
+	seen    map[string]struct{}
+	scanned uint64
+}
+
+// NewNode makes kb a federation participant whose vectors live in space
+// (nil: detect.DefaultSymptomSpace, the space every harness registers
+// its target schema into). The node mints a fresh epoch: sequences it
+// publishes are only meaningful alongside it, so a consumer can tell a
+// restarted node (new epoch, incomparable numbering) from a continued
+// one — a bare cursor from a previous life could silently alias into
+// the new history.
+func NewNode(kb *synopsis.Shared, space *detect.SymptomSpace) *Node {
+	if space == nil {
+		space = detect.DefaultSymptomSpace
+	}
+	buf := make([]byte, 8)
+	if _, err := cryptorand.Read(buf); err != nil {
+		// Entropy exhaustion is not a reason to refuse to heal; fall
+		// back to the process clock, still unique across restarts.
+		binary.LittleEndian.PutUint64(buf, uint64(time.Now().UnixNano()))
+	}
+	return &Node{
+		kb:    kb,
+		space: space,
+		epoch: hex.EncodeToString(buf),
+		seen:  make(map[string]struct{}),
+	}
+}
+
+// KB returns the wrapped knowledge base.
+func (n *Node) KB() *synopsis.Shared { return n.kb }
+
+// Space returns the symptom space deltas are remapped into.
+func (n *Node) Space() *detect.SymptomSpace { return n.space }
+
+// Seq returns the knowledge base's current publish sequence.
+func (n *Node) Seq() uint64 { return n.kb.Seq() }
+
+// Epoch identifies this node's process life; see NewNode.
+func (n *Node) Epoch() string { return n.epoch }
+
+// Delta captures everything the knowledge base published after since,
+// named in the node's space and stamped with its epoch — the payload
+// /kb/delta serves.
+func (n *Node) Delta(since uint64) *synopsis.Delta {
+	d := synopsis.CaptureDelta(n.kb, since, n.space)
+	d.Epoch = n.epoch
+	return d
+}
+
+// catchUp tails the KB's arrival log into the seen set, so points that
+// arrived through any path — local learning, a snapshot preload, an
+// earlier delta — count as present. Callers hold n.mu.
+func (n *Node) catchUp() {
+	pts, seq := n.kb.DeltaSince(n.scanned)
+	for _, p := range pts {
+		n.seen[synopsis.CanonicalKey(p)] = struct{}{}
+	}
+	n.scanned = seq
+}
+
+// ApplyDelta folds a peer's delta into the knowledge base with Merge
+// semantics: every vector is remapped by name into the node's space
+// (positionally when the delta is unnamed), canonicalized, and added
+// only if its canonical identity is not already present. It returns how
+// many points were new. Applying the same delta twice is identical to
+// applying it once; application order across peers does not change the
+// final canonical point set.
+//
+// A local learner racing between the presence check and the batched add
+// can still insert an identical point concurrently — the duplicate is
+// harmless (the ranking learners are duplicate-insensitive at the exact
+// point level) and disappears from every exported snapshot at the next
+// Merge.
+func (n *Node) ApplyDelta(d *synopsis.Delta) int {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.catchUp()
+	var fresh []synopsis.Point
+	for _, p := range d.Points {
+		if len(d.Symptoms) > 0 {
+			p.X = n.space.Remap(d.Symptoms, p.X)
+		} else {
+			p.X = append([]float64(nil), p.X...)
+		}
+		key := synopsis.CanonicalKey(p)
+		if _, dup := n.seen[key]; dup {
+			continue
+		}
+		n.seen[key] = struct{}{}
+		fresh = append(fresh, p)
+	}
+	n.kb.AddBatch(fresh)
+	return len(fresh)
+}
+
+// PeerStatus is one peer's sync state, as /metrics reports it.
+type PeerStatus struct {
+	// URL is the peer's base URL.
+	URL string
+	// Seq is the peer's publish sequence as of the last successful pull —
+	// the cursor the next pull presents.
+	Seq uint64
+	// Pulls counts successful pulls (including not-modified ones).
+	Pulls uint64
+	// Points counts observations this peer contributed that were new.
+	Points uint64
+	// Failures counts consecutive failed pulls; zero means healthy.
+	Failures uint64
+	// LastErr is the most recent pull error, "" after a success.
+	LastErr string
+}
+
+// peer is the syncer's per-peer state.
+type peer struct {
+	url string
+
+	mu       sync.Mutex
+	seq      uint64
+	epoch    string // the peer life seq belongs to
+	etag     string
+	pulls    uint64
+	points   uint64
+	failures uint64
+	lastErr  string
+}
+
+// Config parameterizes a Syncer.
+type Config struct {
+	// Peers are the base URLs of the nodes to pull from, e.g.
+	// "http://host:8701". Trailing slashes are tolerated.
+	Peers []string
+	// Interval is the steady-state poll period (default 2s). Each poll
+	// is jittered ±25% so a fleet started together does not thunder.
+	Interval time.Duration
+	// MaxBackoff caps the exponential backoff applied after consecutive
+	// failures (default 16×Interval, at most 60s).
+	MaxBackoff time.Duration
+	// Client is the HTTP client (default: 10s-timeout client).
+	Client *http.Client
+	// Seed makes the jitter deterministic for tests. Zero (the default)
+	// seeds from the process clock: a fleet of daemons started together
+	// with identical configs must NOT share jitter streams, or they all
+	// poll the hub at the same instants — the herd the jitter exists to
+	// break up.
+	Seed int64
+	// Logf, when set, receives one line per state change (peer failed,
+	// peer recovered). Nil means silent.
+	Logf func(format string, args ...any)
+}
+
+// Syncer polls N peers for knowledge-base deltas on a jittered interval
+// with per-peer exponential backoff, applying everything it pulls
+// through the node. Start it with Run; drive it by hand with SyncOnce.
+type Syncer struct {
+	node  *Node
+	cfg   Config
+	peers []*peer
+}
+
+// NewSyncer builds a syncer over node for cfg.Peers.
+func NewSyncer(node *Node, cfg Config) (*Syncer, error) {
+	if len(cfg.Peers) == 0 {
+		return nil, fmt.Errorf("kbsync: no peers configured")
+	}
+	if cfg.Interval <= 0 {
+		cfg.Interval = 2 * time.Second
+	}
+	if cfg.MaxBackoff <= 0 {
+		cfg.MaxBackoff = 16 * cfg.Interval
+		if cfg.MaxBackoff > time.Minute {
+			cfg.MaxBackoff = time.Minute
+		}
+	}
+	if cfg.Client == nil {
+		cfg.Client = &http.Client{Timeout: 10 * time.Second}
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = time.Now().UnixNano()
+	}
+	s := &Syncer{node: node, cfg: cfg}
+	for _, u := range cfg.Peers {
+		u = strings.TrimRight(strings.TrimSpace(u), "/")
+		if u == "" {
+			continue
+		}
+		if !strings.Contains(u, "://") {
+			u = "http://" + u
+		}
+		s.peers = append(s.peers, &peer{url: u})
+	}
+	if len(s.peers) == 0 {
+		return nil, fmt.Errorf("kbsync: no peers configured")
+	}
+	return s, nil
+}
+
+// Peers reports every peer's sync state, in configuration order.
+func (s *Syncer) Peers() []PeerStatus {
+	out := make([]PeerStatus, 0, len(s.peers))
+	for _, p := range s.peers {
+		p.mu.Lock()
+		out = append(out, PeerStatus{
+			URL: p.url, Seq: p.seq, Pulls: p.pulls, Points: p.points,
+			Failures: p.failures, LastErr: p.lastErr,
+		})
+		p.mu.Unlock()
+	}
+	return out
+}
+
+// Run polls every peer until ctx is cancelled: one goroutine per peer,
+// each sleeping a jittered interval between pulls and backing off
+// exponentially (capped at MaxBackoff) while the peer keeps failing.
+func (s *Syncer) Run(ctx context.Context) {
+	var wg sync.WaitGroup
+	for i, p := range s.peers {
+		wg.Add(1)
+		go func(i int, p *peer) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(s.cfg.Seed + int64(i)))
+			delay := s.jitter(rng, s.cfg.Interval)
+			for {
+				select {
+				case <-ctx.Done():
+					return
+				case <-time.After(delay):
+				}
+				if _, err := s.syncPeer(ctx, p); err != nil {
+					delay = s.jitter(rng, s.backoff(p))
+				} else {
+					delay = s.jitter(rng, s.cfg.Interval)
+				}
+			}
+		}(i, p)
+	}
+	wg.Wait()
+}
+
+// jitter spreads d by ±25%.
+func (s *Syncer) jitter(rng *rand.Rand, d time.Duration) time.Duration {
+	if d <= 0 {
+		return d
+	}
+	spread := d / 2
+	return d - spread/2 + time.Duration(rng.Int63n(int64(spread)+1))
+}
+
+// backoff returns the failure delay for p's current consecutive-failure
+// count: Interval×2^failures, capped at MaxBackoff.
+func (s *Syncer) backoff(p *peer) time.Duration {
+	p.mu.Lock()
+	n := p.failures
+	p.mu.Unlock()
+	d := s.cfg.Interval
+	for i := uint64(0); i < n && d < s.cfg.MaxBackoff; i++ {
+		d *= 2
+	}
+	if d > s.cfg.MaxBackoff {
+		d = s.cfg.MaxBackoff
+	}
+	return d
+}
+
+// SyncOnce pulls every peer once, in configuration order, and returns
+// how many new points were applied. Errors are joined, not fatal to the
+// remaining peers — the deterministic sync step tests and kbtool use.
+func (s *Syncer) SyncOnce(ctx context.Context) (int, error) {
+	added := 0
+	var errs []error
+	for _, p := range s.peers {
+		n, err := s.syncPeer(ctx, p)
+		added += n
+		if err != nil {
+			errs = append(errs, fmt.Errorf("%s: %w", p.url, err))
+		}
+	}
+	return added, errors.Join(errs...)
+}
+
+// syncPeer performs one conditional pull from p and applies the result.
+// The request carries the epoch the cursor came from, so a peer that
+// restarted (new epoch, incomparable sequence numbering) answers with
+// its full history instead of a silently misaligned tail.
+func (s *Syncer) syncPeer(ctx context.Context, p *peer) (int, error) {
+	p.mu.Lock()
+	since, epoch, etag := p.seq, p.epoch, p.etag
+	p.mu.Unlock()
+
+	q := "/kb/delta?since=" + strconv.FormatUint(since, 10)
+	if epoch != "" {
+		q += "&epoch=" + url.QueryEscape(epoch)
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, p.url+q, nil)
+	if err != nil {
+		return 0, s.fail(p, err)
+	}
+	if etag != "" {
+		req.Header.Set("If-None-Match", etag)
+	}
+	resp, err := s.cfg.Client.Do(req)
+	if err != nil {
+		return 0, s.fail(p, err)
+	}
+	defer resp.Body.Close()
+
+	switch resp.StatusCode {
+	case http.StatusNotModified:
+		s.ok(p, since, epoch, etag, 0)
+		return 0, nil
+	case http.StatusOK:
+	default:
+		return 0, s.fail(p, fmt.Errorf("GET /kb/delta: %s", resp.Status))
+	}
+	d, err := synopsis.DecodeDelta(resp.Body)
+	if err != nil {
+		return 0, s.fail(p, err)
+	}
+	added := s.node.ApplyDelta(d)
+	s.ok(p, d.Seq, d.Epoch, resp.Header.Get("ETag"), added)
+	return added, nil
+}
+
+// fail records a pull failure and logs the first of a failure streak.
+func (s *Syncer) fail(p *peer, err error) error {
+	p.mu.Lock()
+	p.failures++
+	first := p.failures == 1
+	p.lastErr = err.Error()
+	p.mu.Unlock()
+	if first && s.cfg.Logf != nil {
+		s.cfg.Logf("kbsync: peer %s failed: %v (backing off)", p.url, err)
+	}
+	return err
+}
+
+// ok records a successful pull.
+func (s *Syncer) ok(p *peer, seq uint64, epoch, etag string, added int) {
+	p.mu.Lock()
+	recovered := p.failures > 0
+	p.failures = 0
+	p.lastErr = ""
+	p.seq = seq
+	if epoch != "" {
+		p.epoch = epoch
+	}
+	if etag != "" {
+		p.etag = etag
+	}
+	p.pulls++
+	p.points += uint64(added)
+	p.mu.Unlock()
+	if recovered && s.cfg.Logf != nil {
+		s.cfg.Logf("kbsync: peer %s recovered (seq %d)", p.url, seq)
+	}
+}

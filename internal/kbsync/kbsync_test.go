@@ -1,0 +1,246 @@
+package kbsync_test
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"testing"
+
+	"selfheal/internal/catalog"
+	"selfheal/internal/detect"
+	"selfheal/internal/httpapi"
+	"selfheal/internal/kbsync"
+	"selfheal/internal/synopsis"
+)
+
+func pt(x []float64, fix catalog.FixID, target string) synopsis.Point {
+	return synopsis.Point{X: x, Action: synopsis.Action{Fix: fix, Target: target}, Success: true}
+}
+
+// newNode builds a federation node over a fresh NN knowledge base in a
+// private symptom space registering the given schema.
+func newNode(schema ...string) (*kbsync.Node, *synopsis.Shared) {
+	space := detect.NewSymptomSpace()
+	space.Indices(schema)
+	kb := synopsis.NewShared(synopsis.NewNearestNeighbor())
+	return kbsync.NewNode(kb, space), kb
+}
+
+func TestApplyDeltaIsIdempotent(t *testing.T) {
+	node, kb := newNode("m.a", "m.b")
+	d := &synopsis.Delta{
+		Seq:      2,
+		Symptoms: []string{"m.a", "m.b"},
+		Points: []synopsis.Point{
+			pt([]float64{1, 2}, catalog.FixUpdateStats, "items"),
+			pt([]float64{3, 4}, catalog.FixMicrorebootEJB, "ItemBean"),
+		},
+	}
+	if added := node.ApplyDelta(d); added != 2 {
+		t.Fatalf("first apply added %d, want 2", added)
+	}
+	probe := []float64{1, 2}
+	want := kb.Rank(probe)
+	// Applying the identical delta again must be a no-op: same size,
+	// same sequence effect on content, byte-identical ranking.
+	if added := node.ApplyDelta(d); added != 0 {
+		t.Fatalf("second apply added %d, want 0", added)
+	}
+	if got := kb.Rank(probe); !reflect.DeepEqual(got, want) {
+		t.Fatalf("second apply changed ranking:\n got %+v\nwant %+v", got, want)
+	}
+	if kb.TrainingSize() != 2 {
+		t.Fatalf("TrainingSize %d after duplicate apply, want 2", kb.TrainingSize())
+	}
+}
+
+func TestApplyDeltaDedupsAgainstLocalHistory(t *testing.T) {
+	node, kb := newNode("m.a", "m.b")
+	// The node learned this point locally, through the KB directly (the
+	// healer's path — it does not go through the Node).
+	local := pt([]float64{1, 2}, catalog.FixUpdateStats, "items")
+	kb.Add(local)
+	// A peer now sends the same canonical point (padded with a trailing
+	// zero, which canonicalization must see through) plus one new one.
+	d := &synopsis.Delta{
+		Seq:      5,
+		Symptoms: []string{"m.a", "m.b", "m.c"},
+		Points: []synopsis.Point{
+			pt([]float64{1, 2, 0}, catalog.FixUpdateStats, "items"),
+			pt([]float64{9, 9}, catalog.FixFailoverNode, "db"),
+		},
+	}
+	if added := node.ApplyDelta(d); added != 1 {
+		t.Fatalf("apply added %d, want 1 (local duplicate must be dropped)", added)
+	}
+	if kb.TrainingSize() != 2 {
+		t.Fatalf("TrainingSize %d, want 2", kb.TrainingSize())
+	}
+}
+
+func TestApplyDeltaRemapsHeterogeneousSchemas(t *testing.T) {
+	// The peer laid the same metrics out in the opposite order — the
+	// registration-order freedom snapshot v2 exists for, now over the
+	// wire. After remap the point must land on the receiver's own
+	// dimensions exactly.
+	node, kb := newNode("svc.lat", "svc.err")
+	d := &synopsis.Delta{
+		Seq:      1,
+		Symptoms: []string{"svc.err", "svc.lat"},
+		Points:   []synopsis.Point{pt([]float64{7, 3}, catalog.FixUpdateStats, "items")},
+	}
+	node.ApplyDelta(d)
+	pts, err := kb.Export()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 1 || !reflect.DeepEqual(pts[0].X, []float64{3, 7}) {
+		t.Fatalf("remapped point %+v, want X=[3 7]", pts)
+	}
+	// A second delivery of the same experience under the receiver's own
+	// layout is still recognized as a duplicate: canonical identity is
+	// named, not positional.
+	same := &synopsis.Delta{
+		Seq:      2,
+		Symptoms: []string{"svc.lat", "svc.err"},
+		Points:   []synopsis.Point{pt([]float64{3, 7}, catalog.FixUpdateStats, "items")},
+	}
+	if added := node.ApplyDelta(same); added != 0 {
+		t.Fatalf("re-layout of known experience added %d points", added)
+	}
+}
+
+// TestSyncerTransitiveRelay proves the relay property convergence rests
+// on: C pulls only from B, B pulls only from A, yet A's experience
+// reaches C because applied foreign points re-enter B's delta log.
+func TestSyncerTransitiveRelay(t *testing.T) {
+	ctx := context.Background()
+	nodeA, kbA := newNode("m.a")
+	nodeB, _ := newNode("m.a")
+	nodeC, kbC := newNode("m.a")
+
+	kbA.Add(pt([]float64{1}, catalog.FixUpdateStats, "items"))
+
+	srvA := httptest.NewServer(mustServer(t, nodeA))
+	defer srvA.Close()
+	srvB := httptest.NewServer(mustServer(t, nodeB))
+	defer srvB.Close()
+
+	syncBfromA, err := kbsync.NewSyncer(nodeB, kbsync.Config{Peers: []string{srvA.URL}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	syncCfromB, err := kbsync.NewSyncer(nodeC, kbsync.Config{Peers: []string{srvB.URL}})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if added, err := syncBfromA.SyncOnce(ctx); err != nil || added != 1 {
+		t.Fatalf("B from A: added=%d err=%v", added, err)
+	}
+	if added, err := syncCfromB.SyncOnce(ctx); err != nil || added != 1 {
+		t.Fatalf("C from B: added=%d err=%v", added, err)
+	}
+	if kbC.TrainingSize() != 1 {
+		t.Fatalf("A's point never relayed to C through B")
+	}
+	// Quiesced: another round moves nothing.
+	if added, _ := syncBfromA.SyncOnce(ctx); added != 0 {
+		t.Fatalf("quiesced B still pulled %d points", added)
+	}
+	if added, _ := syncCfromB.SyncOnce(ctx); added != 0 {
+		t.Fatalf("quiesced C still pulled %d points", added)
+	}
+
+	// Peer state is observable for /metrics.
+	st := syncCfromB.Peers()
+	if len(st) != 1 || st[0].Seq != nodeB.Seq() || st[0].Points != 1 || st[0].Failures != 0 {
+		t.Fatalf("peer status %+v, want seq=%d points=1 healthy", st, nodeB.Seq())
+	}
+}
+
+// TestSyncerResetsCursorAcrossPeerRestart: a peer that restarts
+// re-numbers its history from zero under a fresh epoch. A poller whose
+// cursor is from the old life — even one whose number happens to be
+// valid in the new life — must be reset to a full pull, not served a
+// silently misaligned tail.
+func TestSyncerResetsCursorAcrossPeerRestart(t *testing.T) {
+	ctx := context.Background()
+	oldLife, oldKB := newNode("m.a")
+	// Old life publishes 3 writes; the poller catches up to seq 3.
+	oldKB.Add(pt([]float64{1}, catalog.FixUpdateStats, "items"))
+	oldKB.Add(pt([]float64{2}, catalog.FixUpdateStats, "items"))
+	oldKB.Add(pt([]float64{3}, catalog.FixUpdateStats, "items"))
+
+	var current http.Handler = mustServer(t, oldLife)
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		current.ServeHTTP(w, r)
+	}))
+	defer srv.Close()
+
+	puller, pullerKB := newNode("m.a")
+	s, err := kbsync.NewSyncer(puller, kbsync.Config{Peers: []string{srv.URL}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if added, err := s.SyncOnce(ctx); err != nil || added != 3 {
+		t.Fatalf("first life pull: added=%d err=%v", added, err)
+	}
+
+	// The peer restarts: new process, empty KB, re-learns 4 different
+	// points — its new seq (4) has already passed the poller's cursor
+	// (3), the exact aliasing window.
+	newLife, newKB := newNode("m.a")
+	for i := 10; i < 14; i++ {
+		newKB.Add(pt([]float64{float64(i)}, catalog.FixFailoverNode, "db"))
+	}
+	current = mustServer(t, newLife)
+
+	if added, err := s.SyncOnce(ctx); err != nil || added != 4 {
+		t.Fatalf("post-restart pull: added=%d err=%v, want all 4 new-life points", added, err)
+	}
+	if got := pullerKB.TrainingSize(); got != 7 {
+		t.Fatalf("puller holds %d points, want 7 (3 old life + 4 new)", got)
+	}
+	// The cursor now lives in the new epoch and quiesces normally.
+	if added, _ := s.SyncOnce(ctx); added != 0 {
+		t.Fatalf("quiesced pull moved %d points", added)
+	}
+}
+
+func TestSyncerSurvivesDeadPeer(t *testing.T) {
+	ctx := context.Background()
+	nodeA, kbA := newNode("m.a")
+	nodeB, _ := newNode("m.a")
+	kbA.Add(pt([]float64{1}, catalog.FixUpdateStats, "items"))
+	srvA := httptest.NewServer(mustServer(t, nodeA))
+	defer srvA.Close()
+
+	s, err := kbsync.NewSyncer(nodeB, kbsync.Config{
+		Peers: []string{srvA.URL, "http://127.0.0.1:1"}, // port 1: refused
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	added, err := s.SyncOnce(ctx)
+	if added != 1 {
+		t.Fatalf("live peer not pulled next to a dead one: added=%d", added)
+	}
+	if err == nil {
+		t.Fatal("dead peer's error swallowed")
+	}
+	st := s.Peers()
+	if st[0].Failures != 0 || st[1].Failures == 0 {
+		t.Fatalf("failure accounting wrong: %+v", st)
+	}
+}
+
+func mustServer(t *testing.T, node *kbsync.Node) *httpapi.Server {
+	t.Helper()
+	srv, err := httpapi.NewServer(httpapi.Config{Node: node})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return srv
+}

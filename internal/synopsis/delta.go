@@ -1,0 +1,106 @@
+package synopsis
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"selfheal/internal/detect"
+)
+
+// A Delta is the federation increment of a knowledge base: the
+// observations one node published between two of its sequence numbers,
+// together with the node's symptom-space name table so a heterogeneous
+// peer can remap the vectors exactly (the same schema-remap snapshot
+// format v2 uses). Deltas are what /kb/delta serves and what
+// kbsync.Syncer applies; a snapshot is simply the delta since zero plus
+// the target catalogs.
+type Delta struct {
+	// Since is the sequence the delta starts after — the cursor the
+	// requesting peer presented.
+	Since uint64
+	// Seq is the producing knowledge base's sequence after these points;
+	// the peer stores it and asks for DeltaSince(Seq) next time.
+	Seq uint64
+	// Epoch identifies the producing node's process life. Sequences are
+	// only comparable within one epoch: a node that restarts gets a
+	// fresh epoch, and a consumer holding a cursor from another epoch
+	// must reset to a full pull rather than trust the number. Empty for
+	// producers that do not version their lives.
+	Epoch string
+	// Symptoms is the producer's name table at capture time: Symptoms[d]
+	// names point-vector dimension d. Empty when the producer's symptom
+	// space is unnamed; such deltas apply positionally, with the same
+	// caveat as v1 snapshots.
+	Symptoms []string
+	// Points is the published history increment, in arrival order.
+	Points []Point
+}
+
+// deltaWire is the JSON form of Delta.
+type deltaWire struct {
+	Version  int         `json:"version"`
+	Since    uint64      `json:"since"`
+	Seq      uint64      `json:"seq"`
+	Epoch    string      `json:"epoch,omitempty"`
+	Symptoms []string    `json:"symptoms,omitempty"`
+	Points   []jsonPoint `json:"points,omitempty"`
+}
+
+// deltaFormat is the wire version of Delta; it is versioned independently
+// of the snapshot format so the two can evolve apart.
+const deltaFormat = 1
+
+// CaptureDelta builds the Delta of everything s published after sequence
+// since, naming the vectors from space (nil: detect.DefaultSymptomSpace).
+// The name table is read after the points, and the space only grows, so
+// every returned vector's dimensions are covered by the table even while
+// writers race.
+func CaptureDelta(s *Shared, since uint64, space *detect.SymptomSpace) *Delta {
+	pts, seq := s.DeltaSince(since)
+	if space == nil {
+		space = detect.DefaultSymptomSpace
+	}
+	return &Delta{Since: since, Seq: seq, Symptoms: space.Names(), Points: pts}
+}
+
+// Encode writes the delta as JSON.
+func (d *Delta) Encode(w io.Writer) error {
+	wire := deltaWire{Version: deltaFormat, Since: d.Since, Seq: d.Seq, Epoch: d.Epoch, Symptoms: d.Symptoms}
+	for _, p := range d.Points {
+		wire.Points = append(wire.Points, jsonPoint{
+			X: p.X, Fix: p.Action.Fix.String(), Target: p.Action.Target, Success: p.Success,
+		})
+	}
+	return json.NewEncoder(w).Encode(wire)
+}
+
+// DecodeDelta parses a delta, rejecting unknown versions, unresolvable
+// fix names and vectors wider than the name table — the same hygiene
+// Decode applies to snapshots.
+func DecodeDelta(r io.Reader) (*Delta, error) {
+	var wire deltaWire
+	if err := json.NewDecoder(r).Decode(&wire); err != nil {
+		return nil, fmt.Errorf("synopsis: decoding delta: %w", err)
+	}
+	if wire.Version != deltaFormat {
+		return nil, fmt.Errorf("synopsis: unsupported delta version %d", wire.Version)
+	}
+	d := &Delta{Since: wire.Since, Seq: wire.Seq, Epoch: wire.Epoch, Symptoms: wire.Symptoms}
+	for i, jp := range wire.Points {
+		fix, ok := fixByName(jp.Fix)
+		if !ok {
+			return nil, fmt.Errorf("synopsis: delta point %d has unknown fix %q", i, jp.Fix)
+		}
+		if len(d.Symptoms) > 0 && len(jp.X) > len(d.Symptoms) {
+			return nil, fmt.Errorf("synopsis: delta point %d has %d dimensions but the name table covers %d",
+				i, len(jp.X), len(d.Symptoms))
+		}
+		d.Points = append(d.Points, Point{
+			X:       jp.X,
+			Action:  Action{Fix: fix, Target: jp.Target},
+			Success: jp.Success,
+		})
+	}
+	return d, nil
+}

@@ -1,0 +1,167 @@
+package synopsis
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"selfheal/internal/catalog"
+	"selfheal/internal/detect"
+)
+
+func TestSharedSeqAdvancesPerWrite(t *testing.T) {
+	s := NewShared(NewNearestNeighbor())
+	if s.Seq() != 0 {
+		t.Fatalf("fresh KB seq = %d, want 0", s.Seq())
+	}
+	s.Add(pt([]float64{1}, catalog.FixUpdateStats, "items"))
+	if s.Seq() != 1 {
+		t.Fatalf("after one Add seq = %d, want 1", s.Seq())
+	}
+	// A batch is one write, one sequence step, however many points.
+	s.AddBatch([]Point{
+		pt([]float64{2}, catalog.FixMicrorebootEJB, "ItemBean"),
+		pt([]float64{3}, catalog.FixFailoverNode, "db"),
+	})
+	if s.Seq() != 2 {
+		t.Fatalf("after Add+AddBatch seq = %d, want 2", s.Seq())
+	}
+	// An empty batch publishes nothing and must not advance the version.
+	s.AddBatch(nil)
+	if s.Seq() != 2 {
+		t.Fatalf("empty AddBatch advanced seq to %d", s.Seq())
+	}
+}
+
+func TestSharedDeltaSince(t *testing.T) {
+	s := NewShared(NewNearestNeighbor())
+	p1 := pt([]float64{1}, catalog.FixUpdateStats, "items")
+	p2 := pt([]float64{2}, catalog.FixMicrorebootEJB, "ItemBean")
+	p3 := pt([]float64{3}, catalog.FixFailoverNode, "db")
+	s.Add(p1)                   // seq 1
+	s.AddBatch([]Point{p2, p3}) // seq 2
+	seqAfter := s.Seq()
+
+	pts, seq := s.DeltaSince(0)
+	if seq != seqAfter || len(pts) != 3 {
+		t.Fatalf("DeltaSince(0) = %d points at seq %d, want 3 at %d", len(pts), seq, seqAfter)
+	}
+	pts, _ = s.DeltaSince(1)
+	if want := []Point{p2, p3}; !reflect.DeepEqual(pts, want) {
+		t.Fatalf("DeltaSince(1) = %+v, want the second write's batch", pts)
+	}
+	// Current cursor: empty delta, same seq.
+	pts, seq = s.DeltaSince(seqAfter)
+	if pts != nil || seq != seqAfter {
+		t.Fatalf("DeltaSince(current) = %d points at seq %d, want none", len(pts), seq)
+	}
+	// Cursor from the future behaves like current (the ops plane resets
+	// such callers to a full pull before this is ever reached).
+	pts, seq = s.DeltaSince(seqAfter + 10)
+	if pts != nil || seq != seqAfter {
+		t.Fatalf("DeltaSince(future) = %d points at seq %d", len(pts), seq)
+	}
+}
+
+func TestSharedDeltaIncludesNegatives(t *testing.T) {
+	s := NewShared(NewNearestNeighbor())
+	neg := Point{X: []float64{4}, Action: Action{Fix: catalog.FixRebootDBTier}, Success: false}
+	s.Add(neg)
+	pts, _ := s.DeltaSince(0)
+	if len(pts) != 1 || pts[0].Success {
+		t.Fatalf("negative observation lost from the delta log: %+v", pts)
+	}
+}
+
+func TestDeltaEncodeDecodeRoundTrip(t *testing.T) {
+	d := &Delta{
+		Since:    3,
+		Seq:      7,
+		Symptoms: []string{"svc.lat", "a.one"},
+		Points: []Point{
+			pt([]float64{1, 2}, catalog.FixUpdateStats, "items"),
+			{X: []float64{0, 5}, Action: Action{Fix: catalog.FixMicrorebootEJB, Target: "B"}, Success: false},
+		},
+	}
+	var buf bytes.Buffer
+	if err := d.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeDelta(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, d) {
+		t.Fatalf("round trip changed the delta:\n got %+v\nwant %+v", got, d)
+	}
+}
+
+func TestDecodeDeltaRejectsBadInput(t *testing.T) {
+	if _, err := DecodeDelta(bytes.NewBufferString(`{"version":9}`)); err == nil {
+		t.Error("unknown delta version accepted")
+	}
+	if _, err := DecodeDelta(bytes.NewBufferString(
+		`{"version":1,"points":[{"x":[1],"fix":"no-such-fix"}]}`)); err == nil {
+		t.Error("unknown fix name accepted")
+	}
+	if _, err := DecodeDelta(bytes.NewBufferString(
+		`{"version":1,"symptoms":["a"],"points":[{"x":[1,2],"fix":"update-statistics"}]}`)); err == nil {
+		t.Error("vector wider than the name table accepted")
+	}
+}
+
+func TestCaptureDeltaNamesCoverPoints(t *testing.T) {
+	space := detect.NewSymptomSpace()
+	space.Indices([]string{"m.a", "m.b"})
+	s := NewShared(NewNearestNeighbor())
+	s.Add(pt([]float64{1, 2}, catalog.FixUpdateStats, "items"))
+	d := CaptureDelta(s, 0, space)
+	if d.Seq != 1 || len(d.Points) != 1 {
+		t.Fatalf("captured delta %+v", d)
+	}
+	if want := []string{"m.a", "m.b"}; !reflect.DeepEqual(d.Symptoms, want) {
+		t.Fatalf("delta symptoms %v, want %v", d.Symptoms, want)
+	}
+}
+
+func TestCaptureRecordsSharedSeq(t *testing.T) {
+	s := NewShared(NewNearestNeighbor())
+	s.Add(pt([]float64{1}, catalog.FixUpdateStats, "items"))
+	s.Add(pt([]float64{2}, catalog.FixUpdateStats, "items"))
+	snap, err := Capture(s, SaveOptions{Space: detect.NewSymptomSpace()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.Seq != 2 {
+		t.Fatalf("snapshot seq = %d, want 2", snap.Seq)
+	}
+	// And it survives the wire.
+	var buf bytes.Buffer
+	if err := snap.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Decode(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Seq != 2 {
+		t.Fatalf("decoded seq = %d, want 2", back.Seq)
+	}
+}
+
+func TestCanonicalKeyTrimsTrailingZeros(t *testing.T) {
+	a := pt([]float64{1, 2, 0, 0}, catalog.FixUpdateStats, "items")
+	b := pt([]float64{1, 2}, catalog.FixUpdateStats, "items")
+	c := pt([]float64{1, 2, 3}, catalog.FixUpdateStats, "items")
+	if CanonicalKey(a) != CanonicalKey(b) {
+		t.Error("zero-padded vector keyed differently from its trimmed form")
+	}
+	if CanonicalKey(a) == CanonicalKey(c) {
+		t.Error("distinct vectors share a canonical key")
+	}
+	neg := b
+	neg.Success = false
+	if CanonicalKey(b) == CanonicalKey(neg) {
+		t.Error("outcome not part of the canonical identity")
+	}
+}

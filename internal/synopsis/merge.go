@@ -117,6 +117,19 @@ func (snap *Snapshot) Keys(space *detect.SymptomSpace) map[string]int {
 	return out
 }
 
+// CanonicalKey returns the canonical identity of a point: its
+// coordinates trimmed of trailing zeros (indistinguishable from the
+// padded form under the sparse-vector convention), action and outcome.
+// It is the identity Merge dedups by, and the one kbsync uses to apply
+// federation deltas with Merge semantics — a point already present in
+// the knowledge base is not double-counted when a peer sends it again.
+// The caller's vector must already be expressed in the comparing space's
+// coordinates (remap first when it is not).
+func CanonicalKey(p Point) string {
+	p.X = trimZeros(p.X)
+	return dedupKey(p)
+}
+
 // trimZeros drops trailing zero coordinates — the canonical form of a
 // sparse symptom vector (see feature).
 func trimZeros(x []float64) []float64 {

@@ -96,6 +96,11 @@ type Snapshot struct {
 	// Targets carries the fix catalogs of the target kinds registered in
 	// the writing process, keyed by target kind name.
 	Targets map[string]TargetCatalog
+	// Seq is the writing knowledge base's publish sequence at capture
+	// time (see Shared.Seq) — the version a federation peer is current to
+	// after replaying this snapshot. Zero when the captured synopsis does
+	// not version its writes (plain learners) or predates sequences.
+	Seq uint64
 	// Points is the training history in file coordinates.
 	Points []Point
 }
@@ -106,6 +111,7 @@ type snapshotWire struct {
 	Name     string                   `json:"synopsis"`
 	Symptoms []string                 `json:"symptoms,omitempty"`
 	Targets  map[string]TargetCatalog `json:"targets,omitempty"`
+	Seq      uint64                   `json:"seq,omitempty"`
 	Points   []jsonPoint              `json:"points"`
 }
 
@@ -162,6 +168,14 @@ func Capture(s Synopsis, o SaveOptions) (*Snapshot, error) {
 	if !ok {
 		return nil, fmt.Errorf("synopsis: %s cannot export its training data", s.Name())
 	}
+	// Read the sequence before exporting: against racing writers the
+	// captured seq may then undersell the exported history (a peer
+	// re-fetches a point it already has, and dedup drops it), but it can
+	// never oversell it (which would lose points for good).
+	var seq uint64
+	if sq, ok := s.(Sequenced); ok {
+		seq = sq.Seq()
+	}
 	pts, err := ex.Export()
 	if err != nil {
 		return nil, fmt.Errorf("synopsis: exporting %s: %w", s.Name(), err)
@@ -184,8 +198,18 @@ func Capture(s Synopsis, o SaveOptions) (*Snapshot, error) {
 		Synopsis: s.Name(),
 		Symptoms: names,
 		Targets:  o.Targets,
+		Seq:      seq,
 		Points:   pts,
 	}, nil
+}
+
+// Sequenced is implemented by knowledge bases that version their writes
+// with a monotonic publish sequence (Shared). Capture records the
+// sequence in the snapshot so tooling and federation peers can tell how
+// current a file is.
+type Sequenced interface {
+	// Seq returns the current publish sequence.
+	Seq() uint64
 }
 
 // Encode writes the snapshot as indented JSON.
@@ -195,6 +219,7 @@ func (snap *Snapshot) Encode(w io.Writer) error {
 		Name:     snap.Synopsis,
 		Symptoms: snap.Symptoms,
 		Targets:  snap.Targets,
+		Seq:      snap.Seq,
 	}
 	if wire.Version == 0 {
 		wire.Version = FormatV2
@@ -226,6 +251,7 @@ func Decode(r io.Reader) (*Snapshot, error) {
 		Synopsis: wire.Name,
 		Symptoms: wire.Symptoms,
 		Targets:  wire.Targets,
+		Seq:      wire.Seq,
 	}
 	for i, jp := range wire.Points {
 		fix, ok := fixByName(jp.Fix)

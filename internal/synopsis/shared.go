@@ -28,12 +28,33 @@ import (
 // the base synopsis cannot produce snapshots (a custom learner without
 // Clone), Shared degrades to the previous behavior: every operation under
 // the mutex.
+//
+// Every write also advances a monotonic publish sequence and appends its
+// observations to an arrival log, so a federation peer that was current
+// at sequence s can fetch exactly the observations published since —
+// DeltaSince(s) — in O(new points), never O(KB). The sequence is the
+// version of the knowledge base: equal sequences on one node mean equal
+// contents, and it is what the ops plane serves as /kb/delta's cursor and
+// ETag.
 type Shared struct {
 	name string
-	mu   sync.Mutex // serializes writers; guards base
+	mu   sync.Mutex // serializes writers; guards base and the delta log
 	base Synopsis
 	// snap is the published read snapshot; nil means locked mode.
 	snap atomic.Pointer[Synopsis]
+
+	// seq is the publish sequence, bumped once per write (an AddBatch is
+	// one write). Readable lock-free; written under mu.
+	seq atomic.Uint64
+	// logPts and logSeqs are the arrival log: logPts[i] was published by
+	// the write that advanced the sequence to logSeqs[i]. logSeqs is
+	// non-decreasing, which is what lets DeltaSince binary-search its
+	// cursor instead of scanning the history. Log entries share the
+	// points' backing arrays with the base learner (Points are
+	// immutable), so the log costs one slice header and one uint64 per
+	// observation, not a second copy of the vectors.
+	logPts  []Point
+	logSeqs []uint64
 }
 
 // NewShared wraps base for concurrent use. The base must no longer be used
@@ -79,12 +100,14 @@ func (s *Shared) Add(p Point) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.base.Add(p)
+	s.log(p)
 	s.republish()
 }
 
 // AddBatch implements Batcher: the whole batch is applied to the base
 // under one lock acquisition and the snapshot republished once — the write
-// path the fleet's per-episode learn flush rides.
+// path the fleet's per-episode learn flush rides. The batch advances the
+// publish sequence by one, however many points it carries.
 func (s *Shared) AddBatch(ps []Point) {
 	if len(ps) == 0 {
 		return
@@ -92,7 +115,54 @@ func (s *Shared) AddBatch(ps []Point) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	AddAll(s.base, ps)
+	s.log(ps...)
 	s.republish()
+}
+
+// log appends one write's points to the arrival log under the next
+// sequence number. Callers hold s.mu.
+func (s *Shared) log(ps ...Point) {
+	seq := s.seq.Load() + 1
+	s.seq.Store(seq)
+	for _, p := range ps {
+		s.logPts = append(s.logPts, p)
+		s.logSeqs = append(s.logSeqs, seq)
+	}
+}
+
+// Seq returns the current publish sequence: zero for a knowledge base no
+// write has touched, and strictly larger after every Add or AddBatch. It
+// is safe to call concurrently with writes (lock-free read).
+func (s *Shared) Seq() uint64 { return s.seq.Load() }
+
+// DeltaSince returns a copy of every observation published by writes
+// after sequence since, in arrival order, together with the sequence the
+// returned history is current to (pass it back as the next since). A
+// caller that is already current gets (nil, seq). Cost is proportional to
+// the observations returned, not to the knowledge base: the arrival log
+// is binary-searched for the cursor.
+//
+// The log records what was written, so negatives (failed attempts) ride
+// along exactly as they do in a full snapshot; the receiving learner
+// decides what to keep, as it would on Replay.
+func (s *Shared) DeltaSince(since uint64) ([]Point, uint64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	seq := s.seq.Load()
+	if since >= seq {
+		return nil, seq
+	}
+	// First log index published after since.
+	lo, hi := 0, len(s.logSeqs)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if s.logSeqs[mid] <= since {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return append([]Point(nil), s.logPts[lo:]...), seq
 }
 
 // Suggest implements Synopsis, reading the current snapshot lock-free.

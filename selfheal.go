@@ -52,6 +52,7 @@ import (
 	"fmt"
 	"io"
 	"strings"
+	"time"
 
 	"selfheal/internal/catalog"
 	"selfheal/internal/core"
@@ -153,6 +154,9 @@ type config struct {
 	sink                EventSink
 	workers             int
 	learnBatch          int
+	serveAddr           string
+	peers               []string
+	syncInterval        time.Duration
 }
 
 func defaultConfig() config {
@@ -424,6 +428,9 @@ func New(ctx context.Context, opts ...Option) (*System, error) {
 	}
 	if err := ctx.Err(); err != nil {
 		return nil, err
+	}
+	if cfg.federated() {
+		return nil, fmt.Errorf("selfheal: WithServeAddr/WithPeers are fleet-scoped; use NewFleet (a fleet of 1 is the single system)")
 	}
 	if err := cfg.checkMix(); err != nil {
 		return nil, err
