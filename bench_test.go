@@ -262,6 +262,48 @@ func BenchmarkSharedSuggestParallel(b *testing.B) {
 	}
 }
 
+// BenchmarkScenarioCampaign drives each library scenario end to end on a
+// fresh system with a nearest-neighbor learner: scripted injections and
+// workload playback on the campaign clock, healing through the Figure 3
+// loop. episodes/sec is healing throughput over the scripted horizon
+// (construction and warmup included, as in BenchmarkFleetCampaign);
+// recovered-% pins the adversarial outcome — the cascade row staying
+// below 100 is the scenario engine doing its job.
+func BenchmarkScenarioCampaign(b *testing.B) {
+	ctx := context.Background()
+	for _, name := range selfheal.ScenarioNames() {
+		b.Run("scenario="+name, func(b *testing.B) {
+			var recovered, sloTicks float64
+			episodes := 0
+			for i := 0; i < b.N; i++ {
+				sc, err := selfheal.ScenarioByName(name)
+				if err != nil {
+					b.Fatal(err)
+				}
+				sys, err := selfheal.New(ctx,
+					selfheal.WithSeed(42),
+					selfheal.WithApproach(selfheal.ApproachFixSymNN),
+					selfheal.WithScenario(sc))
+				if err != nil {
+					b.Fatal(err)
+				}
+				st, err := sys.RunScenario(ctx, nil)
+				if err != nil {
+					b.Fatal(err)
+				}
+				episodes += st.Episodes
+				recovered += st.RecoveredPct()
+				sloTicks += float64(st.SLOViolationTicks)
+			}
+			if secs := b.Elapsed().Seconds(); secs > 0 {
+				b.ReportMetric(float64(episodes)/secs, "episodes/sec")
+			}
+			b.ReportMetric(recovered/float64(b.N), "recovered-%")
+			b.ReportMetric(sloTicks/float64(b.N), "slo-violation-ticks")
+		})
+	}
+}
+
 // BenchmarkFleetCampaign is the campaign throughput grid: 1/4/16 replicas
 // healing 4 random-fault episodes each, with the fleet learning into one
 // shared snapshot knowledge base (kb=shared, episode-batched writes)

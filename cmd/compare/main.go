@@ -1,8 +1,9 @@
 // Command compare regenerates the paper's Table 1 (failures and candidate
 // fixes, verified empirically), Table 2 (comparison of fix-identification
-// approaches, measured) and the §5 research-agenda ablations.
+// approaches, measured), the §5 research-agenda ablations, and the
+// adversarial-scenario sweep (library scenarios × learners, recovered-%).
 //
-//	compare -table1 -table2 -ablations
+//	compare -table1 -table2 -ablations -scenarios
 package main
 
 import (
@@ -19,6 +20,7 @@ func main() {
 		table2    = flag.Bool("table2", true, "run the approach comparison")
 		quick     = flag.Bool("quick", false, "scaled-down Table 2")
 		ablations = flag.Bool("ablations", false, "run the §5 ablations")
+		scenarios = flag.Bool("scenarios", false, "run the adversarial-scenario sweep")
 	)
 	flag.Parse()
 
@@ -32,6 +34,11 @@ func main() {
 		}
 		cfg.Seed = *seed
 		fmt.Println(selfheal.RunTable2(cfg).Format())
+	}
+	if *scenarios {
+		cfg := selfheal.DefaultScenarioSweepConfig()
+		cfg.Seed = *seed
+		fmt.Println(selfheal.RunScenarioSweep(cfg).Format())
 	}
 	if *ablations {
 		fmt.Println(selfheal.RunHybridAblation(*seed, 16).Format())

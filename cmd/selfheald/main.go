@@ -91,6 +91,17 @@ func (c *console) Emit(ev selfheal.Event) {
 		c.recovered++
 		c.ttrSum += ev.TTR
 		fmt.Printf("%s recovered in %ds\n", tag, ev.TTR)
+	case selfheal.EventScenarioInject:
+		c.injected++
+		sev := ""
+		if ev.Severity > 0 && ev.Severity < 1 {
+			sev = fmt.Sprintf(" severity=%.2f (grey)", ev.Severity)
+		}
+		fmt.Printf("%s scenario inject %-18q %v target=%s%s\n", tag, ev.Label, ev.Fault.Kind(), ev.Fault.Target(), sev)
+	case selfheal.EventScenarioClear:
+		fmt.Printf("%s scenario clear  %-18q (scripted quiet phase)\n", tag, ev.Label)
+	case selfheal.EventScenarioWorkload:
+		fmt.Printf("%s scenario workload: %s\n", tag, ev.Label)
 	}
 }
 
@@ -121,6 +132,9 @@ func main() {
 		serve    = flag.String("serve", "", "serve the ops plane (/healthz /metrics /kb/...) on this address and stay up until SIGINT (implies -share)")
 		peers    = flag.String("peers", "", "comma-separated peer ops-plane URLs to pull knowledge deltas from (implies -share)")
 		syncIvl  = flag.Duration("sync-interval", 2*time.Second, "steady-state peer poll period (jittered ±25%)")
+		scenFlag = flag.String("scenario", "", "run a scripted adversarial scenario instead of the random campaign: a library name ("+strings.Join(selfheal.ScenarioNames(), ", ")+") or a JSON file path")
+		scenHrz  = flag.Int64("scenario-horizon", 0, "override the scenario's horizon in ticks (0 = as scripted)")
+		scenJSON = flag.Bool("scenario-json", false, "print the resolved scenario as canonical JSON and exit")
 	)
 	flag.Parse()
 
@@ -147,13 +161,49 @@ func main() {
 		}
 	}
 
+	// -scenario: library name first, then file path. A scenario pinned to
+	// a target kind selects that kind unless -target was given explicitly.
+	var scen *selfheal.Scenario
+	if *scenFlag != "" {
+		var err error
+		scen, err = selfheal.ScenarioByName(*scenFlag)
+		if err != nil {
+			scen, err = selfheal.LoadScenarioFile(*scenFlag)
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "selfheald:", err)
+			os.Exit(2)
+		}
+		if *scenHrz > 0 {
+			scen.Horizon = *scenHrz
+		}
+		if *scenJSON {
+			if err := selfheal.EncodeScenario(os.Stdout, scen); err != nil {
+				fmt.Fprintln(os.Stderr, "selfheald:", err)
+				os.Exit(1)
+			}
+			return
+		}
+	}
+	targetSet := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "target" {
+			targetSet = true
+		}
+	})
+
 	sink := &console{}
 	opts := []selfheal.Option{
 		selfheal.WithSeed(*seed),
 		selfheal.WithApproach(selfheal.ApproachKind(*approach)),
-		selfheal.WithTargets(targetKinds...),
 		selfheal.WithWorkloadMix(*mix),
 		selfheal.WithEventSink(sink),
+	}
+	if scen == nil || targetSet || scen.Target == "" {
+		opts = append(opts, selfheal.WithTargets(targetKinds...))
+	}
+	if scen != nil {
+		opts = append(opts, selfheal.WithScenario(scen))
 	}
 	var kb *selfheal.SharedSynopsis
 	if *share || *kbIn != "" || *kbOut != "" || *serve != "" || len(peerURLs) > 0 {
@@ -213,7 +263,22 @@ func main() {
 		*episodes, *replicas, fleet.Replica(0).Approach().Name(), *target, *seed, kb != nil, *batch)
 
 	interrupted := false
-	if *episodes > 0 {
+	if scen != nil {
+		fmt.Printf("selfheald: scenario %q (%s) over %d ticks\n\n", scen.Name, scen.Description, scen.Horizon)
+		st, err := fleet.RunScenario(ctx, nil)
+		switch {
+		case err == nil:
+		case ctx.Err() != nil:
+			interrupted = true
+			fmt.Fprintln(os.Stderr, "\nselfheald: interrupted mid-scenario")
+		default:
+			fmt.Fprintln(os.Stderr, "selfheald:", err)
+			os.Exit(1)
+		}
+		fmt.Println()
+		fmt.Print(st.Format())
+		fmt.Println(sink.summary())
+	} else if *episodes > 0 {
 		result, err := fleet.RunCampaign(ctx, selfheal.Campaign{Episodes: *episodes})
 		switch {
 		case err == nil:

@@ -30,6 +30,16 @@ const (
 	EventRecovered      = core.EventRecovered
 )
 
+// Scenario-plane events: scripted actions a scenario Runner narrates in
+// between healing episodes. Event.Label carries the scripted event or
+// workload-directive name; Event.Severity is the grey-injection fraction
+// (1 = full strength).
+const (
+	EventScenarioInject   = core.EventScenarioInject
+	EventScenarioClear    = core.EventScenarioClear
+	EventScenarioWorkload = core.EventScenarioWorkload
+)
+
 // MultiSink fans one event stream out to several sinks in order.
 func MultiSink(sinks ...EventSink) EventSink { return core.MultiSink(sinks...) }
 

@@ -25,6 +25,10 @@ type (
 	Table2Config = experiments.Table2Config
 	// Table2Result is the measured Table 2 matrix.
 	Table2Result = experiments.Table2Result
+	// ScenarioSweepConfig parameterizes the adversarial-scenario sweep.
+	ScenarioSweepConfig = experiments.ScenarioSweepConfig
+	// ScenarioSweepResult is the scenario × learner recovered-% matrix.
+	ScenarioSweepResult = experiments.ScenarioSweepResult
 	// HybridAblation is the §5.1 combination study.
 	HybridAblation = experiments.HybridAblation
 	// OnlineDriftAblation is the §5.2 online-learning study.
@@ -50,6 +54,8 @@ var (
 	DefaultTable2Config = experiments.DefaultTable2Config
 	// QuickTable2Config is the test-sized variant.
 	QuickTable2Config = experiments.QuickTable2Config
+	// DefaultScenarioSweepConfig is the standard sweep size.
+	DefaultScenarioSweepConfig = experiments.DefaultScenarioSweepConfig
 )
 
 // Experiment runners.
@@ -64,6 +70,9 @@ var (
 	RunTable1 = experiments.RunTable1
 	// RunTable2 regenerates Table 2 (approach comparison).
 	RunTable2 = experiments.RunTable2
+	// RunScenarioSweep drives every library scenario through a learner
+	// panel and charts recovered-% per cell.
+	RunScenarioSweep = experiments.RunScenarioSweep
 	// RunHybridAblation runs the §5.1 ablation.
 	RunHybridAblation = experiments.RunHybridAblation
 	// RunOnlineDriftAblation runs the §5.2 online-learning ablation.

@@ -57,6 +57,7 @@ func NewFleet(ctx context.Context, n int, opts ...Option) (*Fleet, error) {
 			return nil, fmt.Errorf("selfheal: %d replicas learning into one synopsis need NewSharedSynopsis to guard it", n)
 		}
 	}
+	cfg.applyScenarioDefaults()
 	if err := cfg.checkMix(); err != nil {
 		return nil, err
 	}

@@ -9,7 +9,10 @@
 // without importing each other.
 package catalog
 
-import "fmt"
+import (
+	"fmt"
+	"strings"
+)
 
 // FaultKind enumerates the failure types of Table 1 plus the extra
 // cause-category faults needed for the Figure 1/2 campaign.
@@ -91,6 +94,33 @@ func (k FaultKind) String() string {
 	default:
 		return fmt.Sprintf("fault(%d)", int(k))
 	}
+}
+
+// ParseFaultKind resolves a canonical fault-kind name (the String form,
+// e.g. "aging", "hardware-degradation") back to its FaultKind — the
+// decoder side of scenario files and other textual front ends.
+func ParseFaultKind(name string) (FaultKind, error) {
+	for _, k := range FaultKinds() {
+		if k.String() == name {
+			return k, nil
+		}
+	}
+	valid := make([]string, 0, int(numFaultKinds)-1)
+	for _, k := range FaultKinds() {
+		valid = append(valid, k.String())
+	}
+	return FaultNone, fmt.Errorf("catalog: unknown fault kind %q (valid: %s)", name, strings.Join(valid, ", "))
+}
+
+// ParseTier resolves a tier's short name ("web", "app", "db") back to its
+// Tier.
+func ParseTier(name string) (Tier, error) {
+	for _, t := range Tiers() {
+		if t.String() == name {
+			return t, nil
+		}
+	}
+	return 0, fmt.Errorf("catalog: unknown tier %q (valid: web, app, db)", name)
 }
 
 // FixID enumerates the candidate fixes of Table 1.

@@ -23,6 +23,16 @@ const (
 	EventEscalated EventKind = "escalated"
 	// EventRecovered marks the service holding a full clean SLO window.
 	EventRecovered EventKind = "recovered"
+
+	// EventScenarioInject marks a scripted scenario fault entering the
+	// target (Severity below 1 is a grey injection).
+	EventScenarioInject EventKind = "scenario-inject"
+	// EventScenarioClear marks a scripted clear of a scenario fault —
+	// the off-phase of a flapping fault, not a healed recovery.
+	EventScenarioClear EventKind = "scenario-clear"
+	// EventScenarioWorkload marks a scripted workload directive (scale,
+	// diurnal, drift, surge, trace playback) taking effect.
+	EventScenarioWorkload EventKind = "scenario-workload"
 )
 
 // Event is one moment in a healing episode. Fields beyond Kind, Replica,
@@ -53,6 +63,12 @@ type Event struct {
 	Success bool
 	// TTR is injection-through-recovery in ticks (Recovered only).
 	TTR int64
+	// Label names the scripted scenario event or workload directive that
+	// produced this event (scenario kinds only).
+	Label string
+	// Severity is the injection severity in (0, 1]; 1 is a full-strength
+	// injection, anything lower a grey one (ScenarioInject only).
+	Severity float64
 }
 
 // EventSink receives healing events. A sink attached to a Fleet must be

@@ -82,6 +82,14 @@ type Harness struct {
 	ringFilled int
 
 	baselineFrozen bool
+
+	// OnStep, when non-nil, observes every tick's health sample after the
+	// monitor does — the seam the scenario engine uses to fire scripted
+	// actions on the campaign clock no matter which loop is stepping
+	// (healer settle windows and admin delays included). The hook must
+	// not call Step itself. Nil (the default) costs nothing and changes
+	// nothing.
+	OnStep func(detect.Sample)
 }
 
 // NewHarness builds the default environment — the auction simulator
@@ -162,6 +170,9 @@ func (h *Harness) Step() detect.Sample {
 	// Bound history memory during long campaigns.
 	if h.Coll.Series().Len() > h.Cfg.HistoryTicks*2 {
 		h.Coll.Series().TrimFront(h.Cfg.HistoryTicks)
+	}
+	if h.OnStep != nil {
+		h.OnStep(st)
 	}
 	return st
 }

@@ -248,6 +248,49 @@ func (hl *Healer) RunEpisode(ctx context.Context, f Fault) Episode {
 	ep.DetectedAt = h.Target.Now()
 	hl.emit(Event{Kind: EventDetected, Tick: ep.DetectedAt})
 
+	hl.attemptLoop(ctx, &ep, budget)
+	h.Target.Reap()
+	if ep.Recovered {
+		hl.emit(Event{Kind: EventRecovered, Tick: ep.RecoveredAt, TTR: ep.TTR()})
+	}
+	hl.endEpisode()
+	return ep
+}
+
+// HealDetected heals a failure the SLO monitor has already declared,
+// without injecting anything — the scenario engine's entry point, where
+// faults arrive on their own scripted timeline (possibly several at
+// once) rather than one per episode. The episode's InjectedAt equals its
+// DetectedAt, so TTR measures detection-through-recovery; the episode
+// budget bounds the post-detection ticks. When the monitor is not
+// currently failing the episode returns undetected without stepping.
+func (hl *Healer) HealDetected(ctx context.Context) Episode {
+	h := hl.H
+	hl.episodes++
+	now := h.Target.Now()
+	ep := Episode{InjectedAt: now}
+	if !h.Monitor.Failing() {
+		hl.endEpisode()
+		return ep
+	}
+	ep.Detected = true
+	ep.DetectedAt = now
+	hl.emit(Event{Kind: EventDetected, Tick: now})
+
+	hl.attemptLoop(ctx, &ep, hl.Cfg.EpisodeBudget)
+	h.Target.Reap()
+	if ep.Recovered {
+		hl.emit(Event{Kind: EventRecovered, Tick: ep.RecoveredAt, TTR: ep.TTR()})
+	}
+	hl.endEpisode()
+	return ep
+}
+
+// attemptLoop drives the Figure 3 attempt/escalate loop for an
+// already-detected failure, mutating ep in place. budget bounds the
+// episode's total ticks measured from ep.InjectedAt.
+func (hl *Healer) attemptLoop(ctx context.Context, ep *Episode, budget int) {
+	h := hl.H
 	fctx := h.BuildContext()
 	var tried []Action
 	for count := 0; ; count++ {
@@ -258,12 +301,12 @@ func (hl *Healer) RunEpisode(ctx context.Context, f Fault) Episode {
 			break
 		}
 		if count >= hl.Cfg.Threshold {
-			hl.escalate(ctx, fctx, &ep)
+			hl.escalate(ctx, fctx, ep)
 			break
 		}
 		action, conf, ok := hl.Approach.Recommend(fctx, tried)
 		if !ok {
-			hl.escalate(ctx, fctx, &ep)
+			hl.escalate(ctx, fctx, ep)
 			break
 		}
 		tried = append(tried, action)
@@ -297,12 +340,6 @@ func (hl *Healer) RunEpisode(ctx context.Context, f Fault) Episode {
 			break
 		}
 	}
-	h.Target.Reap()
-	if ep.Recovered {
-		hl.emit(Event{Kind: EventRecovered, Tick: ep.RecoveredAt, TTR: ep.TTR()})
-	}
-	hl.endEpisode()
-	return ep
 }
 
 // escalate applies the paper's general costly fix: full restart, notify the

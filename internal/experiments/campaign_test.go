@@ -214,3 +214,34 @@ func TestAblationsRun(t *testing.T) {
 		}
 	})
 }
+
+// TestScenarioSweepShape: the sweep covers every library scenario and
+// learner, and the shipped cascade breaks at least one learner — the
+// regime single-fault campaigns never reach.
+func TestScenarioSweepShape(t *testing.T) {
+	res := RunScenarioSweep(DefaultScenarioSweepConfig())
+	if len(res.Scenarios) != 4 || len(res.Learners) != 4 {
+		t.Fatalf("sweep is %d scenarios x %d learners", len(res.Scenarios), len(res.Learners))
+	}
+	broke := false
+	for si, name := range res.Scenarios {
+		for li := range res.Learners {
+			st := res.Cells[si][li]
+			if st.Injections == 0 {
+				t.Errorf("%s/%s: no injections", name, res.Learners[li])
+			}
+			if name == "cascade-db-replica" && st.RecoveredPct() < 100 {
+				broke = true
+			}
+		}
+	}
+	if !broke {
+		t.Error("cascade-db-replica recovered 100% for every learner; the sweep lost its point")
+	}
+	out := res.Format()
+	for _, want := range []string{"cascade-db-replica", "flash-crowd", "det="} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Format() missing %q", want)
+		}
+	}
+}

@@ -56,9 +56,19 @@ func NewInjector(svc *service.Service, gen *workload.Generator) *Injector {
 // Env returns the injection environment.
 func (in *Injector) Env() *Env { return &in.env }
 
-// Inject activates f.
+// Inject activates f. The active set is tracked by fault identity, not
+// kind: several faults of the same kind coexist and clear independently,
+// and re-injecting an instance that is already active (a flapping fault's
+// next on-phase) re-applies its effect without duplicating the
+// bookkeeping entry — so scripted cascades never leave ghost entries that
+// would make AllCleared and Reap report a clear twice or not at all.
 func (in *Injector) Inject(f Fault) {
 	f.Inject(&in.env)
+	for _, have := range in.active {
+		if have == f {
+			return
+		}
+	}
 	in.active = append(in.active, f)
 }
 

@@ -120,6 +120,38 @@ func TestInjectorAllCleared(t *testing.T) {
 	}
 }
 
+// TestInjectDedupsByIdentity: re-injecting the same fault instance (a
+// flapping fault's next on-phase) must not duplicate the bookkeeping
+// entry, while distinct faults of the same kind coexist and clear
+// independently.
+func TestInjectDedupsByIdentity(t *testing.T) {
+	inj, env := newEnv(t)
+	f := NewException("BidBean", 0.5)
+	inj.Inject(f)
+	inj.Inject(f)
+	inj.Inject(f)
+	if n := len(inj.Active()); n != 1 {
+		t.Fatalf("re-injecting one instance left %d active entries", n)
+	}
+
+	other := NewException("ItemBean", 0.5)
+	inj.Inject(other)
+	if n := len(inj.Active()); n != 2 {
+		t.Fatalf("two same-kind faults on different components: %d active entries", n)
+	}
+	env.Svc.MicrorebootEJB("BidBean")
+	if reaped := inj.Reap(); len(reaped) != 1 || reaped[0] != Fault(f) {
+		t.Fatalf("reap after fixing one of two same-kind faults: %v", reaped)
+	}
+	if inj.AllCleared() {
+		t.Fatal("sibling fault wrongly reported cleared")
+	}
+	env.Svc.MicrorebootEJB("ItemBean")
+	if !inj.AllCleared() {
+		t.Fatal("second same-kind fault not cleared by its own fix")
+	}
+}
+
 func TestCodeBugSurvivesMicroreboot(t *testing.T) {
 	inj, env := newEnv(t)
 	f := NewCodeBug("ItemBean", 0.5)

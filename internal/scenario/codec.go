@@ -1,0 +1,57 @@
+package scenario
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+)
+
+// The file form is plain JSON mirroring the Scenario struct, with fault
+// kinds spelled as their canonical catalog names ("aging",
+// "hardware-degradation", ...) so files stay readable and survive any
+// reordering of the FaultKind enum. Parse validates; Encode produces the
+// canonical indented form, so decode(encode(sc)) round-trips exactly.
+
+// Parse reads and validates a scenario from JSON.
+func Parse(r io.Reader) (*Scenario, error) {
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	var sc Scenario
+	if err := dec.Decode(&sc); err != nil {
+		return nil, fmt.Errorf("scenario: parse: %w", err)
+	}
+	if err := sc.Validate(); err != nil {
+		return nil, err
+	}
+	return &sc, nil
+}
+
+// ParseBytes is Parse over a byte slice.
+func ParseBytes(data []byte) (*Scenario, error) {
+	return Parse(bytes.NewReader(data))
+}
+
+// LoadFile reads and validates a scenario file.
+func LoadFile(path string) (*Scenario, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("scenario: %w", err)
+	}
+	sc, err := ParseBytes(data)
+	if err != nil {
+		return nil, fmt.Errorf("scenario: file %s: %w", path, err)
+	}
+	return sc, nil
+}
+
+// Encode writes the scenario as canonical indented JSON.
+func Encode(w io.Writer, sc *Scenario) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(sc); err != nil {
+		return fmt.Errorf("scenario: encode: %w", err)
+	}
+	return nil
+}

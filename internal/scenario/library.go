@@ -1,0 +1,107 @@
+package scenario
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// The shipped scenario library: the adversarial compositions the
+// single-fault campaigns never produce. Each is deliberately tuned to a
+// regime — a correlated cascade that strikes mid-recovery, an
+// intermittent fault that heals itself whenever anyone looks, grey
+// degradation below the monitor's thresholds, and a flash crowd no fix
+// vocabulary fully covers. SCENARIOS.md documents each in prose.
+
+// Library returns fresh copies of every shipped scenario, in catalog
+// order.
+func Library() []*Scenario {
+	return []*Scenario{
+		cascadeDBReplica(),
+		flappingLeak(),
+		greyDegrade(),
+		flashCrowd(),
+	}
+}
+
+// LibraryNames lists the shipped scenario names in catalog order.
+func LibraryNames() []string {
+	lib := Library()
+	names := make([]string, len(lib))
+	for i, sc := range lib {
+		names[i] = sc.Name
+	}
+	return names
+}
+
+// ByName returns a fresh copy of the named library scenario.
+func ByName(name string) (*Scenario, error) {
+	for _, sc := range Library() {
+		if sc.Name == name {
+			return sc, nil
+		}
+	}
+	names := LibraryNames()
+	sort.Strings(names)
+	return nil, fmt.Errorf("scenario: no library scenario %q (library: %s)", name, strings.Join(names, ", "))
+}
+
+// cascadeDBReplica: a degraded database primary, then — while the
+// failover is still settling — a fast memory leak on an app replica.
+// Two overlapping faults of different kinds defeat one-fault-at-a-time
+// diagnosis: the symptom vector is a superposition neither training
+// episode produced, so some learners misdiagnose and burn attempts
+// until the episode budget or the escalation path runs out.
+func cascadeDBReplica() *Scenario {
+	return New("cascade-db-replica").
+		Describe("degraded DB primary, then an app-replica leak mid-failover — correlated cascade").
+		For("replicated").
+		Horizon(2600).
+		At(60, "primary-degraded", FaultSpec{Kind: "hardware-degradation", Component: "db", Magnitude: 0.25}).
+		Cascade("primary-degraded", 40, "replica-leak", FaultSpec{Kind: "aging", Component: "app-1", Magnitude: 0.03}).
+		MustBuild()
+}
+
+// flappingLeak: a replica leak that quiets for long stretches — each
+// on-phase degrades the survivor, each off-phase erases the evidence
+// before a clean window completes, so detection keeps restarting.
+func flappingLeak() *Scenario {
+	return New("flapping-leak").
+		Describe("duty-cycled app-replica leak: on long enough to hurt, off before diagnosis settles").
+		For("replicated").
+		Horizon(2400).
+		Flapping(80, "leak", FaultSpec{Kind: "aging", Component: "app-0", Magnitude: 0.02},
+			260, 220, 0).
+		MustBuild()
+}
+
+// greyDegrade: a canaried bad deploy at severity 0.12 — the error rate
+// it adds stays below the SLO's 2% budget, so the monitor never
+// declares a failure while users eat the degradation; at tick 1200 the
+// deploy goes wide at full severity and the accumulated grey damage
+// becomes an ordinary (late) detection.
+func greyDegrade() *Scenario {
+	return New("grey-degrade").
+		Describe("sub-threshold bad deploy (grey failure) that later tips over the SLO").
+		For("replicated").
+		Horizon(2200).
+		At(60, "grey-deploy", FaultSpec{Kind: "unhandled-exception", Component: "app-0", Magnitude: 0.25, Severity: 0.12}).
+		At(1200, "full-deploy", FaultSpec{Kind: "unhandled-exception", Component: "app-1", Magnitude: 0.6}).
+		MustBuild()
+}
+
+// flashCrowd: recorded-trace playback of a flash crowd over the auction
+// target — a diurnal-ish ramp, a 2.6× spike, slow decay — with a web
+// bottleneck surge striking at the crest. Offered load is not a fault a
+// reboot can clear; healing has to find the provisioning fix or ride
+// the crowd out.
+func flashCrowd() *Scenario {
+	return New("flash-crowd").
+		Describe("traffic-trace playback: flash crowd cresting into a web-tier bottleneck").
+		For("auction").
+		Horizon(2000).
+		Trace(100, false,
+			1.0, 1.05, 1.15, 1.3, 1.6, 2.1, 2.6, 2.4, 1.9, 1.5, 1.2, 1.05, 1.0).
+		At(550, "crest-bottleneck", FaultSpec{Kind: "bottlenecked-tier", Component: "web", Magnitude: 5.5, Duration: 700}).
+		MustBuild()
+}

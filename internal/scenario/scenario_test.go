@@ -1,0 +1,119 @@
+package scenario
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestBuilderValidates(t *testing.T) {
+	sc, err := New("ok").For("replicated").Horizon(1000).
+		At(50, "a", FaultSpec{Kind: "aging", Component: "app-0"}).
+		Cascade("a", 40, "b", FaultSpec{Kind: "hardware-degradation", Component: "db"}).
+		Build()
+	if err != nil {
+		t.Fatalf("valid scenario rejected: %v", err)
+	}
+	if len(sc.Events) != 2 || sc.Events[1].Trigger.After != "a" || sc.Events[1].Trigger.Delay != 40 {
+		t.Fatalf("cascade trigger not recorded: %+v", sc.Events[1].Trigger)
+	}
+
+	bad := []*Builder{
+		New("").Horizon(100),
+		New("x"), // no horizon
+		New("x").Horizon(100).At(0, "", FaultSpec{Kind: "aging"}),
+		New("x").Horizon(100).At(0, "a", FaultSpec{Kind: "no-such-kind"}),
+		New("x").Horizon(100).At(0, "a", FaultSpec{Kind: "aging"}).At(1, "a", FaultSpec{Kind: "aging"}),
+		New("x").Horizon(100).At(0, "a", FaultSpec{Kind: "aging", Severity: 1.5}),
+		New("x").Horizon(100).Cascade("ghost", 10, "b", FaultSpec{Kind: "aging"}),
+		New("x").Horizon(100).At(0, "a", FaultSpec{Kind: "aging"}).While("a"), // self-reference
+		New("x").Horizon(100).At(10, "a", FaultSpec{Kind: "aging"}).While("later").
+			At(20, "later", FaultSpec{Kind: "aging"}), // forward reference
+		New("x").Horizon(100).Surge(50, 40, 2), // end before start
+	}
+	for i, b := range bad {
+		if _, err := b.Build(); err == nil {
+			t.Errorf("bad scenario %d accepted", i)
+		}
+	}
+}
+
+func TestFlapEveryExclusive(t *testing.T) {
+	b := New("x").Horizon(100).
+		Flapping(0, "a", FaultSpec{Kind: "aging"}, 10, 10, 0)
+	b.sc.Events[0].Trigger.Every = 5
+	if _, err := b.Build(); err == nil || !strings.Contains(err.Error(), "mutually exclusive") {
+		t.Fatalf("flap+every accepted: %v", err)
+	}
+}
+
+func TestCodecRoundTrip(t *testing.T) {
+	for _, sc := range Library() {
+		var buf bytes.Buffer
+		if err := Encode(&buf, sc); err != nil {
+			t.Fatalf("%s: encode: %v", sc.Name, err)
+		}
+		got, err := ParseBytes(buf.Bytes())
+		if err != nil {
+			t.Fatalf("%s: parse: %v", sc.Name, err)
+		}
+		var buf2 bytes.Buffer
+		if err := Encode(&buf2, got); err != nil {
+			t.Fatalf("%s: re-encode: %v", sc.Name, err)
+		}
+		if buf.String() != buf2.String() {
+			t.Fatalf("%s: encode/parse/encode not a fixed point:\n%s\nvs\n%s", sc.Name, buf.String(), buf2.String())
+		}
+	}
+}
+
+func TestParseRejectsUnknownFieldsAndBadKinds(t *testing.T) {
+	if _, err := ParseBytes([]byte(`{"name":"x","horizon":10,"bogus":1}`)); err == nil {
+		t.Fatal("unknown field accepted")
+	}
+	if _, err := ParseBytes([]byte(`{"name":"x","horizon":10,"events":[{"name":"a","fault":{"kind":"nope"},"trigger":{}}]}`)); err == nil {
+		t.Fatal("unknown fault kind accepted")
+	}
+}
+
+func TestLibraryCatalog(t *testing.T) {
+	names := LibraryNames()
+	want := []string{"cascade-db-replica", "flapping-leak", "grey-degrade", "flash-crowd"}
+	if len(names) != len(want) {
+		t.Fatalf("library names = %v, want %v", names, want)
+	}
+	for i := range want {
+		if names[i] != want[i] {
+			t.Fatalf("library names = %v, want %v", names, want)
+		}
+	}
+	for _, sc := range Library() {
+		if err := sc.Validate(); err != nil {
+			t.Errorf("library scenario %s invalid: %v", sc.Name, err)
+		}
+		if sc.Description == "" {
+			t.Errorf("library scenario %s has no description", sc.Name)
+		}
+	}
+	if _, err := ByName("cascade-db-replica"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ByName("nope"); err == nil {
+		t.Fatal("unknown library name accepted")
+	}
+}
+
+func TestMergeStats(t *testing.T) {
+	a := &Stats{Scenario: "s", Target: "t", Horizon: 10, Detections: 2, Recovered: 1, TTRs: []int64{100}}
+	b := &Stats{Scenario: "s", Target: "t", Horizon: 10, Detections: 2, Recovered: 2, TTRs: []int64{200, 300}}
+	m := Merge(a, b)
+	if m.Detections != 4 || m.Recovered != 3 || len(m.TTRs) != 3 {
+		t.Fatalf("merge = %+v", m)
+	}
+	if m.MeanTTR != 200 || m.P50TTR != 200 {
+		t.Fatalf("merge TTR aggregates = mean %v p50 %v", m.MeanTTR, m.P50TTR)
+	}
+	if pct := m.RecoveredPct(); pct != 75 {
+		t.Fatalf("recovered%% = %v, want 75", pct)
+	}
+}

@@ -198,3 +198,110 @@ type simFaultGen struct{ g *faults.Generator }
 
 func (s simFaultGen) Next() Fault                { return s.g.Next() }
 func (s simFaultGen) Kinds() []catalog.FaultKind { return s.g.Kinds() }
+
+// --- Optional capabilities ------------------------------------------------
+
+// SetLoadScale implements WorkloadShaper.
+func (a *Auction) SetLoadScale(f float64) { a.gen.SetScale(f) }
+
+// EnableDiurnal implements WorkloadShaper.
+func (a *Auction) EnableDiurnal() { a.gen.EnableDiurnal() }
+
+// SetLoadDrift implements WorkloadShaper.
+func (a *Auction) SetLoadDrift(perTick float64) { a.gen.SetDrift(perTick) }
+
+// AddLoadSurge implements WorkloadShaper.
+func (a *Auction) AddLoadSurge(start, end int64, factor float64) {
+	a.gen.AddSurge(workload.Surge{Start: start, End: end, Factor: factor})
+}
+
+// auctionTier resolves a scenario component naming a tier; the app tier
+// is the default because it is where most Table 1 faults land.
+func auctionTier(component string) (catalog.Tier, error) {
+	if component == "" {
+		return catalog.TierApp, nil
+	}
+	return catalog.ParseTier(component)
+}
+
+// MakeFault implements FaultMaker: deterministic construction of any
+// Table 1 fault from a scenario spec. Magnitude maps to each kind's main
+// severity knob (error rate, leak level/tick, plan slowdown, surge
+// factor, ...); zero picks a fixed mid-range default inside the same
+// band the random campaign generator draws from, so scripted faults are
+// neither stronger nor weaker than campaign ones.
+func (a *Auction) MakeFault(kind catalog.FaultKind, component string, magnitude float64, duration int64) (Fault, error) {
+	comp := func(def string) string {
+		if component == "" {
+			return def
+		}
+		return component
+	}
+	mag := func(def float64) float64 {
+		if magnitude == 0 {
+			return def
+		}
+		return magnitude
+	}
+	if duration == 0 {
+		duration = 1200
+	}
+	switch kind {
+	case catalog.FaultDeadlock:
+		return faults.NewDeadlock(comp("ItemBean")), nil
+	case catalog.FaultException:
+		return faults.NewException(comp("ItemBean"), mag(0.6)), nil
+	case catalog.FaultAging:
+		tier, err := auctionTier(component)
+		if err != nil {
+			return nil, err
+		}
+		return faults.NewAging(tier, mag(0.008)), nil
+	case catalog.FaultStaleStats:
+		return faults.NewStaleStats(comp("items"), mag(9)), nil
+	case catalog.FaultBlockContention:
+		return faults.NewBlockContention(comp("items"), mag(250)), nil
+	case catalog.FaultBufferContention:
+		return faults.NewBufferContention(mag(0.75)), nil
+	case catalog.FaultBottleneck:
+		tier, err := auctionTier(component)
+		if err != nil {
+			return nil, err
+		}
+		def := map[catalog.Tier]float64{catalog.TierWeb: 6, catalog.TierApp: 7, catalog.TierDB: 3.7}[tier]
+		return faults.NewBottleneck(tier, mag(def), duration), nil
+	case catalog.FaultCodeBug:
+		return faults.NewCodeBug(comp("ItemBean"), mag(0.55)), nil
+	case catalog.FaultOperatorConfig:
+		knobs := map[string]service.OperatorKnob{
+			"thread-pool": service.KnobSmallThreadPool,
+			"conn-pool":   service.KnobSmallConnPool,
+			"routing":     service.KnobRoutingSkew,
+			"index":       service.KnobDroppedIndex,
+			"buffer":      service.KnobSmallBuffer,
+		}
+		knob, ok := knobs[comp("conn-pool")]
+		if !ok {
+			return nil, fmt.Errorf("targets: auction operator-misconfiguration component %q (want thread-pool, conn-pool, routing, index or buffer)", component)
+		}
+		target := ""
+		if knob == service.KnobDroppedIndex {
+			target = "items"
+		}
+		return faults.NewOperatorConfig(knob, target, mag(0.85)), nil
+	case catalog.FaultHardware:
+		tier, err := auctionTier(component)
+		if err != nil {
+			return nil, err
+		}
+		nodes := int(mag(1))
+		if tier == catalog.TierApp && magnitude == 0 {
+			nodes = 2
+		}
+		return faults.NewHardware(tier, nodes), nil
+	case catalog.FaultNetwork:
+		return faults.NewNetwork(mag(130), 0), nil
+	default:
+		return nil, fmt.Errorf("targets: auction target cannot make a %v fault", kind)
+	}
+}

@@ -9,6 +9,7 @@ import (
 	"selfheal/internal/metrics"
 	"selfheal/internal/sim"
 	"selfheal/internal/trace"
+	"selfheal/internal/workload"
 )
 
 // ReplicatedName is the registered kind of the replicated-topology target.
@@ -149,6 +150,16 @@ type Replicated struct {
 	surgeClass  int
 	surgeUntil  int64
 
+	// Workload shaping (the WorkloadShaper capability): constant scale,
+	// diurnal modulation, slow mix drift and scheduled whole-mix surges,
+	// mirroring workload.Generator's knobs for the replicated topology's
+	// own arrival loop.
+	loadScale    float64
+	diurnal      bool
+	driftPerTick float64
+	drift        float64
+	loadSurges   []workload.Surge
+
 	webDownTicks int64
 	weights      [2]float64
 	replicas     [2]*appReplica
@@ -186,6 +197,7 @@ func NewReplicated(cfg Config) (*Replicated, error) {
 		weights:          [2]float64{0.5, 0.5},
 		primaryCapFactor: 1,
 		dbCapBoost:       1,
+		loadScale:        1,
 	}
 	for i, name := range replicaNames() {
 		r.replicas[i] = &appReplica{name: name, cap: replAppCap}
@@ -226,15 +238,55 @@ func replInflation(u float64) float64 {
 	return 1 / (1 - u)
 }
 
-// rates returns the expected per-class rates at the current tick,
-// including any active surge.
+// rates returns the expected per-class rates at the current tick: the
+// base mix through the workload-shaping knobs (scale, diurnal, drift,
+// scheduled surges), plus any active fault surge. With the shaping knobs
+// at their defaults this reduces to the base mix exactly.
 func (r *Replicated) rates() []float64 {
 	out := make([]float64, len(r.baseRates))
 	copy(out, r.baseRates)
+	mod := r.loadScale
+	if r.diurnal {
+		mod *= workload.DiurnalFactor(r.now)
+	}
+	r.drift += r.driftPerTick
+	for c := range out {
+		v := out[c] * mod
+		if r.drift != 0 {
+			// Drift: read-heavy classes grow, writes shrink — the same
+			// evolution shape workload.Generator applies to the auction mix.
+			switch replClasses[c].name {
+			case "Read", "Search":
+				v *= 1 + r.drift
+			case "Write":
+				v *= 1 / (1 + r.drift)
+			}
+		}
+		for _, s := range r.loadSurges {
+			if r.now >= s.Start && r.now < s.End {
+				v *= s.Factor
+			}
+		}
+		out[c] = v
+	}
 	if r.surgeFactor > 1 && r.now < r.surgeUntil {
 		out[r.surgeClass] *= r.surgeFactor
 	}
 	return out
+}
+
+// SetLoadScale implements WorkloadShaper.
+func (r *Replicated) SetLoadScale(f float64) { r.loadScale = f }
+
+// EnableDiurnal implements WorkloadShaper.
+func (r *Replicated) EnableDiurnal() { r.diurnal = true }
+
+// SetLoadDrift implements WorkloadShaper.
+func (r *Replicated) SetLoadDrift(perTick float64) { r.driftPerTick = perTick }
+
+// AddLoadSurge implements WorkloadShaper.
+func (r *Replicated) AddLoadSurge(start, end int64, factor float64) {
+	r.loadSurges = append(r.loadSurges, workload.Surge{Start: start, End: end, Factor: factor})
 }
 
 // Tick implements Target: advance replica lifecycles, route the tick's
@@ -699,13 +751,22 @@ type replFault interface {
 	cleared(r *Replicated) bool
 }
 
-// Inject implements Target.
+// Inject implements Target. Like faults.Injector, the active set is
+// tracked by fault identity: re-injecting an already-active instance (a
+// flapping fault's next on-phase) re-applies its effect without
+// duplicating the bookkeeping entry, and several faults of the same kind
+// coexist and clear independently.
 func (r *Replicated) Inject(f Fault) error {
 	rf, ok := f.(replFault)
 	if !ok {
 		return fmt.Errorf("targets: replicated target cannot inject %T (%v)", f, f.Kind())
 	}
 	rf.inject(r)
+	for _, have := range r.active {
+		if have == rf {
+			return nil
+		}
+	}
 	r.active = append(r.active, rf)
 	return nil
 }
@@ -890,6 +951,130 @@ func (f *SearchSurge) cleared(r *Replicated) bool {
 		return true
 	}
 	return r.last.dbUtil < 0.88 && !r.last.down
+}
+
+// --- Optional capabilities ------------------------------------------------
+
+// ClearFault implements FaultClearer: revert the effect of a previously
+// injected fault without applying any fix — the scripted quiet phase of
+// a flapping fault. Clearing is keyed by the fault's type and strike
+// target, so it also quiets a severity-scaled clone injected by
+// InjectPartial. The cleared entry leaves the active set at the next
+// Reap, exactly as a healed fault would.
+func (r *Replicated) ClearFault(f Fault) error {
+	switch ft := f.(type) {
+	case *ReplicaDown:
+		if i := r.replicaIndex(ft.Replica); i >= 0 {
+			r.replicas[i].down = false
+			r.replicas[i].rebootTicks = 0
+		}
+	case *PrimaryDegraded:
+		r.primaryCapFactor = 1
+	case *RoutingSkew:
+		r.weights = [2]float64{0.5, 0.5}
+	case *ReplicaLeak:
+		if i := r.replicaIndex(ft.Replica); i >= 0 {
+			r.replicas[i].leakRate = 0
+			r.replicas[i].leakLevel = 0
+		}
+	case *BadDeploy:
+		if i := r.replicaIndex(ft.Replica); i >= 0 {
+			r.replicas[i].errorRate = 0
+		}
+	case *SearchSurge:
+		if r.surgeUntil > r.now {
+			r.surgeUntil = r.now
+		}
+	default:
+		return fmt.Errorf("targets: replicated target cannot clear %T", f)
+	}
+	return nil
+}
+
+// InjectPartial implements PartialInjector: inject a severity-scaled
+// clone of f — the grey-failure model. Severity s in (0,1) interpolates
+// each fault's main knob between "no effect" and the full fault: a bad
+// deploy fails s times its scripted fraction, a leak leaks at s times
+// its rate, a routing skew moves s of the way off balance, a degraded
+// primary keeps 1-(1-factor)·s of its capacity, a surge multiplies by
+// 1+(factor-1)·s. A dead replica has no fractional form and is refused.
+func (r *Replicated) InjectPartial(f Fault, severity float64) error {
+	if severity <= 0 || severity > 1 {
+		return fmt.Errorf("targets: partial injection severity %v outside (0, 1]", severity)
+	}
+	if severity == 1 {
+		return r.Inject(f)
+	}
+	var scaled Fault
+	switch ft := f.(type) {
+	case *BadDeploy:
+		scaled = NewBadDeploy(ft.Replica, ft.Rate*severity)
+	case *ReplicaLeak:
+		scaled = NewReplicaLeak(ft.Replica, ft.Rate*severity)
+	case *RoutingSkew:
+		scaled = NewRoutingSkew(0.5 + (ft.Fraction-0.5)*severity)
+	case *PrimaryDegraded:
+		scaled = NewPrimaryDegraded(1 - (1-ft.Factor)*severity)
+	case *SearchSurge:
+		scaled = NewSearchSurge(1+(ft.Factor-1)*severity, ft.Duration)
+	case *ReplicaDown:
+		return fmt.Errorf("targets: replica-down has no fractional severity (the node is either up or down)")
+	default:
+		return fmt.Errorf("targets: replicated target cannot partially inject %T", f)
+	}
+	return r.Inject(scaled)
+}
+
+// MakeFault implements FaultMaker: deterministic construction of any
+// catalog fault from a scenario spec. Magnitude maps to each kind's main
+// knob; zero picks a fixed mid-range default inside the random campaign
+// generator's band.
+func (r *Replicated) MakeFault(kind catalog.FaultKind, component string, magnitude float64, duration int64) (Fault, error) {
+	replica := component
+	if replica == "" {
+		replica = replicaNames()[0]
+	}
+	mag := func(def float64) float64 {
+		if magnitude == 0 {
+			return def
+		}
+		return magnitude
+	}
+	needReplica := func() error {
+		if r.replicaIndex(replica) < 0 {
+			return fmt.Errorf("targets: replicated %v fault needs a replica component (app-0 or app-1), got %q", kind, component)
+		}
+		return nil
+	}
+	switch kind {
+	case catalog.FaultHardware:
+		if component == "db" {
+			return NewPrimaryDegraded(mag(0.3)), nil
+		}
+		if err := needReplica(); err != nil {
+			return nil, err
+		}
+		return NewReplicaDown(replica), nil
+	case catalog.FaultOperatorConfig:
+		return NewRoutingSkew(mag(0.9)), nil
+	case catalog.FaultAging:
+		if err := needReplica(); err != nil {
+			return nil, err
+		}
+		return NewReplicaLeak(replica, mag(0.01)), nil
+	case catalog.FaultException:
+		if err := needReplica(); err != nil {
+			return nil, err
+		}
+		return NewBadDeploy(replica, mag(0.55)), nil
+	case catalog.FaultBottleneck:
+		if duration == 0 {
+			duration = 900
+		}
+		return NewSearchSurge(mag(4), duration), nil
+	default:
+		return nil, fmt.Errorf("targets: replicated target cannot make a %v fault (kinds: %v)", kind, r.spec.FaultKinds)
+	}
 }
 
 // --- Fault generation -----------------------------------------------------

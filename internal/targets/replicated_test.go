@@ -234,3 +234,201 @@ func TestMixValidation(t *testing.T) {
 		t.Error("auction target accepted the replicated readheavy mix")
 	}
 }
+
+// TestReplicatedInjectDedups: re-injecting the same instance keeps one
+// active entry; same-kind faults on different replicas clear
+// independently.
+func TestReplicatedInjectDedups(t *testing.T) {
+	r := newRepl(t, 9)
+	warm(r, 20)
+	leak := NewReplicaLeak("app-0", 0.01)
+	for i := 0; i < 3; i++ {
+		if err := r.Inject(leak); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if n := len(r.active); n != 1 {
+		t.Fatalf("re-injecting one instance left %d active entries", n)
+	}
+	deploy := NewBadDeploy("app-1", 0.5)
+	if err := r.Inject(deploy); err != nil {
+		t.Fatal(err)
+	}
+	if n := len(r.active); n != 2 {
+		t.Fatalf("distinct faults collapsed: %d active entries", n)
+	}
+	if err := r.ClearFault(deploy); err != nil {
+		t.Fatal(err)
+	}
+	r.Reap()
+	if n := len(r.active); n != 1 {
+		t.Fatalf("clearing one fault left %d active entries", n)
+	}
+	if err := r.ClearFault(leak); err != nil {
+		t.Fatal(err)
+	}
+	r.Reap()
+	if n := len(r.active); n != 0 {
+		t.Fatalf("active set not empty after clearing both: %d", n)
+	}
+}
+
+// TestReplicatedClearFault: every scriptable kind un-does its effect.
+func TestReplicatedClearFault(t *testing.T) {
+	r := newRepl(t, 13)
+	warm(r, 20)
+	faults := []Fault{
+		NewPrimaryDegraded(0.3),
+		NewRoutingSkew(0.9),
+		NewReplicaLeak("app-0", 0.02),
+		NewBadDeploy("app-1", 0.5),
+		NewSearchSurge(4, 100000),
+		NewReplicaDown("app-0"),
+	}
+	for _, f := range faults {
+		if err := r.Inject(f); err != nil {
+			t.Fatalf("%v: %v", f.Kind(), err)
+		}
+		warm(r, 10)
+		if err := r.ClearFault(f); err != nil {
+			t.Fatalf("%v: clear: %v", f.Kind(), err)
+		}
+		// Cleared-ness is observed from live metrics (utilization must
+		// drain after a surge stops), so settle before reaping.
+		warm(r, 30)
+		r.Reap()
+		if n := len(r.active); n != 0 {
+			t.Fatalf("%v not reaped after ClearFault", f.Kind())
+		}
+	}
+	slo := r.Spec().SLO
+	violated := 0
+	for i := 0; i < 100; i++ {
+		if slo.Violated(r.Tick()) {
+			violated++
+		}
+	}
+	if violated > 4 {
+		t.Errorf("target unhealthy after clearing all faults: %d/100 violated ticks", violated)
+	}
+}
+
+// TestReplicatedInjectPartial: grey severities scale the fault's effect;
+// severity 1 is a plain injection; ReplicaDown refuses fractions.
+func TestReplicatedInjectPartial(t *testing.T) {
+	r := newRepl(t, 17)
+	warm(r, 20)
+	full := NewBadDeploy("app-0", 0.5)
+	if err := r.InjectPartial(full, 0.2); err != nil {
+		t.Fatal(err)
+	}
+	if r.replicas[0].errorRate != 0.1 {
+		t.Fatalf("severity 0.2 of rate 0.5 gave errorRate %v, want 0.1", r.replicas[0].errorRate)
+	}
+	if err := r.InjectPartial(NewReplicaDown("app-1"), 0.5); err == nil {
+		t.Fatal("fractional replica-down accepted")
+	}
+	for _, bad := range []float64{0, -0.5, 1.5} {
+		if err := r.InjectPartial(full, bad); err == nil {
+			t.Fatalf("severity %v accepted", bad)
+		}
+	}
+	r2 := newRepl(t, 17)
+	if err := r2.InjectPartial(NewBadDeploy("app-0", 0.5), 1); err != nil {
+		t.Fatal(err)
+	}
+	if r2.replicas[0].errorRate != 0.5 {
+		t.Fatalf("severity 1 should be a plain injection, errorRate %v", r2.replicas[0].errorRate)
+	}
+}
+
+// TestMakeFaultBothTargets: the scripted-fault factory covers each
+// target's catalog and rejects off-catalog kinds.
+func TestMakeFaultBothTargets(t *testing.T) {
+	r := newRepl(t, 21)
+	for _, kind := range ReplicatedSpec().FaultKinds {
+		f, err := r.MakeFault(kind, "", 0, 0)
+		if err != nil {
+			t.Errorf("replicated MakeFault(%v): %v", kind, err)
+			continue
+		}
+		if f.Kind() != kind {
+			t.Errorf("replicated MakeFault(%v) built a %v", kind, f.Kind())
+		}
+		if err := r.Inject(f); err != nil {
+			t.Errorf("injecting made %v: %v", kind, err)
+		}
+	}
+	if _, err := r.MakeFault(catalog.FaultDeadlock, "", 0, 0); err == nil {
+		t.Error("replicated built an off-catalog deadlock fault")
+	}
+
+	a, err := NewAuction(Config{Seed: 21})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, kind := range catalog.FaultKinds() {
+		f, err := a.MakeFault(kind, "", 0, 0)
+		if err != nil {
+			t.Errorf("auction MakeFault(%v): %v", kind, err)
+			continue
+		}
+		if f.Kind() != kind {
+			t.Errorf("auction MakeFault(%v) built a %v", kind, f.Kind())
+		}
+		if err := a.Inject(f); err != nil {
+			t.Errorf("injecting made %v: %v", kind, err)
+		}
+	}
+	if _, err := a.MakeFault(catalog.FaultKind(99), "", 0, 0); err == nil {
+		t.Error("auction built a fault for an unknown kind")
+	}
+}
+
+// TestWorkloadShaperCapabilities: both targets expose the shaping
+// capability and the directives move offered load in the right
+// direction.
+func TestWorkloadShaperCapabilities(t *testing.T) {
+	for _, name := range []string{ReplicatedName, AuctionName} {
+		var tg Target
+		var err error
+		if name == ReplicatedName {
+			tg, err = NewReplicated(Config{Seed: 25})
+		} else {
+			tg, err = NewAuction(Config{Seed: 25})
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		ws, ok := tg.(WorkloadShaper)
+		if !ok {
+			t.Fatalf("%s target lacks WorkloadShaper", name)
+		}
+		warmT := func(n int) {
+			for i := 0; i < n; i++ {
+				tg.Tick()
+			}
+		}
+		warmT(30)
+		base := avgArrivals(tg, 30)
+		ws.SetLoadScale(2.5)
+		scaled := avgArrivals(tg, 30)
+		if scaled <= base {
+			t.Errorf("%s: 2.5x load scale did not raise offered load (%.3f -> %.3f)", name, base, scaled)
+		}
+		ws.SetLoadScale(1)
+		ws.AddLoadSurge(0, 1<<40, 3)
+		surged := avgArrivals(tg, 30)
+		if surged <= base {
+			t.Errorf("%s: surge did not raise offered load (%.3f -> %.3f)", name, base, surged)
+		}
+	}
+}
+
+func avgArrivals(tg Target, n int) float64 {
+	var sum float64
+	for i := 0; i < n; i++ {
+		sum += tg.Tick().Arrivals
+	}
+	return sum / float64(n)
+}

@@ -196,3 +196,59 @@ type Target interface {
 	// against the spec.
 	NewFaults(seed int64, kinds ...catalog.FaultKind) (FaultGen, error)
 }
+
+// Optional target capabilities. A Target advertises each by implementing
+// the interface; callers type-assert and degrade (or refuse the feature)
+// when the assertion fails. The scenario engine (internal/scenario) is
+// the main consumer: its workload directives need a WorkloadShaper, its
+// declarative fault specs a FaultMaker, its flapping faults a
+// FaultClearer, and its grey failures a PartialInjector. Both built-in
+// targets implement WorkloadShaper and FaultMaker; the replicated target
+// additionally implements FaultClearer and PartialInjector.
+
+// WorkloadShaper reshapes a target's offered load at runtime: constant
+// scaling, the ±25% diurnal modulation, slow mix drift, and scheduled
+// multiplicative surges. Tick arguments are absolute target ticks.
+type WorkloadShaper interface {
+	// SetLoadScale applies a constant multiplier to the whole mix.
+	SetLoadScale(factor float64)
+	// EnableDiurnal turns on day/night modulation (period 86400 ticks).
+	EnableDiurnal()
+	// SetLoadDrift makes the mix drift by perTick per tick toward the
+	// target's read-heavy classes — workload evolution, §5.2.
+	SetLoadDrift(perTick float64)
+	// AddLoadSurge schedules a surge multiplying the whole mix by factor
+	// over the absolute tick interval [start, end).
+	AddLoadSurge(start, end int64, factor float64)
+}
+
+// FaultMaker manufactures fault instances from a declarative spec — the
+// bridge from a scenario file's (kind, component, magnitude, duration)
+// tuple to the target's concrete fault types. Construction must be
+// deterministic (no randomness) so scenario runs are replayable:
+// unspecified fields take fixed mid-range defaults, not random draws.
+type FaultMaker interface {
+	// MakeFault builds a fault of kind striking component ("" = the
+	// kind's default component) at magnitude (the kind's main severity
+	// knob; 0 = default) lasting duration ticks for kinds that are
+	// naturally time-bounded (0 = default duration).
+	MakeFault(kind catalog.FaultKind, component string, magnitude float64, duration int64) (Fault, error)
+}
+
+// FaultClearer actively reverts an injected fault's effect — the
+// scripted "repair" between a flapping fault's on-phases, distinct from
+// healing: no fix is applied, the underlying cause simply goes quiet.
+// Clearing is keyed by the fault's type and strike target, so it also
+// clears a severity-scaled clone injected by InjectPartial.
+type FaultClearer interface {
+	ClearFault(f Fault) error
+}
+
+// PartialInjector injects a fault at fractional severity in (0, 1): a
+// grey failure, strong enough to hurt tail behavior but weak enough to
+// stay below the SLO monitor's detection thresholds. Severity 1 is
+// exactly Inject. Faults whose effect is inherently binary (a dead node)
+// return an error.
+type PartialInjector interface {
+	InjectPartial(f Fault, severity float64) error
+}

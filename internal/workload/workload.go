@@ -114,7 +114,7 @@ func (g *Generator) Rates(t int64) []float64 {
 	out := make([]float64, len(g.mix.Rates))
 	mod := g.scale
 	if g.diurnal {
-		mod *= 1 + 0.25*sinDay(t)
+		mod *= DiurnalFactor(t)
 	}
 	g.drift += g.driftPerTick
 	for i, r := range g.mix.Rates {
@@ -156,6 +156,11 @@ func (g *Generator) Arrivals(t int64) []float64 {
 	}
 	return g.buf
 }
+
+// DiurnalFactor returns the ±25% day/night modulation multiplier at tick
+// t — what EnableDiurnal applies, exported so targets with their own
+// arrival loops share the same day shape.
+func DiurnalFactor(t int64) float64 { return 1 + 0.25*sinDay(t) }
 
 // sinDay is a 24-hour sine with period 86400 ticks.
 func sinDay(t int64) float64 {

@@ -57,6 +57,7 @@ import (
 	"selfheal/internal/catalog"
 	"selfheal/internal/core"
 	"selfheal/internal/faults"
+	"selfheal/internal/scenario"
 	"selfheal/internal/service"
 	"selfheal/internal/synopsis"
 	"selfheal/internal/targets"
@@ -157,6 +158,16 @@ type config struct {
 	serveAddr           string
 	peers               []string
 	syncInterval        time.Duration
+	shape               *WorkloadShape
+	scenario            *Scenario
+}
+
+// applyScenarioDefaults lets a pinned scenario select the target kind
+// when no WithTarget/WithTargets was given.
+func (c *config) applyScenarioDefaults() {
+	if c.scenario != nil && c.scenario.Target != "" && len(c.targetKinds) == 0 {
+		c.targetKinds = []TargetKind{TargetKind(c.scenario.Target)}
+	}
 }
 
 func defaultConfig() config {
@@ -414,6 +425,7 @@ type System struct {
 	// after construction, as examples/knowledgebase does).
 	Healer   *core.Healer
 	approach Approach
+	scenario *Scenario
 }
 
 // New builds and warms up a system. The context only gates construction;
@@ -432,6 +444,7 @@ func New(ctx context.Context, opts ...Option) (*System, error) {
 	if cfg.federated() {
 		return nil, fmt.Errorf("selfheal: WithServeAddr/WithPeers are fleet-scoped; use NewFleet (a fleet of 1 is the single system)")
 	}
+	cfg.applyScenarioDefaults()
 	if err := cfg.checkMix(); err != nil {
 		return nil, err
 	}
@@ -448,6 +461,13 @@ func newSystem(cfg *config, kind TargetKind, seed int64, sink EventSink) (*Syste
 	t, err := NewTarget(kind, TargetConfig{Seed: seed, Mix: cfg.mixFor(kind)})
 	if err != nil {
 		return nil, err
+	}
+	if cfg.shape != nil {
+		ws, ok := t.(targets.WorkloadShaper)
+		if !ok {
+			return nil, fmt.Errorf("selfheal: target %q does not implement WorkloadShaper; WithWorkloadShape needs one that does", kind)
+		}
+		applyShape(ws, *cfg.shape)
 	}
 	hcfg := core.DefaultHarnessConfig()
 	hcfg.Seed = seed
@@ -467,7 +487,15 @@ func newSystem(cfg *config, kind TargetKind, seed int64, sink EventSink) (*Syste
 	hl := core.NewHealer(h, approach, hlcfg)
 	hl.AdminOracle = core.OracleFromTarget(t)
 	hl.Sink = sink
-	return &System{Harness: h, Healer: hl, approach: approach}, nil
+	if cfg.scenario != nil {
+		// Validate the pinned scenario against this concrete target now —
+		// catalog coverage, capabilities, component names — instead of at
+		// the first RunScenario.
+		if _, err := scenario.NewRunner(cfg.scenario, hl); err != nil {
+			return nil, err
+		}
+	}
+	return &System{Harness: h, Healer: hl, approach: approach, scenario: cfg.scenario}, nil
 }
 
 // resolveApproach builds the healing approach cfg asks for: an explicit
