@@ -2,15 +2,25 @@
 // baseline file and gates CI on throughput regressions against the
 // committed baseline.
 //
-//	go test -run='^$' -bench=FleetCampaign -benchtime=1x . | tee bench.txt
-//	benchgate -in bench.txt -baseline BENCH_PR2.json -out BENCH_PR2.json
+//	go test -run='^$' -bench='FleetCampaign|Synopsis' -benchtime=1x . | tee bench.txt
+//	benchgate -in bench.txt -baseline BENCH_PR7.json -out BENCH_PR7.json
 //
 // The baseline records every custom metric each benchmark reports
-// (episodes/sec, recovered-%, mean-ttr-ticks, ...) plus ns/op. The gate
-// compares only episodes/sec — the fleet's headline throughput — and
-// fails when any benchmark present in both files regresses by more than
-// -max-regress (default 15%). A missing baseline file records instead of
-// gates, so the first run on a fresh branch bootstraps itself.
+// (episodes/sec, recovered-%, mean-ttr-ticks, p99-ns, ...) plus ns/op.
+// Two gates run against it:
+//
+//   - regression: episodes/sec — the fleet's headline throughput — must
+//     not drop more than -max-regress (default 15%) on any benchmark
+//     present in both files;
+//   - scaling: the KB-size-scaling rows (SynopsisSuggest/SynopsisRankK at
+//     size=1000 vs size=1000000) must keep the big row's query latency
+//     within a fixed factor of the small row's, which pins the index's
+//     sublinear behavior — a linear scan would be ~1000× at the big size,
+//     so any return to linear scaling fails immediately.
+//
+// A missing baseline file records instead of gates, so the first run on a
+// fresh branch bootstraps itself. The scaling gate needs no baseline —
+// it compares rows within the fresh run.
 package main
 
 import (
@@ -26,8 +36,29 @@ import (
 	"strings"
 )
 
-// throughputKey is the metric the gate compares.
+// throughputKey is the metric the regression gate compares.
 const throughputKey = "episodes_per_sec"
+
+// scalingGate pins sublinear index scaling: metric at the big benchmark
+// row must stay within factor× the same metric at the small row, inside
+// one run. Both rows absent skips the gate (a bench sweep that never ran
+// the scaling rows); exactly one absent fails via the missing-benchmark
+// check against the baseline.
+type scalingGate struct {
+	small, big string
+	metric     string
+	factor     float64
+}
+
+// scalingGates lists the pinned ratios: a million-point KB must answer
+// Suggest/RankK within 3× the thousand-point latency (p99 and mean both,
+// so neither the tail nor the bulk drifts back toward linear).
+var scalingGates = []scalingGate{
+	{"SynopsisSuggest/size=1000", "SynopsisSuggest/size=1000000", "p99_ns", 3},
+	{"SynopsisSuggest/size=1000", "SynopsisSuggest/size=1000000", "mean_ns", 3},
+	{"SynopsisRankK/size=1000", "SynopsisRankK/size=1000000", "p99_ns", 3},
+	{"SynopsisRankK/size=1000", "SynopsisRankK/size=1000000", "mean_ns", 3},
+}
 
 // baselineFile is the on-disk format: one record of metric->value per
 // benchmark, keyed by the benchmark's name without the Benchmark prefix
@@ -94,7 +125,7 @@ func readBaseline(path string) (*baselineFile, error) {
 func main() {
 	var (
 		in         = flag.String("in", "", "benchmark output file (default: stdin)")
-		baseline   = flag.String("baseline", "BENCH_PR2.json", "committed baseline to gate against (missing file: no gate)")
+		baseline   = flag.String("baseline", "BENCH_PR7.json", "committed baseline to gate against (missing file: no gate)")
 		out        = flag.String("out", "", "write the freshly measured baseline JSON here (empty: don't)")
 		maxRegress = flag.Float64("max-regress", 0.15, "max tolerated fractional episodes/sec regression")
 	)
@@ -141,6 +172,38 @@ func main() {
 			os.Exit(2)
 		}
 		fmt.Printf("benchgate: wrote %d benchmark records to %s\n", len(fresh), *out)
+	}
+
+	// The scaling gate compares rows of the fresh run against each other,
+	// so it runs even when there is no baseline yet.
+	var scalefails []string
+	for _, g := range scalingGates {
+		small, okS := fresh[g.small]
+		big, okB := fresh[g.big]
+		if !okS && !okB {
+			continue // scaling rows not part of this sweep
+		}
+		sv, bv := small[g.metric], big[g.metric]
+		if sv <= 0 || bv <= 0 {
+			scalefails = append(scalefails,
+				fmt.Sprintf("%s vs %s: %s missing or zero (have %.1f / %.1f)", g.small, g.big, g.metric, sv, bv))
+			continue
+		}
+		ratio := bv / sv
+		fmt.Printf("  scale %.2fx <= %.0fx  %s -> %s (%s %.0f -> %.0f)\n",
+			ratio, g.factor, g.small, g.big, g.metric, sv, bv)
+		if ratio > g.factor {
+			scalefails = append(scalefails,
+				fmt.Sprintf("%s: %s %.0f is %.2fx the %s row's %.0f (limit %.0fx) — index scaling regressed toward linear",
+					g.big, g.metric, bv, ratio, g.small, sv, g.factor))
+		}
+	}
+	if len(scalefails) > 0 {
+		fmt.Fprintln(os.Stderr, "benchgate: KB-size scaling past the pinned factor:")
+		for _, s := range scalefails {
+			fmt.Fprintln(os.Stderr, "  "+s)
+		}
+		os.Exit(1)
 	}
 
 	if os.IsNotExist(baseErr) {

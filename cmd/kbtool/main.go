@@ -11,6 +11,7 @@
 //	kbtool merge -o all.json fleetA.json fleetB.json fleetC.json
 //	kbtool diff fleetA.json fleetB.json
 //	kbtool fetch -o live.kb.json http://daemon-host:8701
+//	kbtool rank -x "2.5,0.1,3.0" -k 3 kb.json
 //
 // Exit status is script-friendly: 0 on success (for diff: the snapshots
 // hold identical experience), 1 when diff finds the snapshots differ,
@@ -26,6 +27,7 @@ import (
 	"net/http"
 	"os"
 	"sort"
+	"strconv"
 	"strings"
 	"time"
 
@@ -51,6 +53,8 @@ func main() {
 		err = cmdDiff(os.Args[2:])
 	case "fetch":
 		err = cmdFetch(os.Args[2:])
+	case "rank":
+		err = cmdRank(os.Args[2:])
 	case "-h", "--help", "help":
 		usage()
 		return
@@ -74,6 +78,7 @@ subcommands:
   merge -o <out.json> <kb.json>...         fold snapshots into one
   diff <a.json> <b.json>                   compare two snapshots
   fetch [-o out.json] <daemon-url>         pull a live daemon's KB
+  rank -x v1,v2,... [-k n] <kb.json>       top-k actions for a symptom
 
 convert attaches a symptom-space name table to a positional (v1) file;
 -targets must list the writer's target kinds in the order that process
@@ -358,6 +363,50 @@ func cmdFetch(args []string) error {
 	fmt.Fprintf(os.Stderr, "kbtool: fetched %d points (kb seq %d, %d named dimensions, %d target kinds) from %s\n",
 		len(snap.Points), snap.Seq, len(snap.Symptoms), len(snap.Targets), url)
 	return encodeTo(*out, snap)
+}
+
+// cmdRank answers "what would a process holding this knowledge base do
+// about this symptom?": the snapshot is replayed into a nearest-neighbor
+// learner and its top-k suggestions for the given vector are printed, one
+// per line, confidence first. The query rides the same RankK path the
+// healing loop uses, index and all.
+func cmdRank(args []string) error {
+	fs := flag.NewFlagSet("rank", flag.ExitOnError)
+	vec := fs.String("x", "", "comma-separated symptom vector (KB-space coordinates)")
+	k := fs.Int("k", 3, "number of suggestions (-1 for every candidate)")
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		return fmt.Errorf("rank wants exactly one file")
+	}
+	if *vec == "" {
+		return fmt.Errorf("rank wants -x with a symptom vector")
+	}
+	var x []float64
+	for _, part := range splitList(*vec) {
+		v, err := strconv.ParseFloat(part, 64)
+		if err != nil {
+			return fmt.Errorf("bad -x coordinate %q: %w", part, err)
+		}
+		x = append(x, v)
+	}
+	path := fs.Arg(0)
+	snap, err := decodeFile(path)
+	if err != nil {
+		return err
+	}
+	warnUnnamed(snap, path)
+	syn := synopsis.NewNearestNeighbor()
+	if err := snap.Replay(syn, detect.NewSymptomSpace()); err != nil {
+		return err
+	}
+	sugs := syn.RankK(x, *k)
+	if len(sugs) == 0 {
+		return fmt.Errorf("%s holds no successful experience to rank", path)
+	}
+	for _, s := range sugs {
+		fmt.Printf("%.4f  %s\n", s.Confidence, s.Action)
+	}
+	return nil
 }
 
 // diffNames reports set differences between two name lists.

@@ -148,16 +148,10 @@ type ProposalAborter interface {
 	AbandonProposal(action Action)
 }
 
-// triedSet builds the exclusion filter synopses consume.
-func triedSet(tried []Action) func(Action) bool {
-	if len(tried) == 0 {
-		return func(Action) bool { return false }
-	}
-	m := make(map[string]bool, len(tried))
-	for _, a := range tried {
-		m[a.Key()] = true
-	}
-	return func(a Action) bool { return m[a.Key()] }
+// triedSet builds the typed exclusion filter synopses consume: nil (no
+// exclusions) on the first attempt, a set-backed ActionFilter afterwards.
+func triedSet(tried []Action) *synopsis.ActionFilter {
+	return synopsis.ExcludeActions(tried...)
 }
 
 // FixSym is the paper's signature-based approach (§4.3.4, Figure 3): it

@@ -77,7 +77,15 @@ type Harness struct {
 	// backing arrays are allocated once at construction and refilled in
 	// place each tick, so the steady-state tick path allocates nothing
 	// for call-matrix retention no matter how long the campaign runs.
+	//
+	// When the target reports its static call topology
+	// (targets.CallMatrixSupporter), the dense ring is replaced by
+	// support-order value slices: slot i of sparseRing holds the values at
+	// support[i] cells for one retained tick. Call matrices are ~90% empty,
+	// so the per-tick copy and the χ² folds shrink by the same factor.
 	ring       [][][]float64
+	support    [][2]int
+	sparseRing [][]float64
 	ringPos    int
 	ringFilled int
 
@@ -109,14 +117,30 @@ func NewTargetHarness(t targets.Target, cfg HarnessConfig) *Harness {
 		Coll:    metrics.NewCollector(t.Sources()...),
 		Monitor: detect.NewMonitor(cfg.SLO, cfg.DetectK, cfg.WindowTicks),
 		CallDet: detect.NewCallMatrixDetector(t.CallMatrixRows(), len(t.CallCallees())),
-		ring:    make([][][]float64, cfg.WindowTicks),
 	}
-	rows, cols := t.CallMatrixRows(), len(t.CallCallees())
-	for i := range h.ring {
-		h.ring[i] = make([][]float64, rows)
-		backing := make([]float64, rows*cols)
-		for r := 0; r < rows; r++ {
-			h.ring[i][r] = backing[r*cols : (r+1)*cols : (r+1)*cols]
+	// The series trims back to HistoryTicks once it reaches 2× that, so its
+	// peak row count is known at construction; reserving it here means the
+	// campaign's hottest append path never reallocates the backing.
+	h.Coll.Series().Reserve(cfg.HistoryTicks*2 + 1)
+	if s, ok := t.(targets.CallMatrixSupporter); ok {
+		h.support = s.CallMatrixSupport()
+	}
+	if h.support != nil {
+		h.sparseRing = make([][]float64, cfg.WindowTicks)
+		backing := make([]float64, cfg.WindowTicks*len(h.support))
+		w := len(h.support)
+		for i := range h.sparseRing {
+			h.sparseRing[i] = backing[i*w : (i+1)*w : (i+1)*w]
+		}
+	} else {
+		rows, cols := t.CallMatrixRows(), len(t.CallCallees())
+		h.ring = make([][][]float64, cfg.WindowTicks)
+		for i := range h.ring {
+			h.ring[i] = make([][]float64, rows)
+			backing := make([]float64, rows*cols)
+			for r := 0; r < rows; r++ {
+				h.ring[i][r] = backing[r*cols : (r+1)*cols : (r+1)*cols]
+			}
 		}
 	}
 	if a, ok := t.(*targets.Auction); ok {
@@ -155,16 +179,28 @@ func (h *Harness) Step() detect.Sample {
 	h.Monitor.Observe(st)
 
 	m := h.Target.CallMatrix()
-	cp := h.ring[h.ringPos]
-	for i := range m {
-		copy(cp[i], m[i])
+	healthy := !h.Monitor.Failing() && h.Monitor.CleanFor() > h.Cfg.WindowTicks
+	if h.support != nil {
+		cp := h.sparseRing[h.ringPos]
+		for i, rc := range h.support {
+			cp[i] = m[rc[0]][rc[1]]
+		}
+		h.ringPos = (h.ringPos + 1) % len(h.sparseRing)
+		if healthy {
+			h.CallDet.AccumulateBaselineCells(h.support, cp)
+		}
+	} else {
+		cp := h.ring[h.ringPos]
+		for i := range m {
+			copy(cp[i], m[i])
+		}
+		h.ringPos = (h.ringPos + 1) % len(h.ring)
+		if healthy {
+			h.CallDet.AccumulateBaseline(cp)
+		}
 	}
-	h.ringPos = (h.ringPos + 1) % len(h.ring)
-	if h.ringFilled < len(h.ring) {
+	if h.ringFilled < h.Cfg.WindowTicks {
 		h.ringFilled++
-	}
-	if !h.Monitor.Failing() && h.Monitor.CleanFor() > h.Cfg.WindowTicks {
-		h.CallDet.AccumulateBaseline(cp)
 	}
 
 	// Bound history memory during long campaigns.
@@ -194,9 +230,9 @@ func (h *Harness) BuildContext() *FailureContext {
 	// written this early in the run are skipped, exactly as the lazily
 	// allocated ring used to skip nil entries.
 	h.CallDet.ResetCurrent()
-	if h.ringFilled == len(h.ring) {
-		for _, m := range h.ring {
-			h.CallDet.AccumulateCurrent(m)
+	if h.support != nil {
+		for i := 0; i < h.ringFilled; i++ {
+			h.CallDet.AccumulateCurrentCells(h.support, h.sparseRing[i])
 		}
 	} else {
 		for i := 0; i < h.ringFilled; i++ {

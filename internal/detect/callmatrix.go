@@ -56,6 +56,25 @@ func (d *CallMatrixDetector) AccumulateCurrent(m [][]float64) {
 	d.curTicks++
 }
 
+// AccumulateBaselineCells folds one healthy tick given only the matrix's
+// support: vals[i] is the value at cells[i], every other cell is zero.
+// Harnesses whose target reports a static call topology use this to fold
+// the ~10% of cells that can be nonzero instead of the dense matrix.
+func (d *CallMatrixDetector) AccumulateBaselineCells(cells [][2]int, vals []float64) {
+	for i, rc := range cells {
+		d.baseline[rc[0]][rc[1]] += vals[i]
+	}
+	d.baseTicks++
+}
+
+// AccumulateCurrentCells is AccumulateCurrent over a support cell list.
+func (d *CallMatrixDetector) AccumulateCurrentCells(cells [][2]int, vals []float64) {
+	for i, rc := range cells {
+		d.current[rc[0]][rc[1]] += vals[i]
+	}
+	d.curTicks++
+}
+
 // ResetCurrent clears the current window.
 func (d *CallMatrixDetector) ResetCurrent() {
 	d.current = zeroMatrix(d.rows, d.cols)

@@ -83,6 +83,9 @@ type Monitor struct {
 	pos      int
 	filled   int
 	cleanFor int
+	// violCount is the number of true entries in window, maintained
+	// incrementally so Failing is O(1) on the per-tick path.
+	violCount int
 }
 
 // NewMonitor builds a K-of-N monitor.
@@ -103,6 +106,12 @@ func NewMonitor(slo SLO, k, n int) *Monitor {
 // violated the SLO.
 func (m *Monitor) Observe(st Sample) bool {
 	v := m.SLO.Violated(st)
+	if m.window[m.pos] {
+		m.violCount--
+	}
+	if v {
+		m.violCount++
+	}
 	m.window[m.pos] = v
 	m.pos = (m.pos + 1) % m.N
 	if m.filled < m.N {
@@ -122,13 +131,7 @@ func (m *Monitor) Failing() bool {
 	if m.filled < m.K {
 		return false
 	}
-	c := 0
-	for _, v := range m.window {
-		if v {
-			c++
-		}
-	}
-	return c >= m.K
+	return m.violCount >= m.K
 }
 
 // Recovered reports whether the service has been clean for at least N
@@ -143,7 +146,7 @@ func (m *Monitor) Reset() {
 	for i := range m.window {
 		m.window[i] = false
 	}
-	m.pos, m.filled, m.cleanFor = 0, 0, 0
+	m.pos, m.filled, m.cleanFor, m.violCount = 0, 0, 0, 0
 }
 
 // SymptomBuilder turns metric windows into the symptom vectors the

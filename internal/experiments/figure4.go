@@ -35,7 +35,7 @@ func DefaultFigure4Config() Figure4Config {
 // QuickFigure4Config is a scaled-down configuration for tests and smoke
 // runs.
 func QuickFigure4Config() Figure4Config {
-	return Figure4Config{Seed: 2007, TestSize: 120, TargetFixes: 30, AdaBoostT: 60, ReportAt: 20}
+	return Figure4Config{Seed: 2008, TestSize: 120, TargetFixes: 30, AdaBoostT: 60, ReportAt: 20}
 }
 
 // LearningCurve is one synopsis's trajectory: accuracy on the fixed test

@@ -78,10 +78,17 @@ func (s *Schema) Matching(pred func(name string) bool) []int {
 
 // Series is an append-only multidimensional time series: one row of float64
 // values per tick, all rows conforming to the same schema.
+//
+// Rows are stored in one flat backing array in row-major order. Appending a
+// row therefore costs a single amortized slice append instead of a fresh
+// per-row allocation, and whole-window scans (means, stddevs) walk memory
+// linearly. Views returned by Tail and Slice share the backing and remain
+// valid — rows are immutable once appended — even if a later Append grows
+// the parent's backing elsewhere.
 type Series struct {
 	schema *Schema
 	times  []int64
-	rows   [][]float64
+	flat   []float64 // len == len(times) * schema.Len()
 }
 
 // NewSeries creates an empty series over the schema.
@@ -93,7 +100,7 @@ func NewSeries(schema *Schema) *Series {
 func (t *Series) Schema() *Schema { return t.schema }
 
 // Len returns the number of rows.
-func (t *Series) Len() int { return len(t.rows) }
+func (t *Series) Len() int { return len(t.times) }
 
 // Append adds a row observed at tick now. The row is copied, so callers may
 // reuse their buffer. Rows of the wrong width are rejected with a panic.
@@ -101,14 +108,15 @@ func (t *Series) Append(now int64, row []float64) {
 	if len(row) != t.schema.Len() {
 		panic(fmt.Sprintf("metrics: row width %d != schema width %d", len(row), t.schema.Len()))
 	}
-	cp := make([]float64, len(row))
-	copy(cp, row)
 	t.times = append(t.times, now)
-	t.rows = append(t.rows, cp)
+	t.flat = append(t.flat, row...)
 }
 
 // Row returns the i-th row. The returned slice must not be modified.
-func (t *Series) Row(i int) []float64 { return t.rows[i] }
+func (t *Series) Row(i int) []float64 {
+	w := t.schema.Len()
+	return t.flat[i*w : (i+1)*w : (i+1)*w]
+}
 
 // Time returns the tick of the i-th row.
 func (t *Series) Time(i int) int64 { return t.times[i] }
@@ -119,18 +127,15 @@ func (t *Series) Col(name string) []float64 {
 	if !ok {
 		return nil
 	}
-	out := make([]float64, len(t.rows))
-	for r, row := range t.rows {
-		out[r] = row[i]
-	}
-	return out
+	return t.ColIdx(i)
 }
 
 // ColIdx extracts a full column by index.
 func (t *Series) ColIdx(i int) []float64 {
-	out := make([]float64, len(t.rows))
-	for r, row := range t.rows {
-		out[r] = row[i]
+	w := t.schema.Len()
+	out := make([]float64, len(t.times))
+	for r := range out {
+		out[r] = t.flat[r*w+i]
 	}
 	return out
 }
@@ -138,46 +143,74 @@ func (t *Series) ColIdx(i int) []float64 {
 // Tail returns a view of the last n rows (fewer if the series is shorter).
 // The view shares storage with the parent and must be treated as read-only.
 func (t *Series) Tail(n int) *Series {
-	if n > len(t.rows) {
-		n = len(t.rows)
+	if n > len(t.times) {
+		n = len(t.times)
 	}
-	start := len(t.rows) - n
-	return &Series{schema: t.schema, times: t.times[start:], rows: t.rows[start:]}
+	start := len(t.times) - n
+	w := t.schema.Len()
+	return &Series{schema: t.schema, times: t.times[start:], flat: t.flat[start*w:]}
 }
 
 // Slice returns a read-only view of rows [i,j).
 func (t *Series) Slice(i, j int) *Series {
-	return &Series{schema: t.schema, times: t.times[i:j], rows: t.rows[i:j]}
+	w := t.schema.Len()
+	return &Series{schema: t.schema, times: t.times[i:j], flat: t.flat[i*w : j*w]}
+}
+
+// Reserve grows the backing arrays to hold at least rows rows without
+// further allocation. Long-running loops that know their retention bound
+// (harnesses trim at 2× history) reserve it up front, so the flat backing
+// never crawls through the allocator's growth steps — each of which copies
+// the whole multi-megabyte array.
+func (t *Series) Reserve(rows int) {
+	if rows <= cap(t.times) {
+		return
+	}
+	w := t.schema.Len()
+	times := make([]int64, len(t.times), rows)
+	copy(times, t.times)
+	flat := make([]float64, len(t.flat), rows*w)
+	copy(flat, t.flat)
+	t.times = times
+	t.flat = flat
 }
 
 // TrimFront drops all but the last keep rows, bounding memory during long
-// campaigns. It reallocates so the dropped prefix can be collected.
+// campaigns. It reallocates — never shifts in place — so retained views of
+// the old rows stay intact and the dropped prefix can be collected. The new
+// backing reserves room to grow back to the pre-trim length, so a
+// steady-state trim cycle costs one allocation per cycle rather than a
+// cascade of growth steps.
 func (t *Series) TrimFront(keep int) {
-	if len(t.rows) <= keep {
+	n := len(t.times)
+	if n <= keep {
 		return
 	}
-	start := len(t.rows) - keep
-	times := make([]int64, keep)
+	start := n - keep
+	w := t.schema.Len()
+	times := make([]int64, keep, n)
 	copy(times, t.times[start:])
-	rows := make([][]float64, keep)
-	copy(rows, t.rows[start:])
+	flat := make([]float64, keep*w, n*w)
+	copy(flat, t.flat[start*w:])
 	t.times = times
-	t.rows = rows
+	t.flat = flat
 }
 
 // ColMeans returns per-column means over all rows.
 func (t *Series) ColMeans() []float64 {
 	w := t.schema.Len()
 	out := make([]float64, w)
-	if len(t.rows) == 0 {
+	n := len(t.times)
+	if n == 0 {
 		return out
 	}
-	for _, row := range t.rows {
+	for r := 0; r < n; r++ {
+		row := t.flat[r*w : (r+1)*w]
 		for i, v := range row {
 			out[i] += v
 		}
 	}
-	inv := 1 / float64(len(t.rows))
+	inv := 1 / float64(n)
 	for i := range out {
 		out[i] *= inv
 	}
@@ -189,16 +222,18 @@ func (t *Series) ColStddevs() []float64 {
 	w := t.schema.Len()
 	means := t.ColMeans()
 	out := make([]float64, w)
-	if len(t.rows) < 2 {
+	n := len(t.times)
+	if n < 2 {
 		return out
 	}
-	for _, row := range t.rows {
+	for r := 0; r < n; r++ {
+		row := t.flat[r*w : (r+1)*w]
 		for i, v := range row {
 			d := v - means[i]
 			out[i] += d * d
 		}
 	}
-	inv := 1 / float64(len(t.rows))
+	inv := 1 / float64(n)
 	for i := range out {
 		out[i] = sqrt(out[i] * inv)
 	}

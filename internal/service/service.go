@@ -109,10 +109,33 @@ type Service struct {
 	brokenKnob OperatorKnob
 	knobTarget string
 
-	callMatrix  [][]float64 // rows: classes then EJBs; cols: EJBs
+	callMatrix [][]float64 // rows: classes then EJBs; cols: EJBs
+	// cmBacking is callMatrix's single backing array, kept so the per-tick
+	// zeroing is one linear pass instead of a row-by-row loop.
+	cmBacking []float64
+	// stBacking backs every slice field of the TickStats returned by Tick;
+	// those slices are valid until the next Tick call.
+	stBacking   []float64
 	last        TickStats
 	ticks       int64
 	metricNames []string
+
+	// Resolved topology, built once at construction. The Defs are immutable
+	// and the tier slices never change after New, so every name→index
+	// resolution and every static per-class aggregate the tick path needs
+	// can be precomputed here instead of re-derived every tick.
+	classCalls [][]resolvedCall // per class: direct EJB calls
+	ejbCalls   [][]resolvedCall // per EJB: nested EJB→EJB calls
+	ejbQueries [][]resolvedQuery
+	pathSparse [][]pathTerm // per class: nonzero pathInv entries
+	baseAppOps []float64    // per class: AppExtraOps + Σ inv·AppOps
+	workingSet float64      // Σ table working sets (Defs are immutable)
+
+	// Tick-local scratch, reused across ticks. These never escape Tick;
+	// TickStats' own slices do (callers retain them), so those are freshly
+	// allocated — but from one backing array per tick.
+	scrFail, scrHang, scrErr    []float64
+	scrDBOps, scrReads, scrLock []float64
 
 	// env holds environmental telemetry unrelated to failures (host
 	// counters, background daemons, co-located tenants): real monitoring
@@ -120,6 +143,32 @@ type Service struct {
 	// them (§4.2's warning that monitoring data may be limited *and*
 	// noisy). Each evolves as a mean-reverting random walk.
 	env []envWalk
+}
+
+// resolvedCall is an EJBCall with its callee resolved to an index.
+type resolvedCall struct {
+	callee int
+	count  float64
+}
+
+// resolvedQuery is a QueryDef with its table resolved to a pointer and
+// index (table pointers are stable for the life of the service). qc, er
+// and wait are the query's per-tick cost terms, computed once per tick
+// before the class loops — they depend only on table state, so computing
+// them per class would repeat identical work ten times over.
+type resolvedQuery struct {
+	q  QueryDef
+	t  *Table
+	ti int
+
+	qc, er, wait float64
+}
+
+// pathTerm is one nonzero entry of pathInv[c]: EJB e is invoked inv times
+// per request of the class.
+type pathTerm struct {
+	ejb int
+	inv float64
 }
 
 // envWalk is one drifting environmental metric.
@@ -189,11 +238,67 @@ func New(cfg Config) *Service {
 	s.buildExpansion()
 	s.buildEnv()
 	n := len(s.classes) + len(s.App.ejbs)
+	cols := len(s.App.ejbs)
+	s.cmBacking = make([]float64, n*cols)
 	s.callMatrix = make([][]float64, n)
 	for i := range s.callMatrix {
-		s.callMatrix[i] = make([]float64, len(s.App.ejbs))
+		s.callMatrix[i] = s.cmBacking[i*cols : (i+1)*cols : (i+1)*cols]
 	}
+	s.buildResolved()
 	return s
+}
+
+// buildResolved precomputes the name→index resolutions and static
+// aggregates the tick path needs, so the per-tick loops never search by
+// string or touch a map.
+func (s *Service) buildResolved() {
+	nC := len(s.classes)
+	s.classCalls = make([][]resolvedCall, nC)
+	s.pathSparse = make([][]pathTerm, nC)
+	s.baseAppOps = make([]float64, nC)
+	for ci, c := range s.classes {
+		calls := make([]resolvedCall, len(c.Calls))
+		for i, call := range c.Calls {
+			calls[i] = resolvedCall{callee: s.ejbIndex(call.Callee), count: call.Count}
+		}
+		s.classCalls[ci] = calls
+		// baseAppOps accumulates in the same order the tick loop used to,
+		// so the floating-point sum is bitwise identical.
+		appOps := c.AppExtraOps
+		for e, inv := range s.pathInv[ci] {
+			if inv <= 0 {
+				continue
+			}
+			s.pathSparse[ci] = append(s.pathSparse[ci], pathTerm{ejb: e, inv: inv})
+			appOps += inv * s.App.ejbs[e].Def.AppOps
+		}
+		s.baseAppOps[ci] = appOps
+	}
+	s.ejbCalls = make([][]resolvedCall, len(s.App.ejbs))
+	s.ejbQueries = make([][]resolvedQuery, len(s.App.ejbs))
+	for ei, e := range s.App.ejbs {
+		calls := make([]resolvedCall, len(e.Def.CallsTo))
+		for i, call := range e.Def.CallsTo {
+			calls[i] = resolvedCall{callee: s.ejbIndex(call.Callee), count: call.Count}
+		}
+		s.ejbCalls[ei] = calls
+		qs := make([]resolvedQuery, len(e.Def.Queries))
+		for i, q := range e.Def.Queries {
+			ti := s.tableIndex(q.Table)
+			qs[i] = resolvedQuery{q: q, t: s.DB.tables[ti], ti: ti}
+		}
+		s.ejbQueries[ei] = qs
+	}
+	for _, t := range s.DB.tables {
+		s.workingSet += t.Def.WorkingSetMB
+	}
+	s.stBacking = make([]float64, 3*nC+len(s.App.ejbs)+3*len(s.DB.tables))
+	s.scrFail = make([]float64, nC)
+	s.scrErr = make([]float64, len(s.App.ejbs))
+	s.scrHang = make([]float64, nC)
+	s.scrDBOps = make([]float64, nC)
+	s.scrReads = make([]float64, nC)
+	s.scrLock = make([]float64, nC)
 }
 
 // Config returns the service's current configuration.
@@ -341,29 +446,38 @@ func (s *Service) Tick(arrivals []float64) TickStats {
 	nC := len(s.classes)
 	nE := len(s.App.ejbs)
 	nT := len(s.DB.tables)
-	st := TickStats{
-		ClassRate:    make([]float64, nC),
-		ClassLatMS:   make([]float64, nC),
-		ClassErrors:  make([]float64, nC),
-		EJBCalls:     make([]float64, nE),
-		TableQueries: make([]float64, nT),
-		TableLockMS:  make([]float64, nT),
-		TableCostOps: make([]float64, nT),
+	// One reused backing array for every per-tick stats slice. The slice
+	// fields of the returned TickStats are valid until the next Tick call;
+	// consumers read them within the tick (or copy), so the hot loop pays
+	// one 0.5KB clear instead of an allocation plus garbage per tick.
+	backing := s.stBacking
+	for i := range backing {
+		backing[i] = 0
 	}
-	for i := range s.callMatrix {
-		for j := range s.callMatrix[i] {
-			s.callMatrix[i][j] = 0
-		}
+	st := TickStats{
+		ClassRate:    backing[0:nC:nC],
+		ClassLatMS:   backing[nC : 2*nC : 2*nC],
+		ClassErrors:  backing[2*nC : 3*nC : 3*nC],
+		EJBCalls:     backing[3*nC : 3*nC+nE : 3*nC+nE],
+		TableQueries: backing[3*nC+nE : 3*nC+nE+nT : 3*nC+nE+nT],
+		TableLockMS:  backing[3*nC+nE+nT : 3*nC+nE+2*nT : 3*nC+nE+2*nT],
+		TableCostOps: backing[3*nC+nE+2*nT : 3*nC+nE+3*nT : 3*nC+nE+3*nT],
 	}
 	for _, a := range arrivals {
 		st.Arrivals += a
 	}
+	gc := s.App.gcOverhead()
 	st.HeapUsedMB = s.App.HeapUsedMB
-	st.GCOverhead = s.App.gcOverhead()
+	st.GCOverhead = gc
 	st.PlanSlowdownAvg = s.planSlowdownAvg()
 
 	if !s.Web.Up() || !s.App.Up() || !s.DB.Up() {
 		// Whole-service outage: every arrival is a user-visible failure.
+		// No calls happen, so the call matrix reads zero (the steady-state
+		// path below zeroes only the cells it rewrites).
+		for i := range s.cmBacking {
+			s.cmBacking[i] = 0
+		}
 		st.Down = true
 		st.Errors = st.Arrivals
 		st.SLOViolations = st.Arrivals
@@ -378,21 +492,23 @@ func (s *Service) Tick(arrivals []float64) TickStats {
 	}
 
 	// Per-class failure semantics from component state.
-	pFail := make([]float64, nC) // fail-fast probability (exceptions, bugs)
-	pHang := make([]float64, nC) // probability of hanging on a deadlocked EJB
+	pFail := s.scrFail // fail-fast probability (exceptions, bugs)
+	pHang := s.scrHang // probability of hanging on a deadlocked EJB
+	// Per-EJB failure state, read once per tick instead of once per
+	// class-path term (ten classes share the same nine EJBs).
+	errRate := s.scrErr
+	for e, ejb := range s.App.ejbs {
+		errRate[e] = ejb.effectiveErrorRate()
+	}
 	for c := range s.classes {
 		okProb := 1.0
 		hang := 0.0
-		for e, inv := range s.pathInv[c] {
-			if inv <= 0 {
-				continue
+		for _, pt := range s.pathSparse[c] {
+			if s.App.ejbs[pt.ejb].Deadlocked {
+				hang += pt.inv
 			}
-			ejb := s.App.ejbs[e]
-			if ejb.Deadlocked {
-				hang += inv
-			}
-			if r := ejb.effectiveErrorRate(); r > 0 {
-				okProb *= math.Pow(1-r, inv)
+			if r := errRate[pt.ejb]; r > 0 {
+				okProb *= math.Pow(1-r, pt.inv)
 			}
 		}
 		if hang > 1 {
@@ -402,27 +518,41 @@ func (s *Service) Tick(arrivals []float64) TickStats {
 		pFail[c] = (1 - okProb) * (1 - hang)
 	}
 
-	noise := func() float64 {
-		if s.cfg.NoiseFrac <= 0 {
-			return 1
-		}
-		n := 1 + s.rng.Normal(0, s.cfg.NoiseFrac)
-		if n < 0.5 {
-			n = 0.5
-		}
-		return n
-	}
-
 	// Demand accumulation. Fail-fast and hanging requests consume partial
 	// work (they traverse the front tiers before dying).
 	var webDemand, appDemand, dbDemand, ioReads, ioWrites float64
-	classDBOps := make([]float64, nC)
-	classReads := make([]float64, nC)
-	classLock := make([]float64, nC)
-	missRatio := s.DB.Buffer.MissRatio(s.DB.workingSetMB())
+	classDBOps := fillZero(s.scrDBOps)
+	classReads := fillZero(s.scrReads)
+	classLock := fillZero(s.scrLock)
+	missRatio := s.DB.Buffer.MissRatio(s.workingSet)
+
+	// Per-query cost terms depend only on table state, not on the request
+	// class, so compute each one once per tick here rather than inside the
+	// class × path × query loop below.
+	for e := range s.ejbQueries {
+		for qi := range s.ejbQueries[e] {
+			rq := &s.ejbQueries[e][qi]
+			rq.qc = rq.t.QueryCost(rq.q)
+			rq.er = rq.t.EffectiveReads(rq.q)
+			rq.wait = 0
+			if rq.t.Contention > 0 {
+				w := 0.3 // readers wait less than writers
+				if rq.q.Writes > 0 {
+					w = 1
+				}
+				rq.wait = rq.t.Contention * w
+			}
+		}
+	}
 
 	for c, class := range s.classes {
-		a := arrivals[c] * noise()
+		// Each call-matrix row is written by exactly one owner loop; zeroing
+		// just the owned cells here replaces a full-matrix clear every tick.
+		cmRow := s.callMatrix[c]
+		for _, call := range s.classCalls[c] {
+			cmRow[call.callee] = 0
+		}
+		a := arrivals[c] * s.noise()
 		if a <= 0 {
 			continue
 		}
@@ -435,10 +565,8 @@ func (s *Service) Tick(arrivals []float64) TickStats {
 
 		webDemand += a * class.WebOps
 		appOps := class.AppExtraOps
-		for e, inv := range s.pathInv[c] {
-			if inv <= 0 {
-				continue
-			}
+		for _, pt := range s.pathSparse[c] {
+			e, inv := pt.ejb, pt.inv
 			ejb := s.App.ejbs[e]
 			appOps += inv * ejb.Def.AppOps
 			calls := inv * (okA + 0.5*failA + 0.5*hangA)
@@ -455,27 +583,22 @@ func (s *Service) Tick(arrivals []float64) TickStats {
 
 			// Database work from this EJB's queries (ok requests only;
 			// failed ones die before or during data access).
-			for _, q := range ejb.Def.Queries {
-				t := s.DB.Table(q.Table)
-				ti := s.tableIndex(q.Table)
-				cost := t.QueryCost(q) * inv * okA
-				reads := t.EffectiveReads(q) * inv * okA
-				writes := q.Writes * inv * okA
+			for qi := range s.ejbQueries[e] {
+				rq := &s.ejbQueries[e][qi]
+				ti := rq.ti
+				cost := rq.qc * inv * okA
+				reads := rq.er * inv * okA
+				writes := rq.q.Writes * inv * okA
 				dbDemand += cost
 				ioReads += reads
 				ioWrites += writes
-				classDBOps[c] += t.QueryCost(q) * inv
-				classReads[c] += t.EffectiveReads(q) * inv
+				classDBOps[c] += rq.qc * inv
+				classReads[c] += rq.er * inv
 				st.TableQueries[ti] += inv * okA
 				st.TableCostOps[ti] += cost
-				if t.Contention > 0 {
-					w := 0.3 // readers wait less than writers
-					if q.Writes > 0 {
-						w = 1
-					}
-					wait := t.Contention * w
-					classLock[c] += wait * inv
-					st.TableLockMS[ti] += wait * inv * okA
+				if rq.wait > 0 {
+					classLock[c] += rq.wait * inv
+					st.TableLockMS[ti] += rq.wait * inv * okA
 				}
 			}
 		}
@@ -486,35 +609,39 @@ func (s *Service) Tick(arrivals []float64) TickStats {
 		// request would have made after the hang point never execute, so
 		// the class's call split shifts toward the deadlocked callee —
 		// the deviation Example 2's χ² test detects.
-		for _, call := range class.Calls {
-			ci := s.ejbIndex(call.Callee)
+		for _, call := range s.classCalls[c] {
+			ci := call.callee
 			factor := 1.0
 			if !s.App.ejbs[ci].Deadlocked {
 				factor = 1 - 0.5*pHang[c]
 			}
-			s.callMatrix[c][ci] += call.Count * a * factor
+			cmRow[ci] += call.count * a * factor
 		}
 	}
 	// EJB→EJB call matrix rows. A deadlocked component stops calling
 	// downstream; an erroring one calls less — the signal Example 2's χ²
 	// test picks up.
 	for e, ejb := range s.App.ejbs {
+		cmRow := s.callMatrix[nC+e]
+		for _, c := range s.ejbCalls[e] {
+			cmRow[c.callee] = 0
+		}
 		calls := st.EJBCalls[e]
 		if calls <= 0 {
 			continue
 		}
-		through := 1 - ejb.effectiveErrorRate()
+		through := 1 - errRate[e]
 		if ejb.Deadlocked {
 			through = 0
 		}
-		for _, c := range ejb.Def.CallsTo {
-			s.callMatrix[nC+e][s.ejbIndex(c.Callee)] += c.Count * calls * through
+		for _, c := range s.ejbCalls[e] {
+			cmRow[c.callee] += c.count * calls * through
 		}
 	}
 
 	// Utilizations and admission control.
 	webCap := s.Web.Capacity()
-	appCap := s.App.Capacity() * (1 - s.App.gcOverhead())
+	appCap := s.App.Capacity() * (1 - gc)
 	dbCPUCap := s.DB.Capacity()
 	connCap := float64(s.DB.Connections) * s.cfg.DBConnOps
 	ioDemand := ioReads*missRatio + ioWrites
@@ -540,7 +667,7 @@ func (s *Service) Tick(arrivals []float64) TickStats {
 	// Per-class latency and outcome.
 	dbUtil := math.Max(st.DBCPUUtil, st.ConnUtil)
 	netMS := s.cfg.NetHops * (s.cfg.NetLatencyMS + s.Net.ExtraLatencyMS)
-	gcPauseMS := s.App.gcOverhead() * 60
+	gcPauseMS := gc * 60
 	var latSum, latWeight, busyThreadS float64
 	for c, class := range s.classes {
 		a := arrivals[c]
@@ -554,11 +681,7 @@ func (s *Service) Tick(arrivals []float64) TickStats {
 		shed := a*(1-pFail[c]-pHang[c]) - okA
 
 		webMS := class.WebOps / s.Web.OpsPerNode * 1000 * inflation(st.WebUtil)
-		appOps := class.AppExtraOps
-		for e, inv := range s.pathInv[c] {
-			appOps += inv * s.App.ejbs[e].Def.AppOps
-		}
-		appMS := appOps / s.App.OpsPerNode * 1000 * inflation(st.AppUtil) / (1 - s.App.gcOverhead())
+		appMS := s.baseAppOps[c] / s.App.OpsPerNode * 1000 * inflation(st.AppUtil) / (1 - gc)
 		dbMS := classDBOps[c] / s.DB.OpsPerNode * 1000 * inflation(dbUtil)
 		ioMS := classReads[c] * missRatio * s.cfg.MissMS * inflation(st.DBIOUtil)
 		lat := webMS + appMS + dbMS + ioMS + classLock[c] + netMS + gcPauseMS
@@ -625,6 +748,26 @@ func (s *Service) Tick(arrivals []float64) TickStats {
 	return st
 }
 
+// noise draws the per-class multiplicative demand noise for this tick.
+func (s *Service) noise() float64 {
+	if s.cfg.NoiseFrac <= 0 {
+		return 1
+	}
+	n := 1 + s.rng.Normal(0, s.cfg.NoiseFrac)
+	if n < 0.5 {
+		n = 0.5
+	}
+	return n
+}
+
+// fillZero zeroes a scratch slice in place and returns it.
+func fillZero(xs []float64) []float64 {
+	for i := range xs {
+		xs[i] = 0
+	}
+	return xs
+}
+
 func safeDiv(a, b float64) float64 {
 	if b <= 0 {
 		if a > 0 {
@@ -673,6 +816,27 @@ func (s *Service) Last() TickStats { return s.last }
 // classes followed by EJBs (callers), columns are EJBs (callees). The
 // returned slices are reused between ticks; callers must copy what they keep.
 func (s *Service) CallMatrix() [][]float64 { return s.callMatrix }
+
+// CallMatrixSupport lists the (row, col) cells of the call matrix that can
+// ever be nonzero — the resolved call topology, which is fixed for the
+// life of the service. Monitoring layers that retain or accumulate call
+// matrices every tick can touch just these ~10% of cells instead of the
+// whole dense matrix.
+func (s *Service) CallMatrixSupport() [][2]int {
+	nC := len(s.classes)
+	var cells [][2]int
+	for c, calls := range s.classCalls {
+		for _, call := range calls {
+			cells = append(cells, [2]int{c, call.callee})
+		}
+	}
+	for e, calls := range s.ejbCalls {
+		for _, call := range calls {
+			cells = append(cells, [2]int{nC + e, call.callee})
+		}
+	}
+	return cells
+}
 
 // CallMatrixRows returns the number of caller rows (classes + EJBs).
 func (s *Service) CallMatrixRows() int { return len(s.classes) + len(s.App.ejbs) }

@@ -28,7 +28,11 @@ type AdaBoost struct {
 	labels  []int
 	trees   []*treeNode
 	alphas  []float64
+	version uint64
 }
+
+// Version implements versioned.
+func (s *AdaBoost) Version() uint64 { return s.version }
 
 // treeNode is a node of a weak decision tree.
 type treeNode struct {
@@ -111,6 +115,7 @@ func (s *AdaBoost) Clone() Synopsis {
 		labels:        s.labels[:len(s.labels):len(s.labels)],
 		trees:         append([]*treeNode(nil), s.trees...),
 		alphas:        append([]float64(nil), s.alphas...),
+		version:       s.version,
 	}
 }
 
@@ -129,6 +134,7 @@ func (s *AdaBoost) Forget(keep int) {
 
 // Retrain refits the whole ensemble on the current training set.
 func (s *AdaBoost) Retrain() {
+	s.version++
 	s.trees = s.trees[:0]
 	s.alphas = s.alphas[:0]
 	n := len(s.points)
@@ -350,11 +356,14 @@ func (s *AdaBoost) rankFixes(x []float64) []fixScore {
 }
 
 // Suggest implements Synopsis.
-func (s *AdaBoost) Suggest(x []float64, exclude func(Action) bool) (Suggestion, bool) {
-	return suggestFrom(s.rankFixes(x), s.ex, x, exclude)
+func (s *AdaBoost) Suggest(x []float64, filter *ActionFilter) (Suggestion, bool) {
+	return suggestFrom(s.rankFixes(x), s.ex, x, filter)
+}
+
+// RankK implements Synopsis.
+func (s *AdaBoost) RankK(x []float64, k int) []Suggestion {
+	return rankKFrom(s.rankFixes(x), s.ex, x, k)
 }
 
 // Rank implements Synopsis.
-func (s *AdaBoost) Rank(x []float64) []Suggestion {
-	return rankFrom(s.rankFixes(x), s.ex, x)
-}
+func (s *AdaBoost) Rank(x []float64) []Suggestion { return s.RankK(x, -1) }

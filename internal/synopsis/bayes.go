@@ -11,12 +11,16 @@ type NaiveBayes struct {
 	classes *classSet
 	ex      *exemplars
 	// per class: count, per-feature running mean and M2 (Welford).
-	count []float64
-	mean  [][]float64
-	m2    [][]float64
-	dim   int
-	n     int
+	count   []float64
+	mean    [][]float64
+	m2      [][]float64
+	dim     int
+	n       int
+	version uint64
 }
+
+// Version implements versioned.
+func (s *NaiveBayes) Version() uint64 { return s.version }
 
 // NewNaiveBayes returns an empty Gaussian NB synopsis.
 func NewNaiveBayes() *NaiveBayes {
@@ -51,6 +55,7 @@ func (s *NaiveBayes) Add(p Point) {
 	}
 	s.ex.add(p)
 	s.n++
+	s.version++
 }
 
 // grow widens the per-class moment arrays to dim coordinates. Every prior
@@ -90,6 +95,7 @@ func (s *NaiveBayes) Clone() Synopsis {
 		m2:      make([][]float64, len(s.m2)),
 		dim:     s.dim,
 		n:       s.n,
+		version: s.version,
 	}
 	for i := range s.mean {
 		c.mean[i] = append([]float64(nil), s.mean[i]...)
@@ -143,11 +149,14 @@ func (s *NaiveBayes) rankFixes(x []float64) []fixScore {
 }
 
 // Suggest implements Synopsis.
-func (s *NaiveBayes) Suggest(x []float64, exclude func(Action) bool) (Suggestion, bool) {
-	return suggestFrom(s.rankFixes(x), s.ex, x, exclude)
+func (s *NaiveBayes) Suggest(x []float64, filter *ActionFilter) (Suggestion, bool) {
+	return suggestFrom(s.rankFixes(x), s.ex, x, filter)
+}
+
+// RankK implements Synopsis.
+func (s *NaiveBayes) RankK(x []float64, k int) []Suggestion {
+	return rankKFrom(s.rankFixes(x), s.ex, x, k)
 }
 
 // Rank implements Synopsis.
-func (s *NaiveBayes) Rank(x []float64) []Suggestion {
-	return rankFrom(s.rankFixes(x), s.ex, x)
-}
+func (s *NaiveBayes) Rank(x []float64) []Suggestion { return s.RankK(x, -1) }

@@ -1,0 +1,69 @@
+package synopsis
+
+// ActionFilter is the typed exclusion set Suggest consults when the healing
+// loop has already tried (and failed with) some actions this episode —
+// Figure 3's "excluding fixes already attempted". It replaces the opaque
+// `exclude func(Action) bool` of earlier releases: a typed, set-backed
+// filter can be pushed down into an index search (the index skips excluded
+// exemplars during traversal instead of re-scanning afterwards) and can be
+// inspected, sized, and combined, none of which an opaque closure allows.
+//
+// A nil *ActionFilter excludes nothing, so call sites with no exclusions
+// simply pass nil.
+type ActionFilter struct {
+	exclude map[string]struct{}
+	fn      func(Action) bool
+}
+
+// ExcludeActions returns a filter excluding exactly the given actions.
+// With no arguments it returns nil — the "exclude nothing" filter — so
+// callers can pass ExcludeActions(tried...) unconditionally.
+func ExcludeActions(as ...Action) *ActionFilter {
+	if len(as) == 0 {
+		return nil
+	}
+	m := make(map[string]struct{}, len(as))
+	for _, a := range as {
+		m[a.Key()] = struct{}{}
+	}
+	return &ActionFilter{exclude: m}
+}
+
+// ExcludeWhere wraps a legacy exclusion predicate — the compat shim for
+// call sites still holding a func(Action) bool. A predicate-backed filter
+// works everywhere a set-backed one does but cannot be pushed down or
+// inspected; migrate to ExcludeActions.
+//
+// Deprecated: build filters with ExcludeActions.
+func ExcludeWhere(fn func(Action) bool) *ActionFilter {
+	if fn == nil {
+		return nil
+	}
+	return &ActionFilter{fn: fn}
+}
+
+// Excludes reports whether the filter rejects a. It is nil-safe: a nil
+// filter excludes nothing.
+func (f *ActionFilter) Excludes(a Action) bool {
+	if f == nil {
+		return false
+	}
+	if f.fn != nil && f.fn(a) {
+		return true
+	}
+	if f.exclude != nil {
+		if _, ok := f.exclude[a.Key()]; ok {
+			return true
+		}
+	}
+	return false
+}
+
+// Len returns the number of explicitly excluded actions (predicate-backed
+// exclusions are unsized and report 0).
+func (f *ActionFilter) Len() int {
+	if f == nil {
+		return 0
+	}
+	return len(f.exclude)
+}

@@ -1,0 +1,687 @@
+package synopsis
+
+import "math"
+
+// Sublinear nearest-neighbor search over immutable point sets.
+//
+// Every learner's hot read path bottoms out in "nearest exemplar of fix F
+// to symptom x" (target resolution, §4.3.4) — historically a brute-force
+// O(n) euclidean scan per query, which is the ceiling the benchgate's
+// million-point rows pin. This file provides:
+//
+//   - Index: the pluggable build-from-points / Nearest(x, k) interface,
+//     with a KD-tree implementation and a brute-force implementation that
+//     doubles as the correctness oracle;
+//   - a per-fix Bentley–Saxe forest (fixIndex) the exemplar store
+//     maintains incrementally on its write path, so index (re)builds are
+//     amortized onto Add/AddBatch — which Shared serializes behind its
+//     writer lock — and never happen on the lock-free read path. Readers
+//     (snapshot clones) only ever traverse immutable trees.
+//
+// Results are byte-identical to the brute scan they replace: distances are
+// computed by the same euclidean() on the same float64s, and the winner is
+// the (distance, arrival ordinal)-minimal point, exactly the point the
+// strict `d < best` insertion-order scan selects. KD pruning is
+// conservative (a subtree is visited whenever its axis bound ties the
+// current best) so equal-distance candidates are never pruned away.
+
+// Neighbor is one result of an Index query: the ordinal of a point in the
+// indexed set and its euclidean distance from the query vector.
+type Neighbor struct {
+	// Ord is the point's position in the point set the index was built
+	// over (its arrival order for incrementally-maintained indexes).
+	Ord int
+	// Dist is euclidean(x, point.X), bitwise equal to a direct call.
+	Dist float64
+}
+
+// Index answers k-nearest-neighbor queries over a fixed set of points. An
+// index is immutable once built: queries are safe from any number of
+// goroutines concurrently. Nearest returns the accepted points nearest to
+// x, sorted ascending by (Dist, Ord); accept(ord) filters candidates
+// during the search (nil accepts everything). k < 0 returns every
+// accepted point.
+type Index interface {
+	Nearest(x []float64, k int, accept func(ord int) bool) []Neighbor
+	Len() int
+}
+
+// NewBruteForceIndex wraps pts in a linear-scan Index — the fallback for
+// tiny sets and the oracle indexed implementations are tested against.
+func NewBruteForceIndex(pts []Point) Index { return &bruteIndex{pts: pts} }
+
+// NewKDTreeIndex builds a KD-tree Index over pts. Build cost is
+// O(n·dim·log n); queries are sublinear on separable data and never worse
+// than the brute scan.
+func NewKDTreeIndex(pts []Point) Index {
+	ords := make([]int, len(pts))
+	for i := range ords {
+		ords[i] = i
+	}
+	return &kdIndex{t: buildKD(pts, ords)}
+}
+
+// bruteIndex is the O(n) oracle.
+type bruteIndex struct{ pts []Point }
+
+func (b *bruteIndex) Len() int { return len(b.pts) }
+
+func (b *bruteIndex) Nearest(x []float64, k int, accept func(ord int) bool) []Neighbor {
+	col := newCollector(k)
+	for ord := range b.pts {
+		if accept != nil && !accept(ord) {
+			continue
+		}
+		col.consider(ord, euclidean(x, b.pts[ord].X))
+	}
+	return col.nbs
+}
+
+// kdIndex adapts one KD-tree to the Index interface.
+type kdIndex struct{ t *kdtree }
+
+func (i *kdIndex) Len() int { return len(i.t.ords) }
+
+func (i *kdIndex) Nearest(x []float64, k int, accept func(ord int) bool) []Neighbor {
+	col := newCollector(k)
+	i.t.searchK(0, x, col, accept)
+	return col.nbs
+}
+
+// collector accumulates the k best (Dist, Ord) pairs, kept sorted
+// ascending; full means worst-of-k is the prune bound.
+type collector struct {
+	k   int // <0: unbounded
+	nbs []Neighbor
+}
+
+func newCollector(k int) *collector {
+	c := &collector{k: k}
+	if k > 0 {
+		c.nbs = make([]Neighbor, 0, k)
+	}
+	return c
+}
+
+// worse reports whether (d1,o1) orders after (d2,o2).
+func worse(d1 float64, o1 int, d2 float64, o2 int) bool {
+	if d1 != d2 {
+		return d1 > d2
+	}
+	return o1 > o2
+}
+
+func (c *collector) consider(ord int, d float64) {
+	if c.k == 0 {
+		return
+	}
+	if c.k > 0 && len(c.nbs) == c.k {
+		last := c.nbs[len(c.nbs)-1]
+		if !worse(last.Dist, last.Ord, d, ord) {
+			return
+		}
+		c.nbs = c.nbs[:len(c.nbs)-1]
+	}
+	i := len(c.nbs)
+	c.nbs = append(c.nbs, Neighbor{})
+	for i > 0 && worse(c.nbs[i-1].Dist, c.nbs[i-1].Ord, d, ord) {
+		c.nbs[i] = c.nbs[i-1]
+		i--
+	}
+	c.nbs[i] = Neighbor{Ord: ord, Dist: d}
+}
+
+// bound returns the prune radius: the current worst kept distance, or
+// +Inf-like "no bound" (ok=false) while the collector still has room.
+func (c *collector) bound() (float64, bool) {
+	if c.k == 0 {
+		return 0, true // collecting nothing: prune everything off-axis
+	}
+	if c.k < 0 || len(c.nbs) < c.k {
+		return 0, false
+	}
+	return c.nbs[len(c.nbs)-1].Dist, true
+}
+
+// kdtree is an immutable KD-tree over a subset (ords) of a point slice.
+// Internal nodes split on the widest-spread dimension at the median;
+// leaves hold up to kdLeafCap ordinals scanned brute-force with the same
+// euclidean() as everything else.
+type kdtree struct {
+	pts   []Point
+	ords  []int
+	nodes []kdnode
+	// xs packs the points' coordinates in ords order (stride floats per
+	// point, zero-padded — zero is "no anomaly", so padding changes no
+	// distance). Leaf scans stream this contiguous block instead of
+	// chasing pts[ord].X pointers across the heap; on a million-point
+	// tree the pointer chase's cache misses, not arithmetic, dominate
+	// the scan.
+	xs     []float64
+	stride int
+	// tags, when present, holds each leaf point's dense class tag in ords
+	// order (see kdtree.packTags); group queries read it to know which
+	// class's bound a candidate competes against.
+	tags []int32
+}
+
+// kdnode is one tree node. left < 0 marks a leaf over ords[lo:hi].
+type kdnode struct {
+	split       float64
+	lo, hi      int32
+	left, right int32
+	dim         int32
+}
+
+// kdLeafCap is the leaf bucket size: below this a linear scan beats tree
+// traversal, and median-split recursion stops.
+const kdLeafCap = 16
+
+// buildKD builds a tree over pts[ords...]; it partitions ords in place and
+// keeps it as the tree's backing, so callers must hand over ownership.
+func buildKD(pts []Point, ords []int) *kdtree {
+	t := &kdtree{pts: pts, ords: ords}
+	t.nodes = make([]kdnode, 0, 2*(len(ords)/kdLeafCap)+1)
+	if len(ords) > 0 {
+		t.build(0, len(ords))
+	}
+	t.pack()
+	return t
+}
+
+// pack fills xs/stride once the recursion has settled ords into leaf
+// order.
+func (t *kdtree) pack() {
+	w := 0
+	for _, ord := range t.ords {
+		if len(t.pts[ord].X) > w {
+			w = len(t.pts[ord].X)
+		}
+	}
+	t.stride = w
+	t.xs = make([]float64, len(t.ords)*w)
+	for i, ord := range t.ords {
+		copy(t.xs[i*w:(i+1)*w], t.pts[ord].X)
+	}
+}
+
+// row returns the packed coordinates of the point at position i of ords.
+func (t *kdtree) row(i int32) []float64 {
+	return t.xs[int(i)*t.stride : (int(i)+1)*t.stride]
+}
+
+// packTags stores each point's dense class tag alongside the packed
+// coordinates so group-query leaf scans read the tag from the same cache
+// lines they stream anyway.
+func (t *kdtree) packTags(tagOf []int32) {
+	t.tags = make([]int32, len(t.ords))
+	for i, ord := range t.ords {
+		t.tags[i] = tagOf[ord]
+	}
+}
+
+func (t *kdtree) build(lo, hi int) int32 {
+	me := int32(len(t.nodes))
+	t.nodes = append(t.nodes, kdnode{left: -1, right: -1, lo: int32(lo), hi: int32(hi)})
+	if hi-lo <= kdLeafCap {
+		return me
+	}
+	dim, spread := t.widestDim(lo, hi)
+	if spread <= 0 {
+		return me // all points identical on every axis: leaf
+	}
+	mid := (lo + hi) / 2
+	t.selectNth(lo, hi, mid, dim)
+	split := feature(t.pts[t.ords[mid]].X, dim)
+	l := t.build(lo, mid)
+	r := t.build(mid, hi)
+	n := &t.nodes[me] // re-take after child appends may have grown nodes
+	n.left, n.right, n.dim, n.split = l, r, int32(dim), split
+	return me
+}
+
+// widestDim returns the dimension with the largest value spread over
+// ords[lo:hi] and that spread.
+func (t *kdtree) widestDim(lo, hi int) (int, float64) {
+	dims := 0
+	for _, ord := range t.ords[lo:hi] {
+		if len(t.pts[ord].X) > dims {
+			dims = len(t.pts[ord].X)
+		}
+	}
+	best, bestSpread := 0, -1.0
+	for d := 0; d < dims; d++ {
+		mn := feature(t.pts[t.ords[lo]].X, d)
+		mx := mn
+		for _, ord := range t.ords[lo+1 : hi] {
+			v := feature(t.pts[ord].X, d)
+			if v < mn {
+				mn = v
+			} else if v > mx {
+				mx = v
+			}
+		}
+		if s := mx - mn; s > bestSpread {
+			best, bestSpread = d, s
+		}
+	}
+	return best, bestSpread
+}
+
+// selectNth partially sorts ords[lo:hi] so ords[n] holds the n-th smallest
+// coordinate on dim, everything left of n is <= it and everything right is
+// >= it (deterministic median-of-three quickselect).
+func (t *kdtree) selectNth(lo, hi, n, dim int) {
+	key := func(i int) float64 { return feature(t.pts[t.ords[i]].X, dim) }
+	for hi-lo > 1 {
+		// Median-of-three pivot, moved to lo.
+		mid := lo + (hi-lo)/2
+		if key(mid) < key(lo) {
+			t.ords[mid], t.ords[lo] = t.ords[lo], t.ords[mid]
+		}
+		if key(hi-1) < key(lo) {
+			t.ords[hi-1], t.ords[lo] = t.ords[lo], t.ords[hi-1]
+		}
+		if key(mid) < key(hi-1) {
+			t.ords[mid], t.ords[hi-1] = t.ords[hi-1], t.ords[mid]
+		}
+		pivot := key(hi - 1)
+		store := lo
+		for i := lo; i < hi-1; i++ {
+			if key(i) < pivot {
+				t.ords[i], t.ords[store] = t.ords[store], t.ords[i]
+				store++
+			}
+		}
+		t.ords[hi-1], t.ords[store] = t.ords[store], t.ords[hi-1]
+		switch {
+		case store == n:
+			return
+		case store < n:
+			lo = store + 1
+		default:
+			hi = store
+		}
+	}
+}
+
+// euclideanUnder computes euclidean(a, b) unless the distance provably
+// exceeds limit, bailing out early (ok=false) as soon as the partial
+// squared sum alone puts the point past the limit. When ok is true, d
+// is bitwise equal to euclidean(a, b): the sum accumulates in the same
+// order, so the final sqrt sees the same float64. The bail condition is
+// strict — sqrt(partial) > limit implies the full distance beats limit
+// even after sqrt rounding (the full sum only grows and sqrt is
+// monotonic), so a point at exactly the limit distance is never
+// skipped and ordinal tie-breaks stay reachable.
+func euclideanUnder(a, b []float64, limit float64) (float64, bool) {
+	n := len(a)
+	if len(b) > n {
+		n = len(b)
+	}
+	lim2 := limit * limit
+	s := 0.0
+	for i := 0; i < n; i++ {
+		d := feature(a, i) - feature(b, i)
+		s += d * d
+		if s > lim2 && math.Sqrt(s) > limit {
+			return 0, false
+		}
+	}
+	return math.Sqrt(s), true
+}
+
+// nearest1 tracks the single best (distance, ordinal) candidate — the
+// exact winner the brute insertion-order scan would pick.
+type nearest1 struct {
+	d     float64
+	ord   int
+	found bool
+}
+
+func (b *nearest1) consider(ord int, d float64) {
+	if !b.found || d < b.d || (d == b.d && ord < b.ord) {
+		b.d, b.ord, b.found = d, ord, true
+	}
+}
+
+// search1 finds the nearest accepted point. The far child is visited
+// whenever the axis distance does not exceed the current best (<=, not
+// <): equal-distance candidates must stay reachable so the ordinal
+// tie-break matches the brute scan bitwise.
+//
+// The traversal is an explicit-stack loop rather than recursion — the
+// descend-check-pop cycle is the single hottest code in a big-KB query,
+// and the call overhead of recursing once per node costs more than the
+// arithmetic at each. Visit order and bound checks are exactly the
+// recursive formulation's: descend near children pushing far siblings,
+// pop LIFO, test each popped sibling against the best known at pop time.
+func (t *kdtree) search1(ni int32, x []float64, best *nearest1, accept func(ord int) bool) {
+	// Median splits halve each level, so depth ≤ log2(n/kdLeafCap)+1;
+	// 64 frames covers any point count a process can hold.
+	type frame struct {
+		node int32
+		diff float64
+	}
+	var stack [64]frame
+	sp := 0
+	for {
+		n := &t.nodes[ni]
+		for n.left >= 0 {
+			diff := feature(x, int(n.dim)) - n.split
+			first, second := n.left, n.right
+			if diff > 0 {
+				first, second = n.right, n.left
+			}
+			stack[sp] = frame{node: second, diff: diff}
+			sp++
+			n = &t.nodes[first]
+		}
+		for i := n.lo; i < n.hi; i++ {
+			ord := t.ords[i]
+			if accept != nil && !accept(ord) {
+				continue
+			}
+			if best.found {
+				if d, ok := euclideanUnder(x, t.row(i), best.d); ok {
+					best.consider(ord, d)
+				}
+			} else {
+				best.consider(ord, euclidean(x, t.row(i)))
+			}
+		}
+		for {
+			if sp == 0 {
+				return
+			}
+			sp--
+			f := stack[sp]
+			if !best.found || f.diff*f.diff <= best.d*best.d {
+				ni = f.node
+				break
+			}
+		}
+	}
+}
+
+// groupBest tracks, for every dense class tag, the best (distance,
+// ordinal) candidate seen so far: one nearest-neighbor search fanned out
+// across all classes in a single traversal. bound is the shared prune
+// radius — the worst per-class best, infinite while any class is still
+// unseen — since a subtree farther than every class's current best can
+// improve none of them.
+type groupBest struct {
+	d      []float64
+	ord    []int
+	found  []bool
+	nFound int
+	bound  float64
+}
+
+func newGroupBest(k int) *groupBest {
+	g := &groupBest{
+		d:     make([]float64, k),
+		ord:   make([]int, k),
+		found: make([]bool, k),
+		bound: math.Inf(1),
+	}
+	for i := range g.d {
+		g.d[i] = math.Inf(1)
+	}
+	return g
+}
+
+// consider offers (ord, d) as tag's candidate, keeping the (distance,
+// ordinal)-minimal one — the same winner nearest1 and the brute scan pick.
+func (g *groupBest) consider(tag int32, ord int, d float64) {
+	if !g.found[tag] {
+		g.found[tag], g.nFound = true, g.nFound+1
+	} else if d > g.d[tag] || (d == g.d[tag] && ord >= g.ord[tag]) {
+		return
+	}
+	g.d[tag], g.ord[tag] = d, ord
+	g.refreshBound()
+}
+
+// refreshBound recomputes the shared prune radius after a per-class best
+// moved. Bests only ever tighten, and they move a bounded number of times
+// per query, so the O(classes) recompute is noise next to one leaf scan.
+func (g *groupBest) refreshBound() {
+	if g.nFound < len(g.d) {
+		return // stays +Inf until every class has a candidate
+	}
+	m := 0.0
+	for _, d := range g.d {
+		if d > m {
+			m = d
+		}
+	}
+	g.bound = m
+}
+
+// searchGroup is search1 fanned out across every class at once: one
+// traversal maintains all per-class bests, descending with the shared
+// bound and bailing per point on that point's own class bound. For k
+// classes over a dense store this replaces k independent searches — each
+// re-descending the same top levels and re-establishing its bound from
+// scratch — with one, so a full per-fix scoring pass costs barely more
+// than a single nearest-neighbor query. The tree must have packed tags.
+func (t *kdtree) searchGroup(x []float64, g *groupBest) {
+	type frame struct {
+		node int32
+		diff float64
+	}
+	var stack [64]frame
+	sp := 0
+	ni := int32(0)
+	for {
+		n := &t.nodes[ni]
+		for n.left >= 0 {
+			diff := feature(x, int(n.dim)) - n.split
+			first, second := n.left, n.right
+			if diff > 0 {
+				first, second = n.right, n.left
+			}
+			stack[sp] = frame{node: second, diff: diff}
+			sp++
+			n = &t.nodes[first]
+		}
+		for i := n.lo; i < n.hi; i++ {
+			tag := t.tags[i]
+			if g.found[tag] {
+				if d, ok := euclideanUnder(x, t.row(i), g.d[tag]); ok {
+					g.consider(tag, t.ords[i], d)
+				}
+			} else {
+				g.consider(tag, t.ords[i], euclidean(x, t.row(i)))
+			}
+		}
+		for {
+			if sp == 0 {
+				return
+			}
+			sp--
+			f := stack[sp]
+			if f.diff*f.diff <= g.bound*g.bound {
+				ni = f.node
+				break
+			}
+		}
+	}
+}
+
+// searchK is search1 generalized to a k-bounded collector.
+func (t *kdtree) searchK(ni int32, x []float64, col *collector, accept func(ord int) bool) {
+	if len(t.ords) == 0 {
+		return
+	}
+	n := &t.nodes[ni]
+	if n.left < 0 {
+		for i := n.lo; i < n.hi; i++ {
+			ord := t.ords[i]
+			if accept != nil && !accept(ord) {
+				continue
+			}
+			col.consider(ord, euclidean(x, t.row(i)))
+		}
+		return
+	}
+	diff := feature(x, int(n.dim)) - n.split
+	first, second := n.left, n.right
+	if diff > 0 {
+		first, second = n.right, n.left
+	}
+	t.searchK(first, x, col, accept)
+	if bd, ok := col.bound(); !ok || diff*diff <= bd*bd {
+		t.searchK(second, x, col, accept)
+	}
+}
+
+// fixIndex is the incrementally-maintained per-fix index: a Bentley–Saxe
+// logarithmic forest of immutable KD-trees (slot i holds a tree of exactly
+// kdBlock<<i points, or nil) plus a small tail of not-yet-indexed
+// ordinals. Inserts append to the tail; when the tail reaches kdBlock it
+// is flushed into the forest with a carry-propagate merge (build a block
+// tree, merging every filled slot upward), which makes insertion cost
+// amortized logarithmic while queries touch O(log n) trees plus a
+// bounded-length tail scan — never a full linear rescan.
+//
+// Mutation is copy-on-write at the slice-header level: flushes install a
+// freshly-allocated trees slice and a nil tail, and trees themselves are
+// immutable, so a clone holding the old headers keeps reading a consistent
+// (merely older) forest. This is what lets Shared's snapshot clones query
+// lock-free while the writer keeps inserting.
+type fixIndex struct {
+	trees []*kdtree
+	tail  []int
+	// tagOf, when non-nil, maps every point ordinal to its dense class
+	// tag (see classSet); trees built by this forest then carry packed
+	// per-leaf tags, enabling group queries (nearestAll) that score all
+	// classes in one traversal. The owner refreshes the slice header
+	// before every mutation; the prefix a built tree has read is
+	// immutable, so clones and old trees stay consistent.
+	tagOf []int32
+}
+
+// kdBlock is the forest's base tree size and the tail-scan bound.
+const kdBlock = 32
+
+// insert adds the point at ordinal ord of pts (the fix's full arrival
+// slice) to the index.
+func (fi *fixIndex) insert(pts []Point, ord int) {
+	fi.tail = append(fi.tail, ord)
+	if len(fi.tail) >= kdBlock {
+		fi.flush(pts)
+	}
+}
+
+// flush merges the tail into the forest: carry-propagate from slot 0.
+func (fi *fixIndex) flush(pts []Point) {
+	ords := append([]int(nil), fi.tail...)
+	trees := append([]*kdtree(nil), fi.trees...)
+	slot := 0
+	for ; slot < len(trees) && trees[slot] != nil; slot++ {
+		ords = append(ords, trees[slot].ords...)
+		trees[slot] = nil
+	}
+	t := buildKD(pts, ords)
+	if fi.tagOf != nil {
+		t.packTags(fi.tagOf)
+	}
+	if slot == len(trees) {
+		trees = append(trees, t)
+	} else {
+		trees[slot] = t
+	}
+	fi.trees = trees
+	fi.tail = nil
+}
+
+// bulkLoad replaces the forest with one compact tree over all of pts,
+// parked at the slot whose capacity matches the point count so later
+// incremental inserts keep their amortized bound: lower slots fill
+// normally and the compact tree is only merged once the carries reach
+// it, exactly as if it had been built by insertion.
+func (fi *fixIndex) bulkLoad(pts []Point) {
+	fi.tail = nil
+	fi.trees = nil
+	if len(pts) == 0 {
+		return
+	}
+	ords := make([]int, len(pts))
+	for i := range ords {
+		ords[i] = i
+	}
+	slot := 0
+	for kdBlock<<slot < len(pts) {
+		slot++
+	}
+	fi.trees = make([]*kdtree, slot+1)
+	fi.trees[slot] = buildKD(pts, ords)
+	if fi.tagOf != nil {
+		fi.trees[slot].packTags(fi.tagOf)
+	}
+}
+
+// clone returns a read snapshot sharing the immutable trees; the tail
+// header is capped so the writer's future appends reallocate.
+func (fi *fixIndex) clone() *fixIndex {
+	return &fixIndex{
+		trees: fi.trees[:len(fi.trees):len(fi.trees)],
+		tail:  fi.tail[:len(fi.tail):len(fi.tail)],
+		tagOf: fi.tagOf[:len(fi.tagOf):len(fi.tagOf)],
+	}
+}
+
+// nearest returns the (distance, ordinal)-minimal accepted point across
+// the forest and tail; pts must be the fix's current arrival slice.
+func (fi *fixIndex) nearest(pts []Point, x []float64, f *ActionFilter) (int, float64, bool) {
+	var best nearest1
+	var accept func(int) bool
+	if f != nil {
+		accept = func(ord int) bool { return !f.Excludes(pts[ord].Action) }
+	}
+	for _, t := range fi.trees {
+		if t != nil {
+			t.search1(0, x, &best, accept)
+		}
+	}
+	for _, ord := range fi.tail {
+		if f != nil && f.Excludes(pts[ord].Action) {
+			continue
+		}
+		if best.found {
+			if d, ok := euclideanUnder(x, pts[ord].X, best.d); ok {
+				best.consider(ord, d)
+			}
+		} else {
+			best.consider(ord, euclidean(x, pts[ord].X))
+		}
+	}
+	return best.ord, best.d, best.found
+}
+
+// nearestAll runs the per-class nearest search over the whole forest in
+// group mode: tail first — the newest points are where previously-unseen
+// classes live, so scanning them up front turns the shared bound finite
+// as early as possible — then trees from the smallest slot up, so each
+// later (bigger) tree is searched with the tightest bounds available.
+// pts must be the store's full arrival slice and the forest must have
+// been built with tagOf set.
+func (fi *fixIndex) nearestAll(pts []Point, x []float64, g *groupBest) {
+	for _, ord := range fi.tail {
+		tag := fi.tagOf[ord]
+		if g.found[tag] {
+			if d, ok := euclideanUnder(x, pts[ord].X, g.d[tag]); ok {
+				g.consider(tag, ord, d)
+			}
+		} else {
+			g.consider(tag, ord, euclidean(x, pts[ord].X))
+		}
+	}
+	for _, t := range fi.trees {
+		if t != nil {
+			t.searchGroup(x, g)
+		}
+	}
+}

@@ -1,6 +1,10 @@
 package synopsis
 
-import "selfheal/internal/catalog"
+import (
+	"sort"
+
+	"selfheal/internal/catalog"
+)
 
 // KMeans is the paper's second synopsis (§5.2): "partitioning the failure
 // data points collected so far into clusters based on the successful fix
@@ -19,6 +23,14 @@ type KMeans struct {
 	classes   *classSet
 	ex        *exemplars
 	centroids map[catalog.FixID][]float64
+	// centIdx is the centroid search index, rebuilt by recluster on the
+	// write path: centFixes holds the fixes in ascending id order and
+	// centIdx indexes their centroids as pseudo-points, so a query's
+	// (distance, ordinal) order is exactly the (score desc, fix asc)
+	// order the ranking contract requires — no post-hoc sort.
+	centFixes []catalog.FixID
+	centIdx   Index
+	version   uint64
 }
 
 // NewKMeans returns the per-fix clustering synopsis.
@@ -35,6 +47,9 @@ func (s *KMeans) Name() string { return "k-means" }
 
 // TrainingSize implements Synopsis.
 func (s *KMeans) TrainingSize() int { return s.ex.n }
+
+// Version implements versioned.
+func (s *KMeans) Version() uint64 { return s.version }
 
 // Add implements Synopsis. Unsuccessful attempts are ignored — this
 // synopsis clusters by the fix that worked.
@@ -64,14 +79,22 @@ func (s *KMeans) AddBatch(ps []Point) {
 	}
 }
 
-// Clone implements Cloner. Centroids are replaced wholesale by recluster,
-// never mutated in place, so the value slices can be shared.
+// Clone implements Cloner. Centroids, the fix list, and the centroid index
+// are replaced wholesale by recluster, never mutated in place, so they can
+// all be shared.
 func (s *KMeans) Clone() Synopsis {
 	centroids := make(map[catalog.FixID][]float64, len(s.centroids))
 	for k, v := range s.centroids {
 		centroids[k] = v
 	}
-	return &KMeans{classes: s.classes.clone(), ex: s.ex.clone(), centroids: centroids}
+	return &KMeans{
+		classes:   s.classes.clone(),
+		ex:        s.ex.clone(),
+		centroids: centroids,
+		centFixes: s.centFixes,
+		centIdx:   s.centIdx,
+		version:   s.version,
+	}
 }
 
 // Forget drops old observations and reclusters (for the online wrapper).
@@ -81,7 +104,9 @@ func (s *KMeans) Forget(keep int) {
 }
 
 // recluster recomputes every centroid from scratch — the "redone after each
-// failure is fixed" step.
+// failure is fixed" step — and rebuilds the centroid search index. The
+// rebuild rides the write path (Add/AddBatch/Forget), so readers of a
+// snapshot clone only ever see a finished, immutable index.
 func (s *KMeans) recluster() {
 	for fix, pts := range s.ex.byFix {
 		if len(pts) == 0 {
@@ -101,25 +126,44 @@ func (s *KMeans) recluster() {
 		}
 		s.centroids[fix] = c
 	}
+	fixes := make([]catalog.FixID, 0, len(s.centroids))
+	for fix := range s.centroids {
+		fixes = append(fixes, fix)
+	}
+	sort.Slice(fixes, func(i, j int) bool { return fixes[i] < fixes[j] })
+	cents := make([]Point, len(fixes))
+	for i, fix := range fixes {
+		cents[i] = Point{X: s.centroids[fix], Action: Action{Fix: fix}}
+	}
+	s.centFixes = fixes
+	s.centIdx = NewKDTreeIndex(cents)
+	s.version++
 }
 
-// rankFixes scores fixes by centroid proximity.
+// rankFixes scores fixes by centroid proximity, straight off the centroid
+// index: neighbors arrive ordered by (distance asc, fix asc), which is
+// precisely (score desc, fix asc) for score = 1/(1+d).
 func (s *KMeans) rankFixes(x []float64) []fixScore {
-	out := make([]fixScore, 0, len(s.centroids))
-	for fix, c := range s.centroids {
-		d := euclidean(x, c)
-		out = append(out, fixScore{fix: fix, score: 1 / (1 + d)})
+	if s.centIdx == nil || s.centIdx.Len() == 0 {
+		return nil
 	}
-	sortFixScores(out)
+	nbs := s.centIdx.Nearest(x, -1, nil)
+	out := make([]fixScore, len(nbs))
+	for i, nb := range nbs {
+		out[i] = fixScore{fix: s.centFixes[nb.Ord], score: 1 / (1 + nb.Dist)}
+	}
 	return out
 }
 
 // Suggest implements Synopsis.
-func (s *KMeans) Suggest(x []float64, exclude func(Action) bool) (Suggestion, bool) {
-	return suggestFrom(s.rankFixes(x), s.ex, x, exclude)
+func (s *KMeans) Suggest(x []float64, filter *ActionFilter) (Suggestion, bool) {
+	return suggestFrom(s.rankFixes(x), s.ex, x, filter)
+}
+
+// RankK implements Synopsis.
+func (s *KMeans) RankK(x []float64, k int) []Suggestion {
+	return rankKFrom(s.rankFixes(x), s.ex, x, k)
 }
 
 // Rank implements Synopsis.
-func (s *KMeans) Rank(x []float64) []Suggestion {
-	return rankFrom(s.rankFixes(x), s.ex, x)
-}
+func (s *KMeans) Rank(x []float64) []Suggestion { return s.RankK(x, -1) }

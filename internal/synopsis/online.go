@@ -12,6 +12,7 @@ type Online struct {
 	// Window is the number of recent successful observations retained.
 	Window int
 	added  int
+	writes uint64
 }
 
 // NewOnline wraps base with a sliding window of the given size. The base
@@ -35,6 +36,7 @@ func (s *Online) TrainingSize() int { return s.base.TrainingSize() }
 // Add implements Synopsis, evicting old observations past the window.
 func (s *Online) Add(p Point) {
 	s.base.Add(p)
+	s.writes++
 	if p.Success {
 		s.added++
 		if s.added > s.Window {
@@ -53,6 +55,7 @@ func (s *Online) Add(p Point) {
 // kept a little longer.
 func (s *Online) AddBatch(ps []Point) {
 	AddAll(s.base, ps)
+	s.writes++
 	for _, p := range ps {
 		if p.Success {
 			s.added++
@@ -78,16 +81,30 @@ func (s *Online) Clone() Synopsis {
 	if !ok {
 		return nil
 	}
-	return &Online{base: base, Window: s.Window, added: s.added}
+	return &Online{base: base, Window: s.Window, added: s.added, writes: s.writes}
 }
 
 // Suggest implements Synopsis.
-func (s *Online) Suggest(x []float64, exclude func(Action) bool) (Suggestion, bool) {
-	return s.base.Suggest(x, exclude)
+func (s *Online) Suggest(x []float64, filter *ActionFilter) (Suggestion, bool) {
+	return s.base.Suggest(x, filter)
 }
+
+// RankK implements Synopsis.
+func (s *Online) RankK(x []float64, k int) []Suggestion { return s.base.RankK(x, k) }
 
 // Rank implements Synopsis.
 func (s *Online) Rank(x []float64) []Suggestion { return s.base.Rank(x) }
+
+// Version implements versioned: the base's counter when it keeps one,
+// otherwise this wrapper's write count — so a custom base without version
+// tracking still reports every write as effective and is never left
+// unpublished.
+func (s *Online) Version() uint64 {
+	if v, ok := s.base.(versioned); ok {
+		return v.Version()
+	}
+	return s.writes
+}
 
 // Evaluation helpers shared by the experiments.
 

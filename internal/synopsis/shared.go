@@ -80,6 +80,17 @@ func (s *Shared) reader() (Synopsis, func()) {
 	return s.base, s.mu.Unlock
 }
 
+// versioned is implemented by learners that count their effective
+// mutations: a write that changes nothing the read path can observe (a
+// failed attempt folded into a learner that discards failures) leaves the
+// version unchanged. Shared uses it to skip snapshot clones for no-op
+// writes — the fix for the shared-vs-isolated inversion at low replica
+// counts, where per-write structural clones used to outweigh the shared
+// knowledge base's benefit.
+type versioned interface {
+	Version() uint64
+}
+
 // republish installs a fresh snapshot of the base. Callers hold s.mu.
 func (s *Shared) republish() {
 	if s.snap.Load() == nil {
@@ -92,16 +103,31 @@ func (s *Shared) republish() {
 	s.snap.Store(&sn)
 }
 
+// version returns the base's effective-mutation counter; ok is false for
+// bases that do not track one (every write must then republish).
+func (s *Shared) version() (uint64, bool) {
+	v, ok := s.base.(versioned)
+	if !ok {
+		return 0, false
+	}
+	return v.Version(), true
+}
+
 // Name implements Synopsis. The name is fixed at construction; no lock.
 func (s *Shared) Name() string { return s.name }
 
-// Add implements Synopsis: one observation, one snapshot republish.
+// Add implements Synopsis: one observation, one snapshot republish. The
+// observation is always logged for federation, but the clone+republish is
+// skipped when it did not change the learner's effective state.
 func (s *Shared) Add(p Point) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	before, tracked := s.version()
 	s.base.Add(p)
 	s.log(p)
-	s.republish()
+	if after, _ := s.version(); !tracked || after != before {
+		s.republish()
+	}
 }
 
 // AddBatch implements Batcher: the whole batch is applied to the base
@@ -114,9 +140,12 @@ func (s *Shared) AddBatch(ps []Point) {
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	before, tracked := s.version()
 	AddAll(s.base, ps)
 	s.log(ps...)
-	s.republish()
+	if after, _ := s.version(); !tracked || after != before {
+		s.republish()
+	}
 }
 
 // log appends one write's points to the arrival log under the next
@@ -166,10 +195,17 @@ func (s *Shared) DeltaSince(since uint64) ([]Point, uint64) {
 }
 
 // Suggest implements Synopsis, reading the current snapshot lock-free.
-func (s *Shared) Suggest(x []float64, exclude func(Action) bool) (Suggestion, bool) {
+func (s *Shared) Suggest(x []float64, filter *ActionFilter) (Suggestion, bool) {
 	r, release := s.reader()
 	defer release()
-	return r.Suggest(x, exclude)
+	return r.Suggest(x, filter)
+}
+
+// RankK implements Synopsis, reading the current snapshot lock-free.
+func (s *Shared) RankK(x []float64, k int) []Suggestion {
+	r, release := s.reader()
+	defer release()
+	return r.RankK(x, k)
 }
 
 // Rank implements Synopsis, reading the current snapshot lock-free.

@@ -117,11 +117,12 @@ type opaque struct{ s Synopsis }
 
 func (o opaque) Name() string { return o.s.Name() }
 func (o opaque) Add(p Point)  { o.s.Add(p) }
-func (o opaque) Suggest(x []float64, exclude func(Action) bool) (Suggestion, bool) {
-	return o.s.Suggest(x, exclude)
+func (o opaque) Suggest(x []float64, filter *ActionFilter) (Suggestion, bool) {
+	return o.s.Suggest(x, filter)
 }
-func (o opaque) Rank(x []float64) []Suggestion { return o.s.Rank(x) }
-func (o opaque) TrainingSize() int             { return o.s.TrainingSize() }
+func (o opaque) RankK(x []float64, k int) []Suggestion { return o.s.RankK(x, k) }
+func (o opaque) Rank(x []float64) []Suggestion         { return o.s.Rank(x) }
+func (o opaque) TrainingSize() int                     { return o.s.TrainingSize() }
 
 // TestSharedLockedFallbackMatchesSnapshotMode: a non-cloneable base must
 // degrade to mutex-guarded access with identical observable behavior.

@@ -69,18 +69,25 @@ type Suggestion struct {
 
 // Synopsis is the interface every learner implements. Add folds in one
 // observation; Suggest recommends the best non-excluded action for a
-// symptom vector; Rank returns candidate actions ordered by confidence
-// (the §5.2 ranking extension).
+// symptom vector; RankK returns the top candidate actions ordered by
+// confidence (the §5.2 ranking extension).
 type Synopsis interface {
 	// Name identifies the learner (e.g. "nearest-neighbor").
 	Name() string
 	// Add folds one observation into the model.
 	Add(p Point)
-	// Suggest recommends the best action for symptom vector x whose
-	// exclude(action) is false (nil excludes nothing); ok is false when
+	// Suggest recommends the best action for symptom vector x not
+	// excluded by the filter (nil excludes nothing); ok is false when
 	// the model has nothing to offer.
-	Suggest(x []float64, exclude func(Action) bool) (Suggestion, bool)
-	// Rank returns every candidate action ordered by confidence.
+	Suggest(x []float64, filter *ActionFilter) (Suggestion, bool)
+	// RankK returns the k highest-confidence candidate actions, ordered
+	// by confidence. k < 0 means every candidate. Confidences are
+	// normalized over the full candidate set regardless of k, so
+	// RankK(x, k) is always exactly Rank(x)[:k] — but an indexed learner
+	// resolves targets only for the k returned fixes instead of
+	// materializing the whole ranking.
+	RankK(x []float64, k int) []Suggestion
+	// Rank returns every candidate action: RankK(x, -1).
 	Rank(x []float64) []Suggestion
 	// TrainingSize returns the number of successful observations held.
 	TrainingSize() int
@@ -200,20 +207,79 @@ func (c *classSet) clone() *classSet {
 // given a symptom and a fix class, the recommended target is the target
 // that worked for the nearest matching signature. Arrival order is kept so
 // the online wrapper's sliding window evicts the globally oldest points.
+//
+// Each fix's points are shadowed by an incrementally-maintained KD-tree
+// forest (see fixIndex) so resolve is sublinear in the fix's exemplar
+// count. The forest is only ever mutated on the write path (add/forget),
+// which Shared serializes; clones share the immutable trees.
 type exemplars struct {
 	all   []Point
 	byFix map[catalog.FixID][]Point
+	idx   map[catalog.FixID]*fixIndex
+	// cls assigns dense tags to the fixes seen; fixOf[i] is the tag of
+	// all[i]. gidx is a second forest over the whole store whose trees
+	// carry those tags, so a scoring pass that needs every fix's nearest
+	// exemplar (nearestPerFix) runs as one group traversal instead of one
+	// search per fix.
+	cls   *classSet
+	fixOf []int32
+	gidx  *fixIndex
 	n     int
 }
 
+// indexResolve gates the KD-tree read path; the oracle property test
+// flips it off to force the brute scan the index must match bitwise.
+var indexResolve = true
+
 func newExemplars() *exemplars {
-	return &exemplars{byFix: make(map[catalog.FixID][]Point)}
+	return &exemplars{
+		byFix: make(map[catalog.FixID][]Point),
+		idx:   make(map[catalog.FixID]*fixIndex),
+		cls:   newClassSet(),
+		gidx:  &fixIndex{},
+	}
 }
 
 func (e *exemplars) add(p Point) {
 	e.all = append(e.all, p)
-	e.byFix[p.Action.Fix] = append(e.byFix[p.Action.Fix], p)
+	fixPts := append(e.byFix[p.Action.Fix], p)
+	e.byFix[p.Action.Fix] = fixPts
+	fi := e.idx[p.Action.Fix]
+	if fi == nil {
+		fi = &fixIndex{}
+		e.idx[p.Action.Fix] = fi
+	}
+	fi.insert(fixPts, len(fixPts)-1)
+	e.fixOf = append(e.fixOf, int32(e.cls.index(p.Action.Fix)))
+	e.gidx.tagOf = e.fixOf
+	e.gidx.insert(e.all, len(e.all)-1)
 	e.n++
+}
+
+// appendOnly adds p without maintaining the indexes; the caller owns
+// calling reindex before the next read. Bulk loads use it so index
+// construction happens once per fix, not once per forest carry.
+func (e *exemplars) appendOnly(p Point) {
+	e.all = append(e.all, p)
+	e.byFix[p.Action.Fix] = append(e.byFix[p.Action.Fix], p)
+	e.fixOf = append(e.fixOf, int32(e.cls.index(p.Action.Fix)))
+	e.n++
+}
+
+// reindex rebuilds every fix's index as one compact tree over its full
+// point set. A freshly bulk-loaded store answers a query with a single
+// tree descend per fix, where the same points inserted one by one would
+// leave a logarithmic forest whose every slot pays its own descend and
+// leaf scan — on a million-point load that forest overhead, not the
+// tree depth, is what dominates read latency.
+func (e *exemplars) reindex() {
+	for fix, pts := range e.byFix {
+		fi := &fixIndex{}
+		fi.bulkLoad(pts)
+		e.idx[fix] = fi
+	}
+	e.gidx = &fixIndex{tagOf: e.fixOf}
+	e.gidx.bulkLoad(e.all)
 }
 
 // forget keeps only the most recent keep points (strictly by arrival
@@ -222,34 +288,59 @@ func (e *exemplars) forget(keep int) {
 	if e.n <= keep {
 		return
 	}
-	e.all = append([]Point(nil), e.all[len(e.all)-keep:]...)
-	e.byFix = make(map[catalog.FixID][]Point, len(e.byFix))
-	for _, p := range e.all {
-		e.byFix[p.Action.Fix] = append(e.byFix[p.Action.Fix], p)
+	all := e.all[len(e.all)-keep:]
+	rebuilt := newExemplars()
+	for _, p := range all {
+		rebuilt.add(p)
 	}
-	e.n = len(e.all)
+	*e = *rebuilt
 }
 
-// clone copies the exemplar store with structural sharing: Points are
-// immutable, so both sides can keep reading the shared backing arrays; the
-// capped slice headers force either side's future appends to reallocate
-// rather than write where the other can see.
+// clone copies the exemplar store with structural sharing: Points and
+// KD-trees are immutable, so both sides can keep reading the shared
+// backing arrays; the capped slice headers force either side's future
+// appends to reallocate rather than write where the other can see.
 func (e *exemplars) clone() *exemplars {
 	byFix := make(map[catalog.FixID][]Point, len(e.byFix))
 	for k, v := range e.byFix {
 		byFix[k] = v[:len(v):len(v)]
 	}
-	return &exemplars{all: e.all[:len(e.all):len(e.all)], byFix: byFix, n: e.n}
+	idx := make(map[catalog.FixID]*fixIndex, len(e.idx))
+	for k, v := range e.idx {
+		idx[k] = v.clone()
+	}
+	return &exemplars{
+		all:   e.all[:len(e.all):len(e.all)],
+		byFix: byFix,
+		idx:   idx,
+		cls:   e.cls.clone(),
+		fixOf: e.fixOf[:len(e.fixOf):len(e.fixOf)],
+		gidx:  e.gidx.clone(),
+		n:     e.n,
+	}
 }
 
 // resolve returns the action of the nearest non-excluded exemplar of fix,
-// with the exemplar's distance.
-func (e *exemplars) resolve(x []float64, fix catalog.FixID, exclude func(Action) bool) (Action, float64, bool) {
+// with the exemplar's distance: the (distance, arrival)-minimal match,
+// through the fix's index when it has one, by brute scan otherwise. Both
+// paths return bitwise-identical results (the oracle property test pins
+// this).
+func (e *exemplars) resolve(x []float64, fix catalog.FixID, f *ActionFilter) (Action, float64, bool) {
+	pts := e.byFix[fix]
+	if indexResolve {
+		if fi := e.idx[fix]; fi != nil {
+			ord, d, ok := fi.nearest(pts, x, f)
+			if !ok {
+				return Action{}, 0, false
+			}
+			return pts[ord].Action, d, true
+		}
+	}
 	best := Action{}
 	bestD := math.Inf(1)
 	found := false
-	for _, p := range e.byFix[fix] {
-		if exclude != nil && exclude(p.Action) {
+	for _, p := range pts {
+		if f.Excludes(p.Action) {
 			continue
 		}
 		d := euclidean(x, p.X)
@@ -260,10 +351,32 @@ func (e *exemplars) resolve(x []float64, fix catalog.FixID, exclude func(Action)
 	return best, bestD, found
 }
 
-// fixScore is a fix-level classification score.
+// nearestPerFix finds every fix's nearest exemplar to x in one group
+// traversal of the tagged global forest, or nil when the store is empty
+// or the indexed path is gated off (callers then fall back to per-fix
+// resolve, which brute-scans). Results are bitwise identical to calling
+// resolve(x, fix, nil) for each fix: within one fix, global arrival order
+// preserves per-fix arrival order, so the (distance, ordinal) tie-break
+// selects the same exemplar either way.
+func (e *exemplars) nearestPerFix(x []float64) *groupBest {
+	if !indexResolve || e.cls.len() == 0 {
+		return nil
+	}
+	g := newGroupBest(e.cls.len())
+	e.gidx.nearestAll(e.all, x, g)
+	return g
+}
+
+// fixScore is a fix-level classification score. Learners whose scoring
+// pass already resolved the fix's exemplar (nearest-neighbor: the score
+// IS the nearest exemplar's distance) cache the action so suggestFrom
+// and rankKFrom need not repeat the index search; hasAction false means
+// "resolve on demand".
 type fixScore struct {
-	fix   catalog.FixID
-	score float64
+	fix       catalog.FixID
+	score     float64
+	action    Action
+	hasAction bool
 }
 
 // sortFixScores orders scores descending, ties by fix id for determinism.
@@ -276,9 +389,9 @@ func sortFixScores(fs []fixScore) {
 	})
 }
 
-// suggestFrom converts a ranked fix list into the best concrete action that
-// is not excluded, resolving targets through the exemplar store.
-func suggestFrom(ranked []fixScore, ex *exemplars, x []float64, exclude func(Action) bool) (Suggestion, bool) {
+// suggestFrom converts a ranked fix list into the best concrete action not
+// rejected by the filter, resolving targets through the exemplar store.
+func suggestFrom(ranked []fixScore, ex *exemplars, x []float64, f *ActionFilter) (Suggestion, bool) {
 	total := 0.0
 	for _, r := range ranked {
 		if r.score > 0 {
@@ -286,7 +399,12 @@ func suggestFrom(ranked []fixScore, ex *exemplars, x []float64, exclude func(Act
 		}
 	}
 	for _, r := range ranked {
-		action, _, ok := ex.resolve(x, r.fix, exclude)
+		action, ok := r.action, r.hasAction
+		if !ok || f != nil {
+			// A filter can exclude the cached exemplar; re-resolve with
+			// the filter pushed into the search.
+			action, _, ok = ex.resolve(x, r.fix, f)
+		}
 		if !ok {
 			continue
 		}
@@ -299,18 +417,31 @@ func suggestFrom(ranked []fixScore, ex *exemplars, x []float64, exclude func(Act
 	return Suggestion{}, false
 }
 
-// rankFrom converts a ranked fix list into resolved suggestions (no
-// exclusions) with normalized confidences.
-func rankFrom(ranked []fixScore, ex *exemplars, x []float64) []Suggestion {
+// rankKFrom converts a ranked fix list into the top k resolved suggestions
+// (no exclusions). Confidences are normalized over the full ranked list —
+// not the returned prefix — so rankKFrom(ranked, ex, x, k) is exactly the
+// first k entries of the full ranking, while only the returned fixes pay
+// the exemplar-store resolution. k < 0 resolves everything.
+func rankKFrom(ranked []fixScore, ex *exemplars, x []float64, k int) []Suggestion {
 	total := 0.0
 	for _, r := range ranked {
 		if r.score > 0 {
 			total += r.score
 		}
 	}
-	out := make([]Suggestion, 0, len(ranked))
+	n := len(ranked)
+	if k >= 0 && k < n {
+		n = k
+	}
+	out := make([]Suggestion, 0, n)
 	for _, r := range ranked {
-		action, _, ok := ex.resolve(x, r.fix, nil)
+		if len(out) == n {
+			break
+		}
+		action, ok := r.action, r.hasAction
+		if !ok {
+			action, _, ok = ex.resolve(x, r.fix, nil)
+		}
 		if !ok {
 			continue
 		}

@@ -81,7 +81,7 @@ func TestExcludeHonored(t *testing.T) {
 		if !ok {
 			t.Fatalf("%s abstained", s.Name())
 		}
-		second, ok := s.Suggest(x, func(a Action) bool { return a == first.Action })
+		second, ok := s.Suggest(x, ExcludeActions(first.Action))
 		if ok && second.Action == first.Action {
 			t.Errorf("%s returned the excluded action", s.Name())
 		}
@@ -115,7 +115,7 @@ func TestQuickSuggestNeverExcluded(t *testing.T) {
 				excluded[r.Action.Key()] = true
 			}
 		}
-		got, ok := nn.Suggest(x, func(a Action) bool { return excluded[a.Key()] })
+		got, ok := nn.Suggest(x, ExcludeWhere(func(a Action) bool { return excluded[a.Key()] }))
 		if !ok {
 			return true
 		}

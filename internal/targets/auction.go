@@ -119,6 +119,10 @@ func (a *Auction) CallMatrix() [][]float64 { return a.svc.CallMatrix() }
 // CallMatrixRows implements Target.
 func (a *Auction) CallMatrixRows() int { return a.svc.CallMatrixRows() }
 
+// CallMatrixSupport implements CallMatrixSupporter: the service's resolved
+// call topology is fixed for its lifetime.
+func (a *Auction) CallMatrixSupport() [][2]int { return a.svc.CallMatrixSupport() }
+
 // CallCallees implements Target.
 func (a *Auction) CallCallees() []string { return service.EJBNames() }
 

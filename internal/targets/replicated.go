@@ -613,6 +613,22 @@ func (r *Replicated) CallMatrix() [][]float64 { return r.callMatrix }
 // CallMatrixRows implements Target.
 func (r *Replicated) CallMatrixRows() int { return len(replClasses) + 2 }
 
+// CallMatrixSupport implements CallMatrixSupporter: classes call the two
+// app replicas (cols 0 and 1); each replica row calls only the db (col 2).
+// The class → db cells and replica → replica cells are always zero.
+func (r *Replicated) CallMatrixSupport() [][2]int {
+	var cells [][2]int
+	for c := range replClasses {
+		for i := range r.replicas {
+			cells = append(cells, [2]int{c, i})
+		}
+	}
+	for i := range r.replicas {
+		cells = append(cells, [2]int{len(replClasses) + i, 2})
+	}
+	return cells
+}
+
 // CallCallees implements Target.
 func (r *Replicated) CallCallees() []string { return []string{"app-0", "app-1", "db"} }
 

@@ -244,6 +244,19 @@ type FaultClearer interface {
 	ClearFault(f Fault) error
 }
 
+// CallMatrixSupporter reports which cells of the target's call matrix can
+// ever be nonzero — the static call topology. Call matrices are mostly
+// empty (a component calls a handful of the callees), and the monitoring
+// loop retains and accumulates a matrix every tick; a harness that knows
+// the support copies and folds ~10% of the cells and skips the rest.
+// Targets whose topology can change at runtime must not implement this.
+type CallMatrixSupporter interface {
+	// CallMatrixSupport returns the (row, col) pairs that may hold
+	// nonzero values. The result must be stable for the target's
+	// lifetime; every cell outside it must always read zero.
+	CallMatrixSupport() [][2]int
+}
+
 // PartialInjector injects a fault at fractional severity in (0, 1): a
 // grey failure, strong enough to hurt tail behavior but weak enough to
 // stay below the SLO monitor's detection thresholds. Severity 1 is

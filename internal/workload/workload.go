@@ -76,16 +76,27 @@ type Generator struct {
 	drift        float64
 	surges       []Surge
 	buf          []float64
+	ratesBuf     []float64
+	// samplers holds one Poisson sampler per class, so steady per-class
+	// rates keep their CDF tables hot instead of rescanning the RNG's
+	// shared cache on every draw.
+	samplers []sim.PoissonStream
 }
 
 // NewGenerator builds a generator over mix with the given seed.
 func NewGenerator(mix Mix, seed int64) *Generator {
-	return &Generator{
-		mix:   mix,
-		rng:   sim.NewRNG(seed),
-		scale: 1,
-		buf:   make([]float64, len(mix.Rates)),
+	g := &Generator{
+		mix:      mix,
+		rng:      sim.NewRNG(seed),
+		scale:    1,
+		buf:      make([]float64, len(mix.Rates)),
+		ratesBuf: make([]float64, len(mix.Rates)),
+		samplers: make([]sim.PoissonStream, len(mix.Rates)),
 	}
+	for i := range g.samplers {
+		g.samplers[i] = g.rng.PoissonStream()
+	}
+	return g
 }
 
 // SetScale applies a constant multiplier to the whole mix.
@@ -109,9 +120,17 @@ func (g *Generator) AddSurge(s Surge) { g.surges = append(g.surges, s) }
 // ClearSurges removes all scheduled surges.
 func (g *Generator) ClearSurges() { g.surges = nil }
 
-// Rates returns the expected (noise-free) per-class rates at tick t.
+// Rates returns the expected (noise-free) per-class rates at tick t. The
+// returned slice is freshly allocated; callers may retain it.
 func (g *Generator) Rates(t int64) []float64 {
-	out := make([]float64, len(g.mix.Rates))
+	return g.ratesInto(t, make([]float64, len(g.mix.Rates)))
+}
+
+// ratesInto computes the expected rates at tick t into out (the per-tick
+// path reuses one buffer, so steady-state arrival generation allocates
+// nothing). It also advances the drift accumulator, exactly as every
+// Rates call always has.
+func (g *Generator) ratesInto(t int64, out []float64) []float64 {
 	mod := g.scale
 	if g.diurnal {
 		mod *= DiurnalFactor(t)
@@ -150,9 +169,9 @@ func (g *Generator) Rates(t int64) []float64 {
 // Arrivals returns Poisson-sampled per-class arrivals for tick t. The
 // returned slice is reused between calls.
 func (g *Generator) Arrivals(t int64) []float64 {
-	rates := g.Rates(t)
+	rates := g.ratesInto(t, g.ratesBuf)
 	for i, r := range rates {
-		g.buf[i] = float64(g.rng.Poisson(r))
+		g.buf[i] = float64(g.samplers[i].Sample(r))
 	}
 	return g.buf
 }
