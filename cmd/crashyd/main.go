@@ -1,0 +1,112 @@
+// Command crashyd is a deliberately unreliable HTTP service, the
+// bundled guinea pig for the process supervisor target. It serves a
+// health endpoint and a tiny /metrics page, re-reads its JSON config
+// on every request (so a config rollback takes effect without a
+// restart), and can be told to crash on a schedule — everything the
+// supervisor's fault catalog and fix repertoire need to demonstrate
+// real detection and real recovery.
+//
+// Config file format (JSON):
+//
+//	{"latency_ms": 2, "fail_rate": 0}
+//
+// latency_ms delays every response; fail_rate fails that fraction of
+// requests with a 500. An unreadable or invalid config makes /healthz
+// answer 500 — a corrupt config is an unhealthy service.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+	"net/http"
+	"os"
+	"os/signal"
+	"sync/atomic"
+	"syscall"
+	"time"
+)
+
+type config struct {
+	LatencyMS float64 `json:"latency_ms"`
+	FailRate  float64 `json:"fail_rate"`
+}
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:8080", "listen address")
+	configPath := flag.String("config", "", "JSON config file, re-read on every request")
+	crashAfter := flag.Duration("crash-after", 0, "exit(1) this long after startup (0 = never)")
+	crashEvery := flag.Duration("crash-every", 0, "exit(1) on this period after the first crash (0 = once)")
+	seed := flag.Int64("seed", 1, "seed for the fail_rate coin")
+	flag.Parse()
+
+	rng := rand.New(rand.NewSource(*seed))
+	var requests atomic.Int64
+
+	loadConfig := func() (config, error) {
+		if *configPath == "" {
+			return config{}, nil
+		}
+		raw, err := os.ReadFile(*configPath)
+		if err != nil {
+			return config{}, err
+		}
+		var c config
+		if err := json.Unmarshal(raw, &c); err != nil {
+			return config{}, err
+		}
+		return c, nil
+	}
+
+	serve := func(w http.ResponseWriter, r *http.Request) {
+		requests.Add(1)
+		c, err := loadConfig()
+		if err != nil {
+			http.Error(w, fmt.Sprintf("bad config: %v", err), http.StatusInternalServerError)
+			return
+		}
+		if c.LatencyMS > 0 {
+			time.Sleep(time.Duration(c.LatencyMS * float64(time.Millisecond)))
+		}
+		if c.FailRate > 0 && rng.Float64() < c.FailRate {
+			http.Error(w, "injected failure", http.StatusInternalServerError)
+			return
+		}
+		fmt.Fprintln(w, "ok")
+	}
+
+	mux := http.NewServeMux()
+	mux.HandleFunc("/", serve)
+	mux.HandleFunc("/healthz", serve)
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		c, _ := loadConfig()
+		fmt.Fprintf(w, "requests_total %d\n", requests.Load())
+		fmt.Fprintf(w, "config_latency_ms %g\n", c.LatencyMS)
+		fmt.Fprintf(w, "config_fail_rate %g\n", c.FailRate)
+	})
+
+	// Each exec is a fresh process, so a respawned crashyd re-arms its
+	// timer: -crash-after delays this instance's (single) crash, and
+	// -crash-every reads naturally when a supervisor keeps respawning it.
+	if delay := max(*crashAfter, *crashEvery); delay > 0 {
+		go func() {
+			time.Sleep(delay)
+			log.Printf("crashyd: scheduled crash")
+			os.Exit(1)
+		}()
+	}
+
+	term := make(chan os.Signal, 1)
+	signal.Notify(term, syscall.SIGTERM, os.Interrupt)
+	go func() {
+		<-term
+		os.Exit(0)
+	}()
+
+	log.Printf("crashyd: serving on %s (config %q)", *addr, *configPath)
+	if err := http.ListenAndServe(*addr, mux); err != nil {
+		log.Fatalf("crashyd: %v", err)
+	}
+}

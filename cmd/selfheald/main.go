@@ -123,6 +123,7 @@ func main() {
 		workers  = flag.Int("workers", 0, "max concurrently-healing replicas (0 = all)")
 		approach = flag.String("approach", string(selfheal.ApproachHybrid), "healing approach (see ApproachKinds)")
 		target   = flag.String("target", string(selfheal.TargetAuction), "managed-system target kind(s), comma-separated for a heterogeneous fleet (see TargetKinds)")
+		faultsFl = flag.String("faults", "", "comma-separated fault kinds to inject (canonical names, e.g. hardware-degradation; empty = each target's full catalog)")
 		mix      = flag.String("mix", "", "workload mix name from the target's spec (empty = target default)")
 		seed     = flag.Int64("seed", 7, "deterministic seed")
 		share    = flag.Bool("share", false, "replicas learn into one shared knowledge base")
@@ -153,6 +154,32 @@ func main() {
 	}
 	if len(targetKinds) == 0 {
 		targetKinds = []selfheal.TargetKind{selfheal.TargetAuction}
+	}
+	// Validate -target against the registry up front: a typo dies here
+	// with the registered kinds listed, not replicas deep into fleet
+	// construction.
+	for _, k := range targetKinds {
+		if _, ok := selfheal.TargetSpecFor(k); !ok {
+			var names []string
+			for _, reg := range selfheal.TargetKinds() {
+				names = append(names, string(reg))
+			}
+			fmt.Fprintf(os.Stderr, "selfheald: unknown target %q (registered targets: %s)\n",
+				k, strings.Join(names, ", "))
+			os.Exit(2)
+		}
+	}
+	var faultKinds []selfheal.FaultKind
+	for _, name := range strings.Split(*faultsFl, ",") {
+		if name = strings.TrimSpace(name); name == "" {
+			continue
+		}
+		k, err := selfheal.ParseFaultKind(name)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "selfheald:", err)
+			os.Exit(2)
+		}
+		faultKinds = append(faultKinds, k)
 	}
 	var peerURLs []string
 	for _, u := range strings.Split(*peers, ",") {
@@ -232,6 +259,9 @@ func main() {
 		fmt.Fprintln(os.Stderr, "selfheald:", err)
 		os.Exit(2)
 	}
+	// Targets may hold real resources (the process target supervises a
+	// live child); release them on every exit path below.
+	defer fleet.Close()
 
 	var ops *selfheal.Ops
 	if *serve != "" || len(peerURLs) > 0 {
@@ -273,13 +303,14 @@ func main() {
 			fmt.Fprintln(os.Stderr, "\nselfheald: interrupted mid-scenario")
 		default:
 			fmt.Fprintln(os.Stderr, "selfheald:", err)
+			fleet.Close()
 			os.Exit(1)
 		}
 		fmt.Println()
 		fmt.Print(st.Format())
 		fmt.Println(sink.summary())
 	} else if *episodes > 0 {
-		result, err := fleet.RunCampaign(ctx, selfheal.Campaign{Episodes: *episodes})
+		result, err := fleet.RunCampaign(ctx, selfheal.Campaign{Episodes: *episodes, Kinds: faultKinds})
 		switch {
 		case err == nil:
 		case ctx.Err() != nil:
@@ -293,6 +324,7 @@ func main() {
 			fmt.Fprintf(os.Stderr, "\nselfheald: interrupted: %d/%d episodes completed\n", completed, *episodes)
 		default:
 			fmt.Fprintln(os.Stderr, "selfheald:", err)
+			fleet.Close()
 			os.Exit(1)
 		}
 		fmt.Println()
@@ -321,6 +353,7 @@ func main() {
 	if *kbOut != "" {
 		if err := saveKB(*kbOut, kb); err != nil {
 			fmt.Fprintln(os.Stderr, "selfheald:", err)
+			fleet.Close()
 			os.Exit(1)
 		}
 		what := ""

@@ -52,6 +52,9 @@ func NewFleet(ctx context.Context, n int, opts ...Option) (*Fleet, error) {
 	if cfg.approach != nil {
 		return nil, fmt.Errorf("selfheal: WithApproachInstance cannot be shared across %d replicas; use WithSynopsis(NewSharedSynopsis(...)) or WithApproach", n)
 	}
+	if cfg.targetInstance != nil {
+		return nil, fmt.Errorf("selfheal: WithTargetInstance cannot be shared across fleet replicas; register the kind with RegisterTarget instead")
+	}
 	if cfg.syn != nil && n > 1 {
 		if _, shared := cfg.syn.(*SharedSynopsis); !shared {
 			return nil, fmt.Errorf("selfheal: %d replicas learning into one synopsis need NewSharedSynopsis to guard it", n)
@@ -106,6 +109,19 @@ func (fl *Fleet) Replica(i int) *System { return fl.replicas[i] }
 // ReplicaSeed returns the seed replica i runs at — the seed a standalone
 // System needs to reproduce that replica's campaign sequentially.
 func (fl *Fleet) ReplicaSeed(i int) int64 { return fl.seeds[i] }
+
+// Close closes every replica's System (see System.Close), releasing
+// whatever their targets hold outside the process — supervised children,
+// temp state. The first error wins; the rest still close.
+func (fl *Fleet) Close() error {
+	var first error
+	for _, sys := range fl.replicas {
+		if err := sys.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
 
 // Campaign describes a random-fault healing campaign over a fleet.
 type Campaign struct {

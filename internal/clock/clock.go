@@ -1,0 +1,120 @@
+// Package clock abstracts how the healing stack's tick loop relates to
+// time. The paper's harness drives purely logical ticks: a tick is one
+// call to Target.Tick, simulated seconds pass instantly, and a campaign
+// of a million ticks finishes as fast as the CPU allows. A supervisor
+// target managing real OS processes cannot work that way — its probes
+// measure a live system, so consecutive ticks must be separated by real
+// wall-clock time or every sample reads the same instant.
+//
+// A Clock paces the loop between ticks. Logical (the default everywhere)
+// is a no-op: the simulator targets keep their exact historical behavior,
+// byte for byte — core pins this with a test. Wall sleeps until the next
+// tick boundary of a fixed period, so tick N fires no earlier than
+// start + N×period; a target whose ticks overrun the period (a probe
+// timeout, say) does not accumulate sleep debt — the wall clock skips
+// ahead rather than fast-forwarding through a burst of back-to-back
+// ticks.
+//
+// Because one tick is one period, everything scripted in ticks — SLO
+// windows, healer settle/check windows, the scenario DSL's At/After/Every
+// triggers — fires on real time under a wall clock with no further
+// translation.
+package clock
+
+import (
+	"context"
+	"time"
+)
+
+// Clock paces a tick loop.
+type Clock interface {
+	// Pace blocks until the next tick may run. The logical clock returns
+	// immediately; wall clocks sleep until the next tick boundary. A
+	// cancelled context cuts the sleep short and returns ctx.Err();
+	// callers that loop are expected to check their context anyway, so a
+	// Pace error means "stop soon", not "the tick failed".
+	Pace(ctx context.Context) error
+	// TickPeriod reports how much wall time one tick represents: the
+	// pacing period for wall clocks, 0 for the logical clock.
+	TickPeriod() time.Duration
+}
+
+// Logical is the simulator clock: ticks are purely logical, Pace never
+// blocks, and a campaign runs as fast as the CPU allows. The zero value
+// is ready to use.
+type Logical struct{}
+
+// Pace implements Clock as a no-op.
+func (Logical) Pace(context.Context) error { return nil }
+
+// TickPeriod implements Clock: a logical tick spans no wall time.
+func (Logical) TickPeriod() time.Duration { return 0 }
+
+// Wall paces ticks at a fixed wall-clock period. It is not safe for
+// concurrent use; each harness owns its own Wall (fleet replicas each
+// pace independently).
+type Wall struct {
+	period time.Duration
+	next   time.Time
+	// now and sleep are stubbed by tests; nil means the real time
+	// functions.
+	now   func() time.Time
+	sleep func(ctx context.Context, d time.Duration) error
+}
+
+// NewWall returns a wall clock with the given tick period. Periods
+// under a millisecond are raised to a millisecond: probing a real
+// process faster than that measures the probe, not the process.
+func NewWall(period time.Duration) *Wall {
+	if period < time.Millisecond {
+		period = time.Millisecond
+	}
+	return &Wall{period: period}
+}
+
+// TickPeriod implements Clock.
+func (w *Wall) TickPeriod() time.Duration { return w.period }
+
+// Pace implements Clock: it sleeps until the next tick boundary. The
+// first call establishes the schedule and returns immediately. When the
+// previous tick overran its period the boundary is re-anchored at now —
+// late ticks are late, not bunched.
+func (w *Wall) Pace(ctx context.Context) error {
+	now := w.timeNow()
+	if w.next.IsZero() {
+		w.next = now.Add(w.period)
+		return nil
+	}
+	if wait := w.next.Sub(now); wait > 0 {
+		if err := w.doSleep(ctx, wait); err != nil {
+			return err
+		}
+		w.next = w.next.Add(w.period)
+		return nil
+	}
+	// Overran: re-anchor so the next tick is one full period from now
+	// instead of draining the backlog at CPU speed.
+	w.next = now.Add(w.period)
+	return nil
+}
+
+func (w *Wall) timeNow() time.Time {
+	if w.now != nil {
+		return w.now()
+	}
+	return time.Now()
+}
+
+func (w *Wall) doSleep(ctx context.Context, d time.Duration) error {
+	if w.sleep != nil {
+		return w.sleep(ctx, d)
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}

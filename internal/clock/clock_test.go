@@ -1,0 +1,104 @@
+package clock
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+func TestLogicalIsFree(t *testing.T) {
+	var c Logical
+	if c.TickPeriod() != 0 {
+		t.Fatalf("logical period %v", c.TickPeriod())
+	}
+	start := time.Now()
+	for i := 0; i < 1_000_000; i++ {
+		if err := c.Pace(context.Background()); err != nil {
+			t.Fatalf("pace: %v", err)
+		}
+	}
+	if el := time.Since(start); el > time.Second {
+		t.Fatalf("10^6 logical paces took %v", el)
+	}
+}
+
+// fakeWall builds a Wall over a manual time source, recording sleeps.
+func fakeWall(period time.Duration) (*Wall, *time.Time, *[]time.Duration) {
+	now := time.Unix(1000, 0)
+	var slept []time.Duration
+	w := NewWall(period)
+	w.now = func() time.Time { return now }
+	w.sleep = func(_ context.Context, d time.Duration) error {
+		slept = append(slept, d)
+		now = now.Add(d)
+		return nil
+	}
+	return w, &now, &slept
+}
+
+func TestWallPacesAtPeriod(t *testing.T) {
+	w, now, slept := fakeWall(100 * time.Millisecond)
+	ctx := context.Background()
+
+	// First pace anchors the schedule without sleeping.
+	if err := w.Pace(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if len(*slept) != 0 {
+		t.Fatalf("first pace slept %v", *slept)
+	}
+	// A fast tick (10ms of work) sleeps out the remaining 90ms.
+	*now = now.Add(10 * time.Millisecond)
+	if err := w.Pace(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if len(*slept) != 1 || (*slept)[0] != 90*time.Millisecond {
+		t.Fatalf("slept %v, want [90ms]", *slept)
+	}
+}
+
+func TestWallReanchorsAfterOverrun(t *testing.T) {
+	w, now, slept := fakeWall(50 * time.Millisecond)
+	ctx := context.Background()
+	if err := w.Pace(ctx); err != nil {
+		t.Fatal(err)
+	}
+	// The tick overran by 4 periods (a probe timeout): no catch-up burst.
+	*now = now.Add(250 * time.Millisecond)
+	if err := w.Pace(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if len(*slept) != 0 {
+		t.Fatalf("overrun pace slept %v", *slept)
+	}
+	// The schedule is re-anchored: the following on-time tick waits a
+	// full period, not zero.
+	if err := w.Pace(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if len(*slept) != 1 || (*slept)[0] != 50*time.Millisecond {
+		t.Fatalf("post-overrun slept %v, want [50ms]", *slept)
+	}
+}
+
+func TestWallPaceCancellation(t *testing.T) {
+	w := NewWall(10 * time.Second)
+	ctx, cancel := context.WithCancel(context.Background())
+	if err := w.Pace(ctx); err != nil { // anchors
+		t.Fatal(err)
+	}
+	cancel()
+	start := time.Now()
+	if err := w.Pace(ctx); err != context.Canceled {
+		t.Fatalf("pace err %v, want context.Canceled", err)
+	}
+	if el := time.Since(start); el > time.Second {
+		t.Fatalf("cancelled pace blocked %v", el)
+	}
+}
+
+func TestWallMinimumPeriod(t *testing.T) {
+	if p := NewWall(0).TickPeriod(); p != time.Millisecond {
+		t.Fatalf("zero-period wall clock got %v, want 1ms floor", p)
+	}
+}

@@ -3,6 +3,7 @@ package core
 import (
 	"context"
 
+	"selfheal/internal/clock"
 	"selfheal/internal/detect"
 	"selfheal/internal/faults"
 	"selfheal/internal/fixes"
@@ -30,6 +31,12 @@ type HarnessConfig struct {
 	// HistoryTicks bounds the retained metric history.
 	HistoryTicks int
 	SLO          detect.SLO
+	// Clock paces the tick loop. Nil means: the target's own clock when
+	// it implements targets.Clocked (a supervisor of real processes
+	// ticks on wall time), the logical clock otherwise — which is a
+	// no-op, so every simulator campaign is byte-identical to the
+	// pre-Clock harness (pinned by TestLogicalClockByteIdentical).
+	Clock clock.Clock
 }
 
 // DefaultHarnessConfig returns the standard experiment environment.
@@ -91,6 +98,16 @@ type Harness struct {
 
 	baselineFrozen bool
 
+	// Clock paces Step: a no-op for simulator targets, a wall-period
+	// sleep for targets whose ticks are real time. Set from the config
+	// (or the target's own clock) at construction; never nil.
+	Clock clock.Clock
+	// paceCtx bounds the current pacing sleeps so a cancelled episode
+	// stops between ticks instead of finishing a wall-clock sleep.
+	// Managed by SetPaceContext; context.Background() outside any
+	// cancellable loop.
+	paceCtx context.Context
+
 	// OnStep, when non-nil, observes every tick's health sample after the
 	// monitor does — the seam the scenario engine uses to fire scripted
 	// actions on the campaign clock no matter which loop is stepping
@@ -117,6 +134,16 @@ func NewTargetHarness(t targets.Target, cfg HarnessConfig) *Harness {
 		Coll:    metrics.NewCollector(t.Sources()...),
 		Monitor: detect.NewMonitor(cfg.SLO, cfg.DetectK, cfg.WindowTicks),
 		CallDet: detect.NewCallMatrixDetector(t.CallMatrixRows(), len(t.CallCallees())),
+		paceCtx: context.Background(),
+	}
+	h.Clock = cfg.Clock
+	if h.Clock == nil {
+		if c, ok := t.(targets.Clocked); ok {
+			h.Clock = c.Clock()
+		}
+	}
+	if h.Clock == nil {
+		h.Clock = clock.Logical{}
 	}
 	// The series trims back to HistoryTicks once it reaches 2× that, so its
 	// peak row count is known at construction; reserving it here means the
@@ -170,10 +197,30 @@ func (h *Harness) WarmUp() {
 	h.baselineFrozen = true
 }
 
-// Step advances one tick: the target processes its workload, metrics are
-// collected, the monitor observes, and call matrices are accumulated
-// (into the χ² baseline only while the target looks healthy).
+// SetPaceContext binds the context that bounds wall-clock pacing sleeps
+// and returns the previous binding, for callers to restore on exit. The
+// healing loops and the scenario runner bind their episode context here
+// so cancellation interrupts a paced Step between ticks; under the
+// logical clock the binding is inert. Passing nil restores
+// context.Background().
+func (h *Harness) SetPaceContext(ctx context.Context) context.Context {
+	prev := h.paceCtx
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	h.paceCtx = ctx
+	return prev
+}
+
+// Step advances one tick: the clock paces to the next tick boundary
+// (instantly for simulators), then the target processes its workload,
+// metrics are collected, the monitor observes, and call matrices are
+// accumulated (into the χ² baseline only while the target looks
+// healthy). A cancelled pace still ticks — the surrounding loops check
+// their context every iteration, so cancellation costs at most one
+// extra tick rather than leaving Step without a sample to return.
 func (h *Harness) Step() detect.Sample {
+	_ = h.Clock.Pace(h.paceCtx)
 	st := h.Target.Tick()
 	h.Coll.Collect(h.Target.Now())
 	h.Monitor.Observe(st)
@@ -263,6 +310,7 @@ func (h *Harness) Symptom() []float64 {
 // elapse, or the context is done; it reports whether a failure was
 // detected.
 func (h *Harness) RunUntilFailing(ctx context.Context, maxTicks int) bool {
+	defer h.SetPaceContext(h.SetPaceContext(ctx))
 	for i := 0; i < maxTicks; i++ {
 		if ctx.Err() != nil {
 			break
@@ -279,6 +327,7 @@ func (h *Harness) RunUntilFailing(ctx context.Context, maxTicks int) bool {
 // maxTicks elapse, or the context is done; it reports whether the service
 // recovered.
 func (h *Harness) RunUntilRecovered(ctx context.Context, maxTicks int) bool {
+	defer h.SetPaceContext(h.SetPaceContext(ctx))
 	for i := 0; i < maxTicks; i++ {
 		if h.Monitor.Recovered() {
 			return true

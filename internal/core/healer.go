@@ -228,6 +228,10 @@ func (hl *Healer) applyAction(a Action) {
 // campaigns should draw from the target's own fault generator.
 func (hl *Healer) RunEpisode(ctx context.Context, f Fault) Episode {
 	h := hl.H
+	// Bind the episode context to the clock for the whole episode, so
+	// settle and admin-delay windows (StepN, no ctx of their own) stop
+	// pacing promptly when the episode is cancelled.
+	defer h.SetPaceContext(h.SetPaceContext(ctx))
 	hl.episodes++
 	ep := Episode{Fault: f, InjectedAt: h.Target.Now()}
 	if err := h.Target.Inject(f); err != nil {
@@ -266,6 +270,7 @@ func (hl *Healer) RunEpisode(ctx context.Context, f Fault) Episode {
 // currently failing the episode returns undetected without stepping.
 func (hl *Healer) HealDetected(ctx context.Context) Episode {
 	h := hl.H
+	defer h.SetPaceContext(h.SetPaceContext(ctx))
 	hl.episodes++
 	now := h.Target.Now()
 	ep := Episode{InjectedAt: now}

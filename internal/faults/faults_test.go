@@ -253,7 +253,10 @@ func TestNewGeneratorValidatesKinds(t *testing.T) {
 		t.Fatal("unknown kinds accepted")
 	}
 	msg := err.Error()
-	for _, want := range []string{"fault(99)", "none", "valid kinds", catalog.FaultDeadlock.String()} {
+	// The error names the target kind whose catalog refused the draw, so
+	// a user mixing up catalogs ("-faults replica-down" on auction) sees
+	// which target said no — not just what would have been valid.
+	for _, want := range []string{`target "auction"`, "fault(99)", "none", "valid kinds", catalog.FaultDeadlock.String()} {
 		if !strings.Contains(msg, want) {
 			t.Errorf("error %q missing %q", msg, want)
 		}

@@ -9,6 +9,12 @@ import (
 	"selfheal/internal/sim"
 )
 
+// targetName is the target kind this package's faults are built for —
+// the auction simulator. Spelled out here (rather than imported from
+// internal/targets, which imports this package) so NewGenerator errors
+// can say whose catalog refused a kind.
+const targetName = "auction"
+
 // Generator draws random fault instances for campaigns and learning
 // experiments: it picks a kind (by weight), a target, and a severity large
 // enough that the fault is SLO-visible, giving each instance a distinct
@@ -39,8 +45,11 @@ func NewGenerator(seed int64, kinds ...catalog.FaultKind) (*Generator, error) {
 		for _, k := range catalog.FaultKinds() {
 			valid = append(valid, k.String())
 		}
-		return nil, fmt.Errorf("faults: unknown fault kind(s) %s (valid kinds: %s)",
-			strings.Join(bad, ", "), strings.Join(valid, ", "))
+		// Name the target kind whose catalog refused the draw: a campaign
+		// flag like -faults replica-down fails telling the user *which*
+		// target cannot inject it, not just what would have been valid.
+		return nil, fmt.Errorf("faults: target %q cannot draw fault kind(s) %s (valid kinds: %s)",
+			targetName, strings.Join(bad, ", "), strings.Join(valid, ", "))
 	}
 	w := make([]float64, len(kinds))
 	for i := range w {

@@ -145,6 +145,10 @@ func (r *Runner) emit(ev core.Event) {
 // system) for every execution.
 func (r *Runner) Run(ctx context.Context) (*Stats, error) {
 	h := r.hl.H
+	// Bind ctx to the harness clock: under a wall-clock target the
+	// scenario's At/After/Every triggers fire on real time (one tick =
+	// one clock period) and cancellation interrupts the pacing sleep.
+	defer h.SetPaceContext(h.SetPaceContext(ctx))
 	r.t0 = h.Target.Now()
 	r.stats = Stats{Scenario: r.sc.Name, Target: r.spec.Name, Horizon: r.sc.Horizon}
 	r.applyWorkload()

@@ -33,6 +33,7 @@ import (
 	"strings"
 
 	"selfheal/internal/catalog"
+	"selfheal/internal/clock"
 	"selfheal/internal/detect"
 	"selfheal/internal/metrics"
 	"selfheal/internal/synopsis"
@@ -264,4 +265,44 @@ type CallMatrixSupporter interface {
 // return an error.
 type PartialInjector interface {
 	InjectPartial(f Fault, severity float64) error
+}
+
+// Clocked is implemented by targets whose ticks represent wall-clock
+// time — a supervisor probing real OS processes cannot have its ticks
+// driven at CPU speed, or every probe reads the same instant. The
+// harness adopts the target's clock and paces every Step with it;
+// targets that do not implement Clocked run under the logical clock,
+// byte-identical to the pre-Clock harness. The returned clock must be
+// owned by this target instance (clocks are stateful and unsynchronized).
+type Clocked interface {
+	Clock() clock.Clock
+}
+
+// HarnessTuning overrides the monitoring/healing cadence defaults for
+// targets whose ticks cost real time. The stock defaults assume free
+// simulated ticks (240-tick warmups, 600-tick admin delays); at 50 ms a
+// tick those are minutes of wall time per episode. Zero-valued fields
+// keep the harness default, so a target overrides only what it must.
+type HarnessTuning struct {
+	// WarmupTicks is the healthy run that freezes the baseline.
+	WarmupTicks int
+	// WindowTicks is the detection window Nc.
+	WindowTicks int
+	// DetectK of WindowTicks violated ticks declares a failure.
+	DetectK int
+	// HistoryTicks bounds retained metric history.
+	HistoryTicks int
+	// CheckTicks bounds the post-fix clean-window wait.
+	CheckTicks int
+	// AdminDelayTicks is the human response time after NotifyAdmin.
+	AdminDelayTicks int
+	// EpisodeBudget bounds one episode's total ticks.
+	EpisodeBudget int
+}
+
+// Tuner is implemented by targets that need non-default harness/healer
+// cadence (typically wall-clock targets, alongside Clocked). The facade
+// applies the tuning when it builds the system around the target.
+type Tuner interface {
+	HarnessTuning() HarnessTuning
 }

@@ -8,6 +8,7 @@ import (
 	"selfheal/internal/diagnose"
 	"selfheal/internal/synopsis"
 	"selfheal/internal/targets"
+	"selfheal/internal/targets/process"
 )
 
 // ApproachKind names a fix-identification technique a System heals with.
@@ -191,6 +192,15 @@ func init() {
 	})
 	MustRegisterTarget(targets.ReplicatedSpec(), func(cfg TargetConfig) (Target, error) {
 		return targets.NewReplicated(cfg)
+	})
+	MustRegisterTarget(process.Spec(), func(cfg TargetConfig) (Target, error) {
+		// The supervised command comes from the environment (see
+		// ProcessCommandEnv); everything else takes the target's defaults.
+		argv, err := processCommand()
+		if err != nil {
+			return nil, err
+		}
+		return process.New(process.Config{Command: argv, Seed: cfg.Seed})
 	})
 }
 

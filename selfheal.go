@@ -172,6 +172,7 @@ type config struct {
 	approach            Approach
 	syn                 Synopsis
 	targetKinds         []TargetKind
+	targetInstance      Target
 	mix                 string
 	threshold           int
 	adminDelayTicks     int
@@ -345,6 +346,23 @@ func WithTargets(kinds ...TargetKind) Option {
 	}
 }
 
+// WithTargetInstance heals an already-constructed target — e.g. a
+// supervisor built with NewProcessTarget around a custom command and
+// probe cadence. Single System only: a Fleet rejects it, because one
+// mutable target must not be shared across replicas (register a kind
+// with RegisterTarget for that). Workload-mix options do not apply to
+// an instance, which was configured at construction.
+func WithTargetInstance(t Target) Option {
+	return func(c *config) error {
+		if t == nil {
+			return fmt.Errorf("selfheal: WithTargetInstance(nil)")
+		}
+		c.targetInstance = t
+		c.targetKinds = []TargetKind{TargetKind(t.Spec().Name)}
+		return nil
+	}
+}
+
 // WithWorkloadMix selects a workload mix by name from the target's spec
 // (e.g. "bidding" and "browsing" on the auction target, "balanced" and
 // "readheavy" on the replicated one). An empty name keeps the target's
@@ -482,9 +500,12 @@ func newSystem(cfg *config, kind TargetKind, seed int64, sink EventSink) (*Syste
 	if err != nil {
 		return nil, err
 	}
-	t, err := NewTarget(kind, TargetConfig{Seed: seed, Mix: cfg.mixFor(kind)})
-	if err != nil {
-		return nil, err
+	t := cfg.targetInstance
+	if t == nil {
+		t, err = NewTarget(kind, TargetConfig{Seed: seed, Mix: cfg.mixFor(kind)})
+		if err != nil {
+			return nil, err
+		}
 	}
 	if cfg.shape != nil {
 		ws, ok := t.(targets.WorkloadShaper)
@@ -496,8 +517,36 @@ func newSystem(cfg *config, kind TargetKind, seed int64, sink EventSink) (*Syste
 	hcfg := core.DefaultHarnessConfig()
 	hcfg.Seed = seed
 	hcfg.SLO = t.Spec().SLO
-	h := core.NewTargetHarness(t, hcfg)
 	hlcfg := core.DefaultHealerConfig()
+	// A Tuner target (typically wall-clock, alongside Clocked) overrides
+	// the simulator-scale cadence defaults before the user's explicit
+	// options do: at 50ms a tick, a 240-tick warmup or 600-tick admin
+	// delay is minutes of wall time per episode.
+	if tn, ok := t.(targets.Tuner); ok {
+		tun := tn.HarnessTuning()
+		if tun.WarmupTicks > 0 {
+			hcfg.WarmupTicks = tun.WarmupTicks
+		}
+		if tun.WindowTicks > 0 {
+			hcfg.WindowTicks = tun.WindowTicks
+		}
+		if tun.DetectK > 0 {
+			hcfg.DetectK = tun.DetectK
+		}
+		if tun.HistoryTicks > 0 {
+			hcfg.HistoryTicks = tun.HistoryTicks
+		}
+		if tun.CheckTicks > 0 {
+			hlcfg.CheckTicks = tun.CheckTicks
+		}
+		if tun.AdminDelayTicks > 0 {
+			hlcfg.AdminDelayTicks = tun.AdminDelayTicks
+		}
+		if tun.EpisodeBudget > 0 {
+			hlcfg.EpisodeBudget = tun.EpisodeBudget
+		}
+	}
+	h := core.NewTargetHarness(t, hcfg)
 	if cfg.threshold > 0 {
 		hlcfg.Threshold = cfg.threshold
 	}
@@ -577,6 +626,18 @@ func (s *System) HealEpisode(ctx context.Context, f Fault) Episode {
 // campaign does this per replica automatically.
 func (s *System) FlushLearned() { s.Healer.FlushLearned() }
 
+// Close releases whatever the system's target holds outside the process:
+// the supervisor target stops and reaps its child and removes its temp
+// state. Targets that hold nothing (the pure simulators) make Close a
+// no-op. Close does not flush batched learning; call FlushLearned first
+// when that matters.
+func (s *System) Close() error {
+	if c, ok := s.Harness.Target.(io.Closer); ok {
+		return c.Close()
+	}
+	return nil
+}
+
 // ServiceConfig returns the simulated service's configuration. It is
 // meaningful only for the default auction target; other targets return
 // the zero Config.
@@ -603,6 +664,12 @@ func RandomFaults(seed int64, kinds ...FaultKind) *faults.Generator {
 // CandidateFixes re-exports the Table 1 fault→fix map of the default
 // auction target. Target-scoped maps live on each TargetSpec.
 func CandidateFixes(k FaultKind) []FixID { return catalog.CandidateFixes(k) }
+
+// ParseFaultKind resolves a canonical fault-kind name (the String form,
+// e.g. "hardware-degradation") to its FaultKind, with an error listing
+// the valid names on a miss — the string form cmd tools and scenario
+// files speak.
+var ParseFaultKind = catalog.ParseFaultKind
 
 // Knowledge-base construction and portability.
 
