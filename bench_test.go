@@ -15,6 +15,7 @@ import (
 	"time"
 
 	"selfheal"
+	"selfheal/internal/kbsync/meshtest"
 )
 
 // BenchmarkTable1FaultFixMatrix regenerates Table 1: every fault kind
@@ -544,5 +545,84 @@ func BenchmarkDeltaSince(b *testing.B) {
 			}
 			b.ReportMetric(newPts, "points/delta")
 		})
+	}
+}
+
+// BenchmarkMeshPropagation measures the federation headline at fleet
+// scale: the wall-clock latency from one node learning a fix to every
+// node in a gossiping mesh being able to Suggest it. Reported as
+// propagation_ms next to the usual ns/op (which also includes the
+// convergence polling).
+func BenchmarkMeshPropagation(b *testing.B) {
+	for _, nodes := range []int{10, 50} {
+		b.Run(fmt.Sprintf("nodes=%d", nodes), func(b *testing.B) {
+			m, err := meshtest.New(meshtest.Options{
+				Nodes: nodes, Topology: meshtest.Random, Degree: 6, Fanout: 3, TTL: 6,
+				PullInterval: 2 * time.Second, PullPeers: 2, LongPoll: 2 * time.Second,
+				Seed: 63,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer m.Close()
+			m.Start()
+			b.ResetTimer()
+			var total time.Duration
+			for i := 0; i < b.N; i++ {
+				m.Publish(i%nodes, meshBenchPoint(i, m))
+				lat, err := m.AwaitConverged(i+1, 30*time.Second)
+				if err != nil {
+					b.Fatal(err)
+				}
+				total += lat
+			}
+			b.ReportMetric(float64(total.Milliseconds())/float64(b.N), "propagation_ms")
+		})
+	}
+}
+
+// BenchmarkMeshCompactionMemory measures the bounded-memory guarantee
+// under federation: 8 gossiping nodes ingest a stream far beyond their
+// cap; the row reports the largest arrival log any node ever held.
+func BenchmarkMeshCompactionMemory(b *testing.B) {
+	const maxPoints = 256
+	m, err := meshtest.New(meshtest.Options{
+		Nodes: 8, Topology: meshtest.Full, Fanout: 3, TTL: 3,
+		Compaction: &selfheal.Compaction{MaxPoints: maxPoints, MergeRadius: 0.5},
+		Seed:       65,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer m.Close()
+	m.Start()
+	peak := 0
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j := 0; j < 1024; j++ {
+			m.Publish(j%8, meshBenchPoint(i*1024+j, m))
+			if got := m.MaxLogPoints(); got > peak {
+				peak = got
+			}
+		}
+	}
+	b.StopTimer()
+	if peak > maxPoints {
+		b.Fatalf("arrival log peaked at %d points, cap is %d", peak, maxPoints)
+	}
+	b.ReportMetric(float64(peak), "peak_log_points")
+	b.ReportMetric(maxPoints, "cap_points")
+}
+
+// meshBenchPoint derives the i-th well-separated mesh observation.
+func meshBenchPoint(i int, m *meshtest.Mesh) selfheal.Point {
+	x := make([]float64, len(m.Schema))
+	for d := range x {
+		x[d] = float64(i*5 + d*900)
+	}
+	return selfheal.Point{
+		X:       x,
+		Action:  selfheal.Action{Fix: selfheal.CandidateFixes(selfheal.NewStaleStats("items", 6).Kind())[0], Target: "items"},
+		Success: true,
 	}
 }

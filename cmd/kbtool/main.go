@@ -9,6 +9,7 @@
 //	kbtool inspect -symptoms kb.json
 //	kbtool convert -targets replicated,auction -o kb2.json old-kb.json
 //	kbtool merge -o all.json fleetA.json fleetB.json fleetC.json
+//	kbtool compact -max 50000 -radius 0.5 -o small.json all.json
 //	kbtool diff fleetA.json fleetB.json
 //	kbtool fetch -o live.kb.json http://daemon-host:8701
 //	kbtool rank -x "2.5,0.1,3.0" -k 3 kb.json
@@ -49,6 +50,8 @@ func main() {
 		err = cmdConvert(os.Args[2:])
 	case "merge":
 		err = cmdMerge(os.Args[2:])
+	case "compact":
+		err = cmdCompact(os.Args[2:])
 	case "diff":
 		err = cmdDiff(os.Args[2:])
 	case "fetch":
@@ -76,6 +79,7 @@ subcommands:
   inspect [-symptoms] <kb.json>            summarize a snapshot
   convert [-targets a,b] [-o out] <kb.json>  rewrite as format v2
   merge -o <out.json> <kb.json>...         fold snapshots into one
+  compact -max n [-radius r] [-o out] <kb.json>  shrink to at most n points
   diff <a.json> <b.json>                   compare two snapshots
   fetch [-o out.json] <daemon-url>         pull a live daemon's KB
   rank -x v1,v2,... [-k n] <kb.json>       top-k actions for a symptom
@@ -266,6 +270,36 @@ func cmdMerge(args []string) error {
 	fmt.Fprintf(os.Stderr, "kbtool: merged %d snapshots: %d points, %d named dimensions, %d target kinds\n",
 		len(snaps), len(merged.Points), len(merged.Symptoms), len(merged.Targets))
 	return encodeTo(*out, merged)
+}
+
+// cmdCompact shrinks a snapshot with the same pipeline a live
+// knowledge base's bounded-memory mode runs: exact-duplicate collapse,
+// near-duplicate merge within -radius, then oldest-first failures-first
+// eviction down to -max. The survivors rank identically to replaying
+// them fresh, so a compacted file stays a faithful knowledge base.
+func cmdCompact(args []string) error {
+	fs := flag.NewFlagSet("compact", flag.ExitOnError)
+	out := fs.String("o", "", "output file (default stdout)")
+	max := fs.Int("max", 0, "maximum points to keep (required)")
+	radius := fs.Float64("radius", 0, "merge near-duplicates within this euclidean distance (0: exact duplicates only)")
+	minPer := fs.Int("min-per-action", 1, "never evict below this many successes per distinct action")
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		return fmt.Errorf("compact wants exactly one input file")
+	}
+	if *max <= 0 {
+		return fmt.Errorf("compact needs -max > 0")
+	}
+	snap, err := decodeFile(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	cfg := synopsis.Compaction{MaxPoints: *max, MergeRadius: *radius, MinPerAction: *minPer}
+	kept := synopsis.CompactPoints(snap.Points, cfg, *max)
+	fmt.Fprintf(os.Stderr, "kbtool: compacted %d points to %d (max %d, radius %g)\n",
+		len(snap.Points), len(kept), *max, *radius)
+	snap.Points = kept
+	return encodeTo(*out, snap)
 }
 
 func cmdDiff(args []string) error {

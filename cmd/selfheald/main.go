@@ -25,6 +25,13 @@
 // the campaign context is cancelled, the partial result is reported
 // truthfully, and -kb-out is still written.
 //
+// -gossip-fanout adds the push plane on top: every publish is pushed to
+// that many sampled peers immediately (POST /kb/push), so new fixes
+// spread in milliseconds while the pull loop repairs anything a dropped
+// push missed. -compact bounds the knowledge base's memory, compacting
+// (dedup, near-duplicate merge within -compact-radius, oldest-first
+// eviction) whenever the cap is exceeded.
+//
 //	selfheald -episodes 20 -approach hybrid -seed 7
 //	selfheald -episodes 64 -replicas 8 -workers 4 -share -batch 1
 //	selfheald -episodes 24 -replicas 4 -target auction,replicated -share
@@ -32,6 +39,7 @@
 //	selfheald -episodes 32 -serve :8701 -kb-out hub.kb.json
 //	selfheald -episodes 32 -serve :8702 -peers http://hub:8701 -sync-interval 1s
 //	selfheald -episodes 0 -serve :8700 -peers http://a:8701,http://b:8702
+//	selfheald -episodes 0 -serve :8700 -peers http://a:8701 -gossip-fanout 3 -compact 100000
 package main
 
 import (
@@ -133,6 +141,9 @@ func main() {
 		serve    = flag.String("serve", "", "serve the ops plane (/healthz /metrics /kb/...) on this address and stay up until SIGINT (implies -share)")
 		peers    = flag.String("peers", "", "comma-separated peer ops-plane URLs to pull knowledge deltas from (implies -share)")
 		syncIvl  = flag.Duration("sync-interval", 2*time.Second, "steady-state peer poll period (jittered ±25%)")
+		gossipFl = flag.Int("gossip-fanout", 0, "push every knowledge-base publish to this many peers sampled from -peers (0 = pull-only federation)")
+		compactN = flag.Int("compact", 0, "bound the shared knowledge base to this many points, compacting when exceeded (0 = unbounded; implies -share)")
+		compactR = flag.Float64("compact-radius", 0, "merge near-duplicate observations within this euclidean distance when compacting")
 		scenFlag = flag.String("scenario", "", "run a scripted adversarial scenario instead of the random campaign: a library name ("+strings.Join(selfheal.ScenarioNames(), ", ")+") or a JSON file path")
 		scenHrz  = flag.Int64("scenario-horizon", 0, "override the scenario's horizon in ticks (0 = as scripted)")
 		scenJSON = flag.Bool("scenario-json", false, "print the resolved scenario as canonical JSON and exit")
@@ -233,7 +244,7 @@ func main() {
 		opts = append(opts, selfheal.WithScenario(scen))
 	}
 	var kb *selfheal.SharedSynopsis
-	if *share || *kbIn != "" || *kbOut != "" || *serve != "" || len(peerURLs) > 0 {
+	if *share || *kbIn != "" || *kbOut != "" || *serve != "" || len(peerURLs) > 0 || *compactN > 0 {
 		// A shared knowledge base means FixSym over one synopsis; the
 		// -approach flag is superseded. -kb-in/-kb-out and the federation
 		// flags force one so the fleet's whole experience lives in a
@@ -252,6 +263,15 @@ func main() {
 	}
 	if len(peerURLs) > 0 {
 		opts = append(opts, selfheal.WithPeers(peerURLs...), selfheal.WithSyncInterval(*syncIvl))
+	}
+	if *gossipFl > 0 {
+		opts = append(opts, selfheal.WithGossipFanout(*gossipFl))
+	}
+	if *compactN > 0 {
+		opts = append(opts, selfheal.WithCompaction(selfheal.Compaction{
+			MaxPoints:   *compactN,
+			MergeRadius: *compactR,
+		}))
 	}
 
 	fleet, err := selfheal.NewFleet(ctx, *replicas, opts...)

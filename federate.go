@@ -62,6 +62,37 @@ func WithSyncInterval(d time.Duration) Option {
 	}
 }
 
+// WithGossipFanout turns on the push plane: every knowledge-base publish
+// is pushed to fanout peers sampled from WithPeers, epidemic style, so a
+// fix learned on one node is Suggest-able fleet-wide in milliseconds
+// instead of a poll interval. The pull syncer stays on as the
+// anti-entropy fallback that repairs whatever a dropped push or a
+// partition cost the epidemic. Requires WithPeers.
+func WithGossipFanout(fanout int) Option {
+	return func(c *config) error {
+		if fanout <= 0 {
+			return fmt.Errorf("selfheal: gossip fanout %d <= 0", fanout)
+		}
+		c.gossipFanout = fanout
+		return nil
+	}
+}
+
+// WithCompaction bounds the shared knowledge base's memory: once its
+// arrival log exceeds cfg.MaxPoints, exact duplicates collapse,
+// near-duplicates (within cfg.MergeRadius) merge, and the oldest
+// lowest-value observations are evicted — failures before successes,
+// never below cfg.MinPerAction successes per distinct action. The
+// surviving set still ranks byte-identically to replaying it fresh, so
+// federation keeps its convergence guarantee. Requires
+// WithSynopsis(NewSharedSynopsis(...)).
+func WithCompaction(cfg Compaction) Option {
+	return func(c *config) error {
+		c.compaction = &cfg
+		return nil
+	}
+}
+
 // federated reports whether any federation option is set.
 func (c *config) federated() bool { return c.serveAddr != "" || len(c.peers) > 0 }
 
@@ -93,13 +124,15 @@ func (fl *Fleet) KnowledgeSeq() uint64 {
 // stops only the background syncer — the listener stays bound until
 // Close so in-flight snapshot pulls can drain on the caller's terms.
 type Ops struct {
-	node   *kbsync.Node
-	syncer *kbsync.Syncer
-	srv    *http.Server
-	ln     net.Listener
-	cancel context.CancelFunc
-	done   chan struct{} // closed when the serve goroutine exits
-	sync   chan struct{} // closed when the syncer goroutine exits
+	node     *kbsync.Node
+	syncer   *kbsync.Syncer
+	gossiper *kbsync.Gossiper
+	srv      *http.Server
+	ln       net.Listener
+	cancel   context.CancelFunc
+	done     chan struct{} // closed when the serve goroutine exits
+	sync     chan struct{} // closed when the syncer goroutine exits
+	gossip   chan struct{} // closed when the gossip goroutine exits
 }
 
 // Addr returns the listener's address ("" for a pull-only node), with
@@ -143,6 +176,15 @@ func (o *Ops) Peers() []kbsync.PeerStatus {
 	return o.syncer.Peers()
 }
 
+// GossipStats snapshots the push plane's counters; ok is false when
+// gossip is not configured (no WithGossipFanout).
+func (o *Ops) GossipStats() (kbsync.GossipStats, bool) {
+	if o.gossiper == nil {
+		return kbsync.GossipStats{}, false
+	}
+	return o.gossiper.Stats(), true
+}
+
 // Close shuts the ops plane down: the syncer stops, the HTTP server
 // drains in-flight requests until ctx expires. Safe to call twice.
 func (o *Ops) Close(ctx context.Context) error {
@@ -154,6 +196,9 @@ func (o *Ops) Close(ctx context.Context) error {
 	}
 	if o.sync != nil {
 		<-o.sync
+	}
+	if o.gossip != nil {
+		<-o.gossip
 	}
 	return err
 }
@@ -176,6 +221,27 @@ func (fl *Fleet) ServeOps(ctx context.Context) (*Ops, error) {
 	runCtx, cancel := context.WithCancel(ctx)
 	o := &Ops{node: node, cancel: cancel}
 
+	if fl.cfg.gossipFanout > 0 {
+		if len(fl.cfg.peers) == 0 {
+			cancel()
+			return nil, fmt.Errorf("selfheal: WithGossipFanout needs WithPeers")
+		}
+		gsp, err := kbsync.NewGossiper(node, kbsync.GossipConfig{
+			Peers:  fl.cfg.peers,
+			Fanout: fl.cfg.gossipFanout,
+		})
+		if err != nil {
+			cancel()
+			return nil, err
+		}
+		o.gossiper = gsp
+		o.gossip = make(chan struct{})
+		go func() {
+			defer close(o.gossip)
+			gsp.Run(runCtx)
+		}()
+	}
+
 	if len(fl.cfg.peers) > 0 {
 		// Seed is deliberately left zero (clock-seeded): the campaign
 		// seed makes replicas reproducible, but a fleet of daemons
@@ -186,6 +252,10 @@ func (fl *Fleet) ServeOps(ctx context.Context) (*Ops, error) {
 		syncer, err := kbsync.NewSyncer(node, kbsync.Config{
 			Peers:    fl.cfg.peers,
 			Interval: fl.cfg.syncInterval,
+			// The last per-peer statuses outlive the sync loops on
+			// /metrics, so an operator can still see which peer was
+			// failing, and why, after shutdown began.
+			OnStop: fl.collector.RecordFinalPeers,
 		})
 		if err != nil {
 			cancel()
@@ -204,6 +274,7 @@ func (fl *Fleet) ServeOps(ctx context.Context) (*Ops, error) {
 			Node:      node,
 			Collector: fl.collector,
 			Syncer:    o.syncer,
+			Gossiper:  o.gossiper,
 			Catalogs:  TargetCatalogs(),
 		})
 		if err != nil {

@@ -18,8 +18,10 @@ import (
 	"reflect"
 	"sync"
 	"testing"
+	"time"
 
 	"selfheal"
+	"selfheal/internal/catalog"
 	"selfheal/internal/httpapi"
 	"selfheal/internal/kbsync"
 	"selfheal/internal/synopsis"
@@ -373,5 +375,116 @@ func TestFederationOptionValidation(t *testing.T) {
 	}
 	if _, err := fl.ServeOps(ctx); err == nil {
 		t.Error("ServeOps without federation options accepted")
+	}
+}
+
+// TestServeOpsGossipAndCompaction exercises the push plane and the
+// memory bound through the facade only: node B is configured with
+// WithGossipFanout and WithCompaction, node A just serves. A point
+// added on B must arrive at A via push — no SyncNow, no poll interval —
+// and B's arrival log must stay under the compaction cap no matter how
+// much it learns.
+func TestServeOpsGossipAndCompaction(t *testing.T) {
+	ctx := context.Background()
+	kbA := selfheal.NewSharedSynopsis(selfheal.NewNNSynopsis())
+	fleetA, err := selfheal.NewFleet(ctx, 1,
+		selfheal.WithSeed(61),
+		selfheal.WithTarget(selfheal.TargetAuction),
+		selfheal.WithSynopsis(kbA),
+		selfheal.WithServeAddr("127.0.0.1:0"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	opsA, err := fleetA.ServeOps(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer opsA.Close(ctx)
+	if _, ok := opsA.GossipStats(); ok {
+		t.Fatal("node without WithGossipFanout reports gossip stats")
+	}
+
+	const maxPoints = 48
+	kbB := selfheal.NewSharedSynopsis(selfheal.NewNNSynopsis())
+	fleetB, err := selfheal.NewFleet(ctx, 1,
+		selfheal.WithSeed(62),
+		selfheal.WithTarget(selfheal.TargetAuction),
+		selfheal.WithSynopsis(kbB),
+		selfheal.WithPeers(opsA.URL()),
+		selfheal.WithGossipFanout(2),
+		selfheal.WithCompaction(selfheal.Compaction{MaxPoints: maxPoints, MergeRadius: 0.25}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	opsB, err := fleetB.ServeOps(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer opsB.Close(ctx)
+
+	// One publish on B becomes Suggest-able on A by push alone.
+	kbB.Add(selfheal.Point{
+		X:       []float64{4, 1},
+		Action:  synopsis.Action{Fix: catalog.FixRebootAppTier, Target: "app"},
+		Success: true,
+	})
+	deadline := time.Now().Add(5 * time.Second)
+	for kbA.LogSize() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("pushed point never reached the serving peer")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if kbA.TrainingSize() == 0 {
+		t.Fatal("pushed point arrived but trained nothing")
+	}
+	st, ok := opsB.GossipStats()
+	if !ok {
+		t.Fatal("WithGossipFanout node reports no gossip stats")
+	}
+	if st.RumorsOrigin == 0 || st.PointsPushed == 0 {
+		t.Fatalf("gossip stats show no pushes: %+v", st)
+	}
+
+	// The arrival log stays bounded under sustained learning, and the
+	// compacted KB still answers.
+	for i := 0; i < maxPoints*6; i++ {
+		kbB.Add(selfheal.Point{
+			X:       []float64{float64(i * 3), float64(i*3 + 1)},
+			Action:  synopsis.Action{Fix: catalog.FixRebootAppTier, Target: "app"},
+			Success: i%4 != 3,
+		})
+		if got := kbB.LogSize(); got > maxPoints {
+			t.Fatalf("log grew to %d points, cap is %d", got, maxPoints)
+		}
+	}
+	if kbB.TrainingSize() == 0 {
+		t.Fatal("compaction left the KB unable to train")
+	}
+	if _, ok := kbB.Suggest([]float64{3, 4}, nil); !ok {
+		t.Fatal("compacted KB cannot suggest")
+	}
+}
+
+// TestServeOpsGossipNeedsPeers pins the ServeOps-time contract for the
+// push plane.
+func TestServeOpsGossipNeedsPeers(t *testing.T) {
+	ctx := context.Background()
+	fl, err := selfheal.NewFleet(ctx, 1,
+		selfheal.WithSynopsis(selfheal.NewSharedSynopsis(selfheal.NewNNSynopsis())),
+		selfheal.WithServeAddr("127.0.0.1:0"),
+		selfheal.WithGossipFanout(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fl.ServeOps(ctx); err == nil {
+		t.Error("WithGossipFanout without WithPeers accepted at ServeOps")
+	}
+	// Compaction over an unshared synopsis is rejected at NewFleet.
+	_, err = selfheal.NewFleet(ctx, 1,
+		selfheal.WithSynopsis(selfheal.NewNNSynopsis()),
+		selfheal.WithCompaction(selfheal.Compaction{MaxPoints: 10}))
+	if err == nil {
+		t.Error("WithCompaction over an unshared synopsis accepted")
 	}
 }

@@ -64,6 +64,15 @@ func NewFleet(ctx context.Context, n int, opts ...Option) (*Fleet, error) {
 	if err := cfg.checkMix(); err != nil {
 		return nil, err
 	}
+	if cfg.compaction != nil {
+		kb, ok := cfg.syn.(*SharedSynopsis)
+		if !ok || kb == nil {
+			return nil, fmt.Errorf("selfheal: WithCompaction needs WithSynopsis(NewSharedSynopsis(...))")
+		}
+		if err := kb.EnableCompaction(*cfg.compaction); err != nil {
+			return nil, err
+		}
+	}
 	fl := &Fleet{cfg: cfg}
 	if cfg.federated() {
 		// Fail at construction, not at ServeOps, when federation is

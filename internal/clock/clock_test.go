@@ -17,7 +17,9 @@ func TestLogicalIsFree(t *testing.T) {
 			t.Fatalf("pace: %v", err)
 		}
 	}
-	if el := time.Since(start); el > time.Second {
+	// Tolerance window, not a tight budget: this pins "effectively
+	// free" (ns-scale per pace), and a loaded CI box must not flake it.
+	if el := time.Since(start); el > 5*time.Second {
 		t.Fatalf("10^6 logical paces took %v", el)
 	}
 }

@@ -18,12 +18,14 @@
 package httpapi
 
 import (
+	"compress/gzip"
 	"encoding/json"
 	"fmt"
 	"io"
 	"net/http"
 	"sort"
 	"strconv"
+	"strings"
 	"sync"
 	"time"
 
@@ -47,6 +49,20 @@ type Collector struct {
 	firstTry  int64
 	ttrSum    int64
 	ttrBucket []int64 // cumulative-style counts per ttrBounds entry
+
+	// finalPeers is the syncer's last per-peer snapshot, flushed by
+	// Syncer Config.OnStop when Run exits; /metrics keeps serving it so
+	// an operator can still see why a peer was failing after the sync
+	// loops stopped.
+	finalPeers []kbsync.PeerStatus
+}
+
+// RecordFinalPeers keeps the syncer's shutdown snapshot for /metrics;
+// wire it as the kbsync Config.OnStop callback.
+func (c *Collector) RecordFinalPeers(ps []kbsync.PeerStatus) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.finalPeers = ps
 }
 
 // ttrBounds are the TTR histogram's upper bounds, in simulated seconds
@@ -99,6 +115,11 @@ type Config struct {
 	// Syncer, when the daemon also pulls peers, contributes per-peer
 	// sync gauges to /metrics and /healthz.
 	Syncer *kbsync.Syncer
+	// Gossiper, when the daemon gossips, receives POST /kb/push bodies
+	// (applying and relaying them) and contributes gossip counters to
+	// /metrics. Without one, pushes still apply — straight into Node,
+	// with no relay.
+	Gossiper *kbsync.Gossiper
 	// Catalogs is recorded in served snapshots, exactly as
 	// SaveKnowledgeBase records it in files (the facade passes the
 	// target registry's catalogs).
@@ -121,7 +142,22 @@ func NewServer(cfg Config) (*Server, error) {
 	s.mux.HandleFunc("/metrics", s.handleMetrics)
 	s.mux.HandleFunc("/kb/snapshot", s.handleSnapshot)
 	s.mux.HandleFunc("/kb/delta", s.handleDelta)
+	s.mux.HandleFunc("/kb/push", s.handlePush)
 	return s, nil
+}
+
+// bodyWriter negotiates response compression: when the client accepts
+// gzip the body is compressed (deltas and snapshots are JSON full of
+// repeated names — they shrink 5-10×) and Content-Encoding set. Callers
+// must call the returned close before returning.
+func bodyWriter(w http.ResponseWriter, r *http.Request) (io.Writer, func()) {
+	if !strings.Contains(r.Header.Get("Accept-Encoding"), "gzip") {
+		return w, func() {}
+	}
+	w.Header().Set("Content-Encoding", "gzip")
+	w.Header().Del("Content-Length")
+	zw := gzip.NewWriter(w)
+	return zw, func() { zw.Close() }
 }
 
 // ServeHTTP implements http.Handler.
@@ -178,8 +214,21 @@ func (s *Server) writeMetrics(w io.Writer) {
 
 	gauge("selfheal_kb_points", "training observations in the knowledge base",
 		float64(s.cfg.Node.KB().TrainingSize()))
+	gauge("selfheal_kb_log_points", "retained observations in the arrival log (what a compaction cap bounds)",
+		float64(s.cfg.Node.KB().LogSize()))
 	gauge("selfheal_kb_seq", "knowledge-base publish sequence",
 		float64(s.cfg.Node.Seq()))
+
+	if g := s.cfg.Gossiper; g != nil {
+		st := g.Stats()
+		counter("selfheal_gossip_rumors_origin_total", "rumors this node originated", float64(st.RumorsOrigin))
+		counter("selfheal_gossip_rumors_relayed_total", "received rumors relayed onward", float64(st.RumorsRelayed))
+		counter("selfheal_gossip_rumors_received_total", "pushes accepted for application", float64(st.RumorsReceived))
+		counter("selfheal_gossip_rumors_duplicate_total", "pushes dropped by the rumor-id cache", float64(st.RumorsDuplicate))
+		counter("selfheal_gossip_pushes_failed_total", "individual gossip POSTs that failed", float64(st.PushesFailed))
+		counter("selfheal_gossip_points_pushed_total", "observations pushed to peers", float64(st.PointsPushed))
+		counter("selfheal_gossip_points_received_total", "observations applied from pushes", float64(st.PointsReceived))
+	}
 
 	if c := s.cfg.Collector; c != nil {
 		c.mu.Lock()
@@ -212,6 +261,16 @@ func (s *Server) writeMetrics(w io.Writer) {
 		fmt.Fprintf(w, "selfheal_ttr_ticks_bucket{le=\"+Inf\"} %d\n", cum)
 		fmt.Fprintf(w, "selfheal_ttr_ticks_sum %d\n", c.ttrSum)
 		fmt.Fprintf(w, "selfheal_ttr_ticks_count %d\n", c.recovered)
+		if len(c.finalPeers) > 0 {
+			fmt.Fprintf(w, "# HELP selfheal_sync_peer_final_failures consecutive failures per peer when the syncer stopped, with its last error\n# TYPE selfheal_sync_peer_final_failures gauge\n")
+			for _, p := range c.finalPeers {
+				fmt.Fprintf(w, "selfheal_sync_peer_final_failures{peer=%q,error=%q} %d\n", p.URL, p.LastErr, p.Failures)
+			}
+			fmt.Fprintf(w, "# HELP selfheal_sync_peer_final_seq peer publish sequence at the last successful pull before the syncer stopped\n# TYPE selfheal_sync_peer_final_seq gauge\n")
+			for _, p := range c.finalPeers {
+				fmt.Fprintf(w, "selfheal_sync_peer_final_seq{peer=%q} %d\n", p.URL, p.Seq)
+			}
+		}
 		c.mu.Unlock()
 	}
 
@@ -266,8 +325,13 @@ func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("ETag", s.etag(snap.Seq))
 	w.Header().Set("X-KB-Seq", strconv.FormatUint(snap.Seq, 10))
 	w.Header().Set("Content-Type", "application/json")
-	snap.Encode(w)
+	bw, done := bodyWriter(w, r)
+	snap.Encode(bw)
+	done()
 }
+
+// maxDeltaWait caps how long a long-poll request is parked.
+const maxDeltaWait = 30 * time.Second
 
 // handleDelta serves the observations published after ?since=seq. The
 // response's Seq and Epoch (echoed in X-KB-Seq and the ETag) are the
@@ -302,6 +366,39 @@ func (s *Server) handleDelta(w http.ResponseWriter, r *http.Request) {
 	if !sameLife {
 		since = 0
 	}
+	// ?wait= turns a would-be 304 into a long poll: the request parks
+	// until a publish beats the cursor or the wait elapses (then the
+	// normal logic below answers 304 after all). Foreign-epoch pulls
+	// never park — they have a full history to fetch right now.
+	if raw := r.URL.Query().Get("wait"); raw != "" && sameLife {
+		wait, err := time.ParseDuration(raw)
+		if err != nil {
+			http.Error(w, "bad wait: "+err.Error(), http.StatusBadRequest)
+			return
+		}
+		if wait > maxDeltaWait {
+			wait = maxDeltaWait
+		}
+		deadline := time.NewTimer(wait)
+		defer deadline.Stop()
+	park:
+		for since >= s.cfg.Node.Seq() {
+			// Take the channel BEFORE re-checking the sequence: a
+			// publish in the gap closes the taken channel, so the wait
+			// below cannot miss it.
+			ch := s.cfg.Node.KB().Changed()
+			if since < s.cfg.Node.Seq() {
+				break
+			}
+			select {
+			case <-ch:
+			case <-deadline.C:
+				break park
+			case <-r.Context().Done():
+				return
+			}
+		}
+	}
 	seq := s.cfg.Node.Seq()
 	tag := s.etag(seq)
 	w.Header().Set("ETag", tag)
@@ -319,5 +416,53 @@ func (s *Server) handleDelta(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("ETag", s.etag(d.Seq))
 	w.Header().Set("X-KB-Seq", strconv.FormatUint(d.Seq, 10))
 	w.Header().Set("Content-Type", "application/json")
-	d.Encode(w)
+	bw, done := bodyWriter(w, r)
+	d.Encode(bw)
+	done()
+}
+
+// handlePush accepts one gossip push: a delta body (gzipped when the
+// sender says so) with the rumor id, hop TTL, and sender URL in
+// X-KB-Rumor / X-KB-TTL / X-KB-From. With a Gossiper configured the
+// push runs the full rumor protocol — id dedup, apply, relay; without
+// one it just applies to the node, which is what `kbtool push` or a
+// one-shot script wants.
+func (s *Server) handlePush(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	var body io.Reader = r.Body
+	if strings.Contains(r.Header.Get("Content-Encoding"), "gzip") {
+		zr, err := gzip.NewReader(r.Body)
+		if err != nil {
+			http.Error(w, "bad gzip body: "+err.Error(), http.StatusBadRequest)
+			return
+		}
+		defer zr.Close()
+		body = zr
+	}
+	d, err := synopsis.DecodeDelta(body)
+	if err != nil {
+		http.Error(w, "bad delta: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	ttl := 1
+	if raw := r.Header.Get("X-KB-TTL"); raw != "" {
+		v, err := strconv.Atoi(raw)
+		if err != nil {
+			http.Error(w, "bad ttl: "+err.Error(), http.StatusBadRequest)
+			return
+		}
+		ttl = v
+	}
+	var added int
+	if g := s.cfg.Gossiper; g != nil {
+		added = g.Receive(d, r.Header.Get("X-KB-Rumor"), ttl, r.Header.Get("X-KB-From"))
+	} else {
+		added = s.cfg.Node.ApplyDelta(d)
+	}
+	w.Header().Set("X-KB-Seq", strconv.FormatUint(s.cfg.Node.Seq(), 10))
+	w.Header().Set("Content-Type", "application/json")
+	fmt.Fprintf(w, "{\"added\":%d}\n", added)
 }

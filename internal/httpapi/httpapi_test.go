@@ -1,11 +1,15 @@
 package httpapi
 
 import (
+	"bytes"
+	"compress/gzip"
 	"encoding/json"
+	"io"
 	"net/http"
 	"net/http/httptest"
 	"strings"
 	"testing"
+	"time"
 
 	"selfheal/internal/catalog"
 	"selfheal/internal/core"
@@ -242,5 +246,197 @@ func TestMethodNotAllowed(t *testing.T) {
 		if w.Code != http.StatusMethodNotAllowed {
 			t.Errorf("POST %s = %d, want 405", path, w.Code)
 		}
+	}
+}
+
+// pushDelta POSTs a delta to /kb/push, gzipped when zip is set.
+func pushDelta(t *testing.T, srv *Server, d *synopsis.Delta, zip bool, hdr map[string]string) *httptest.ResponseRecorder {
+	t.Helper()
+	var buf bytes.Buffer
+	if zip {
+		zw := gzip.NewWriter(&buf)
+		if err := d.Encode(zw); err != nil {
+			t.Fatal(err)
+		}
+		zw.Close()
+	} else if err := d.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	req := httptest.NewRequest(http.MethodPost, "/kb/push", &buf)
+	req.Header.Set("Content-Type", "application/json")
+	if zip {
+		req.Header.Set("Content-Encoding", "gzip")
+	}
+	for k, v := range hdr {
+		req.Header.Set(k, v)
+	}
+	w := httptest.NewRecorder()
+	srv.ServeHTTP(w, req)
+	return w
+}
+
+// TestPushEndpointAppliesDelta pins the no-gossiper push path: a gzipped
+// delta lands in the node, idempotently, and bad bodies answer 400.
+func TestPushEndpointAppliesDelta(t *testing.T) {
+	srv, kb, _ := newTestServer(t)
+	d := &synopsis.Delta{
+		Seq:      1,
+		Symptoms: []string{"m.a", "m.b"},
+		Points: []synopsis.Point{{
+			X:       []float64{1, 2},
+			Action:  synopsis.Action{Fix: catalog.FixUpdateStats, Target: "items"},
+			Success: true,
+		}},
+	}
+	w := pushDelta(t, srv, d, true, nil)
+	if w.Code != http.StatusOK {
+		t.Fatalf("push = %d: %s", w.Code, w.Body)
+	}
+	var resp struct {
+		Added int `json:"added"`
+	}
+	if err := json.Unmarshal(w.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Added != 1 || kb.TrainingSize() != 1 {
+		t.Fatalf("push added %d (KB %d), want 1", resp.Added, kb.TrainingSize())
+	}
+	// Same push again (uncompressed this time): idempotent.
+	w = pushDelta(t, srv, d, false, nil)
+	if w.Code != http.StatusOK {
+		t.Fatalf("second push = %d", w.Code)
+	}
+	if kb.TrainingSize() != 1 {
+		t.Fatalf("duplicate push grew the KB to %d", kb.TrainingSize())
+	}
+
+	// Garbage body and garbage gzip both answer 400.
+	req := httptest.NewRequest(http.MethodPost, "/kb/push", strings.NewReader("{nope"))
+	rec := httptest.NewRecorder()
+	srv.ServeHTTP(rec, req)
+	if rec.Code != http.StatusBadRequest {
+		t.Fatalf("garbage push = %d, want 400", rec.Code)
+	}
+	req = httptest.NewRequest(http.MethodPost, "/kb/push", strings.NewReader("not gzip"))
+	req.Header.Set("Content-Encoding", "gzip")
+	rec = httptest.NewRecorder()
+	srv.ServeHTTP(rec, req)
+	if rec.Code != http.StatusBadRequest {
+		t.Fatalf("bad-gzip push = %d, want 400", rec.Code)
+	}
+	if w := pushDelta(t, srv, d, false, map[string]string{"X-KB-TTL": "zork"}); w.Code != http.StatusBadRequest {
+		t.Fatalf("bad-ttl push = %d, want 400", w.Code)
+	}
+}
+
+// TestDeltaLongPollWakesOnPublish parks a ?wait= pull, publishes from
+// another goroutine, and expects the parked request to return the new
+// point well before the wait elapses.
+func TestDeltaLongPollWakesOnPublish(t *testing.T) {
+	srv, kb, _ := newTestServer(t)
+	add(kb, 1, 2)
+
+	done := make(chan *httptest.ResponseRecorder, 1)
+	go func() {
+		done <- get(t, srv, "/kb/delta?since=1&wait=10s", nil)
+	}()
+	// Let the poller park, then publish.
+	time.Sleep(20 * time.Millisecond)
+	add(kb, 3, 4)
+	select {
+	case w := <-done:
+		if w.Code != http.StatusOK {
+			t.Fatalf("long poll = %d", w.Code)
+		}
+		d, err := synopsis.DecodeDelta(w.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(d.Points) != 1 || d.Seq != 2 {
+			t.Fatalf("long poll returned %d points at seq %d, want the 1 new point at 2", len(d.Points), d.Seq)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("long poll never woke on publish")
+	}
+}
+
+// TestDeltaLongPollTimesOutTo304 pins the idle path: nothing published,
+// the wait elapses, the answer is a 304 with the current ETag.
+func TestDeltaLongPollTimesOutTo304(t *testing.T) {
+	srv, kb, _ := newTestServer(t)
+	add(kb, 1, 2)
+	start := time.Now()
+	w := get(t, srv, "/kb/delta?since=1&wait=50ms", nil)
+	if w.Code != http.StatusNotModified {
+		t.Fatalf("idle long poll = %d, want 304", w.Code)
+	}
+	if elapsed := time.Since(start); elapsed < 40*time.Millisecond {
+		t.Fatalf("long poll answered after %v; it never parked", elapsed)
+	}
+	if w := get(t, srv, "/kb/delta?since=1&wait=bogus", nil); w.Code != http.StatusBadRequest {
+		t.Fatalf("bad wait = %d, want 400", w.Code)
+	}
+}
+
+// TestDeltaGzipNegotiation pins response compression: an
+// Accept-Encoding: gzip pull gets a gzipped body that decodes to the
+// same delta a plain pull serves.
+func TestDeltaGzipNegotiation(t *testing.T) {
+	srv, kb, _ := newTestServer(t)
+	add(kb, 1, 2)
+	add(kb, 3, 4)
+
+	plain := get(t, srv, "/kb/delta?since=0", nil)
+	zipped := get(t, srv, "/kb/delta?since=0", map[string]string{"Accept-Encoding": "gzip"})
+	if enc := zipped.Header().Get("Content-Encoding"); enc != "gzip" {
+		t.Fatalf("Content-Encoding %q, want gzip", enc)
+	}
+	zr, err := gzip.NewReader(zipped.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	unzipped, err := io.ReadAll(zr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(unzipped, plain.Body.Bytes()) {
+		t.Fatalf("gzip body decodes to %d bytes, plain body is %d", len(unzipped), plain.Body.Len())
+	}
+	// Snapshot negotiates the same way.
+	zsnap := get(t, srv, "/kb/snapshot", map[string]string{"Accept-Encoding": "gzip"})
+	if enc := zsnap.Header().Get("Content-Encoding"); enc != "gzip" {
+		t.Fatalf("snapshot Content-Encoding %q, want gzip", enc)
+	}
+}
+
+// TestMetricsFinalPeers pins the shutdown flush surface: once the
+// syncer's last per-peer snapshot is recorded, /metrics explains the
+// failing peer (URL, error, failure streak) even with the syncer gone.
+func TestMetricsFinalPeers(t *testing.T) {
+	srv, _, col := newTestServer(t)
+	col.RecordFinalPeers([]kbsync.PeerStatus{
+		{URL: "http://a:1", Seq: 12, Pulls: 30},
+		{URL: "http://b:2", Seq: 3, Failures: 7, LastErr: "connection refused"},
+	})
+	body := get(t, srv, "/metrics", nil).Body.String()
+	for _, want := range []string{
+		`selfheal_sync_peer_final_failures{peer="http://a:1",error=""} 0`,
+		`selfheal_sync_peer_final_failures{peer="http://b:2",error="connection refused"} 7`,
+		`selfheal_sync_peer_final_seq{peer="http://a:1"} 12`,
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("metrics missing %q\n%s", want, body)
+		}
+	}
+}
+
+// TestMetricsKBLogGauge pins the memory gauge compaction bounds.
+func TestMetricsKBLogGauge(t *testing.T) {
+	srv, kb, _ := newTestServer(t)
+	add(kb, 1, 2)
+	add(kb, 1, 2) // duplicate: log 2, training 1
+	body := get(t, srv, "/metrics", nil).Body.String()
+	if !strings.Contains(body, "selfheal_kb_log_points 2") {
+		t.Errorf("metrics missing selfheal_kb_log_points 2")
 	}
 }

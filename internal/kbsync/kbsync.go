@@ -126,6 +126,15 @@ func (n *Node) catchUp() {
 // point level) and disappears from every exported snapshot at the next
 // Merge.
 func (n *Node) ApplyDelta(d *synopsis.Delta) int {
+	added, _ := n.ApplyDeltaSeq(d)
+	return added
+}
+
+// ApplyDeltaSeq is ApplyDelta also reporting the local publish sequence
+// the application landed at (the current sequence when nothing was new)
+// — the cursor a gossiper advances past points it is about to relay
+// anyway.
+func (n *Node) ApplyDeltaSeq(d *synopsis.Delta) (int, uint64) {
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	n.catchUp()
@@ -143,8 +152,8 @@ func (n *Node) ApplyDelta(d *synopsis.Delta) int {
 		n.seen[key] = struct{}{}
 		fresh = append(fresh, p)
 	}
-	n.kb.AddBatch(fresh)
-	return len(fresh)
+	seq := n.kb.AddBatchSeq(fresh)
+	return len(fresh), seq
 }
 
 // PeerStatus is one peer's sync state, as /metrics reports it.
@@ -200,6 +209,33 @@ type Config struct {
 	// Logf, when set, receives one line per state change (peer failed,
 	// peer recovered). Nil means silent.
 	Logf func(format string, args ...any)
+	// LongPoll, when positive, turns each pull into a long poll: the
+	// request carries ?wait=LongPoll and the peer parks it until
+	// something is published (or the wait elapses, answering 304). An
+	// idle fleet then holds one open connection per peer instead of
+	// polling, and news still arrives within a round trip. It is clamped
+	// below Client's timeout so the transport never kills a parked poll.
+	LongPoll time.Duration
+	// OnStop, when set, receives the final per-peer status snapshot as
+	// Run exits on context cancellation — the operator's last look at
+	// why a peer was failing (see httpapi.Collector.RecordFinalPeers).
+	OnStop func([]PeerStatus)
+}
+
+// normalizePeers trims, defaults the scheme, and drops empty peer URLs.
+func normalizePeers(urls []string) []string {
+	var out []string
+	for _, u := range urls {
+		u = strings.TrimRight(strings.TrimSpace(u), "/")
+		if u == "" {
+			continue
+		}
+		if !strings.Contains(u, "://") {
+			u = "http://" + u
+		}
+		out = append(out, u)
+	}
+	return out
 }
 
 // Syncer polls N peers for knowledge-base deltas on a jittered interval
@@ -231,15 +267,11 @@ func NewSyncer(node *Node, cfg Config) (*Syncer, error) {
 	if cfg.Seed == 0 {
 		cfg.Seed = time.Now().UnixNano()
 	}
+	if cfg.LongPoll > 0 && cfg.Client.Timeout > 0 && cfg.LongPoll >= cfg.Client.Timeout {
+		cfg.LongPoll = cfg.Client.Timeout / 2
+	}
 	s := &Syncer{node: node, cfg: cfg}
-	for _, u := range cfg.Peers {
-		u = strings.TrimRight(strings.TrimSpace(u), "/")
-		if u == "" {
-			continue
-		}
-		if !strings.Contains(u, "://") {
-			u = "http://" + u
-		}
+	for _, u := range normalizePeers(cfg.Peers) {
 		s.peers = append(s.peers, &peer{url: u})
 	}
 	if len(s.peers) == 0 {
@@ -265,6 +297,9 @@ func (s *Syncer) Peers() []PeerStatus {
 // Run polls every peer until ctx is cancelled: one goroutine per peer,
 // each sleeping a jittered interval between pulls and backing off
 // exponentially (capped at MaxBackoff) while the peer keeps failing.
+// With LongPoll set the sleep collapses to a token pause — the peer
+// itself parks the request, so cadence is set by publishes, not timers.
+// On cancellation the final per-peer statuses are flushed to OnStop.
 func (s *Syncer) Run(ctx context.Context) {
 	var wg sync.WaitGroup
 	for i, p := range s.peers {
@@ -272,7 +307,19 @@ func (s *Syncer) Run(ctx context.Context) {
 		go func(i int, p *peer) {
 			defer wg.Done()
 			rng := rand.New(rand.NewSource(s.cfg.Seed + int64(i)))
+			// In long-poll mode the peer parks our requests, so cadence
+			// is set by publishes, not this timer: the inter-pull sleep
+			// collapses to a token pause that only guards against a peer
+			// answering immediately despite ?wait= (an old server) —
+			// never a hot loop, still sub-interval latency.
+			pause := s.cfg.Interval/100 + time.Millisecond
+			if pause > 250*time.Millisecond {
+				pause = 250 * time.Millisecond
+			}
 			delay := s.jitter(rng, s.cfg.Interval)
+			if s.cfg.LongPoll > 0 {
+				delay = s.jitter(rng, pause)
+			}
 			for {
 				select {
 				case <-ctx.Done():
@@ -281,6 +328,8 @@ func (s *Syncer) Run(ctx context.Context) {
 				}
 				if _, err := s.syncPeer(ctx, p); err != nil {
 					delay = s.jitter(rng, s.backoff(p))
+				} else if s.cfg.LongPoll > 0 {
+					delay = s.jitter(rng, pause)
 				} else {
 					delay = s.jitter(rng, s.cfg.Interval)
 				}
@@ -288,6 +337,9 @@ func (s *Syncer) Run(ctx context.Context) {
 		}(i, p)
 	}
 	wg.Wait()
+	if s.cfg.OnStop != nil {
+		s.cfg.OnStop(s.Peers())
+	}
 }
 
 // jitter spreads d by ±25%.
@@ -344,6 +396,9 @@ func (s *Syncer) syncPeer(ctx context.Context, p *peer) (int, error) {
 	if epoch != "" {
 		q += "&epoch=" + url.QueryEscape(epoch)
 	}
+	if s.cfg.LongPoll > 0 {
+		q += "&wait=" + strconv.FormatInt(s.cfg.LongPoll.Milliseconds(), 10) + "ms"
+	}
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, p.url+q, nil)
 	if err != nil {
 		return 0, s.fail(p, err)
@@ -353,6 +408,13 @@ func (s *Syncer) syncPeer(ctx context.Context, p *peer) (int, error) {
 	}
 	resp, err := s.cfg.Client.Do(req)
 	if err != nil {
+		if ctx.Err() != nil {
+			// Our own shutdown (or caller cancellation) killed the
+			// request mid-flight. That is not the peer's fault: keep
+			// the last real status so the final OnStop flush reports
+			// why a peer was failing, not an artifact of stopping.
+			return 0, err
+		}
 		return 0, s.fail(p, err)
 	}
 	defer resp.Body.Close()
@@ -367,6 +429,9 @@ func (s *Syncer) syncPeer(ctx context.Context, p *peer) (int, error) {
 	}
 	d, err := synopsis.DecodeDelta(resp.Body)
 	if err != nil {
+		if ctx.Err() != nil {
+			return 0, err // cancelled mid-body; see above
+		}
 		return 0, s.fail(p, err)
 	}
 	added := s.node.ApplyDelta(d)

@@ -6,6 +6,7 @@ import (
 	"net/http/httptest"
 	"reflect"
 	"testing"
+	"time"
 
 	"selfheal/internal/catalog"
 	"selfheal/internal/detect"
@@ -243,4 +244,87 @@ func mustServer(t *testing.T, node *kbsync.Node) *httpapi.Server {
 		t.Fatal(err)
 	}
 	return srv
+}
+
+// TestSyncerLongPollConverges pins the long-poll pull plane: with
+// LongPoll set and a deliberately glacial Interval, a point published on
+// the peer after the syncer parks still arrives promptly — only the
+// parked ?wait= request can explain that.
+func TestSyncerLongPollConverges(t *testing.T) {
+	nodeA, kbA := newNode("m.a")
+	nodeB, kbB := newNode("m.a")
+	srvA := httptest.NewServer(mustServer(t, nodeA))
+	defer srvA.Close()
+
+	s, err := kbsync.NewSyncer(nodeB, kbsync.Config{
+		Peers:    []string{srvA.URL},
+		Interval: time.Hour, // poll cadence can't be the explanation
+		LongPoll: 10 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan struct{})
+	go func() {
+		s.Run(ctx)
+		close(done)
+	}()
+	// Give the first pull time to drain (empty) and park, then publish.
+	time.Sleep(50 * time.Millisecond)
+	kbA.Add(pt([]float64{1}, catalog.FixUpdateStats, "items"))
+
+	deadline := time.Now().Add(5 * time.Second)
+	for kbB.TrainingSize() != 1 {
+		if time.Now().After(deadline) {
+			cancel()
+			<-done
+			t.Fatal("long-poll syncer never converged; Interval alone would take an hour")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	cancel()
+	<-done
+}
+
+// TestSyncerOnStopFlushesFinalPeers pins the shutdown flush: when Run's
+// context is cancelled, the final per-peer statuses — including a dead
+// peer's failure streak and last error — reach the OnStop callback, so
+// an ops plane can keep explaining the sync state after the loops stop.
+func TestSyncerOnStopFlushesFinalPeers(t *testing.T) {
+	nodeA, kbA := newNode("m.a")
+	nodeB, _ := newNode("m.a")
+	kbA.Add(pt([]float64{1}, catalog.FixUpdateStats, "items"))
+	srvA := httptest.NewServer(mustServer(t, nodeA))
+	defer srvA.Close()
+
+	final := make(chan []kbsync.PeerStatus, 1)
+	s, err := kbsync.NewSyncer(nodeB, kbsync.Config{
+		Peers:    []string{srvA.URL, "http://127.0.0.1:1"}, // port 1: refused
+		Interval: 10 * time.Millisecond,
+		OnStop:   func(ps []kbsync.PeerStatus) { final <- ps },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	go s.Run(ctx)
+	// Let at least one round complete against both peers, then stop.
+	time.Sleep(100 * time.Millisecond)
+	cancel()
+
+	select {
+	case ps := <-final:
+		if len(ps) != 2 {
+			t.Fatalf("OnStop got %d peers, want 2", len(ps))
+		}
+		if ps[0].Seq != 1 || ps[0].Failures != 0 {
+			t.Fatalf("live peer's final status wrong: %+v", ps[0])
+		}
+		if ps[1].Failures == 0 || ps[1].LastErr == "" {
+			t.Fatalf("dead peer's final status lost its failure streak: %+v", ps[1])
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("OnStop never fired after Run cancellation")
+	}
 }

@@ -1,0 +1,68 @@
+package scenario
+
+// Fuzz target for the scenario file loader: selfheald -scenario accepts
+// arbitrary operator-written JSON, so Parse must reject garbage with an
+// error — never a panic — and anything it accepts must already be
+// Validate-clean and survive an encode/parse round trip unchanged (the
+// canonical-form contract -scenario-json relies on).
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+)
+
+// normalizeScenario maps empty slices to nil so the round-trip oracle
+// compares wire semantics, not Go slice representation (json decoding
+// is case-insensitive on keys, so "eVents":[] yields an empty non-nil
+// slice that omitempty then drops on re-encode).
+func normalizeScenario(sc *Scenario) {
+	if len(sc.Events) == 0 {
+		sc.Events = nil
+	}
+	if sc.Workload != nil {
+		if len(sc.Workload.Surges) == 0 {
+			sc.Workload.Surges = nil
+		}
+		if len(sc.Workload.Trace) == 0 {
+			sc.Workload.Trace = nil
+		}
+	}
+}
+
+func FuzzParse(f *testing.F) {
+	for _, sc := range Library() {
+		var buf bytes.Buffer
+		if err := Encode(&buf, sc); err != nil {
+			f.Fatal(err)
+		}
+		f.Add(buf.Bytes())
+	}
+	f.Add([]byte(`{"name":"x","horizon":0}`))
+	f.Add([]byte(`{"name":"x","horizon":10,"events":[{"fault":"no-such-fault","at":1}]}`))
+	f.Add([]byte(`{"unknown_field":true}`))
+	f.Add([]byte(`not json`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		sc, err := ParseBytes(data)
+		if err != nil {
+			return
+		}
+		// Parse's contract: accepted scenarios are already valid.
+		if err := sc.Validate(); err != nil {
+			t.Fatalf("Parse accepted an invalid scenario: %v", err)
+		}
+		var buf bytes.Buffer
+		if err := Encode(&buf, sc); err != nil {
+			t.Fatalf("re-encoding accepted scenario: %v", err)
+		}
+		back, err := Parse(&buf)
+		if err != nil {
+			t.Fatalf("re-parsing canonical form: %v", err)
+		}
+		normalizeScenario(sc)
+		normalizeScenario(back)
+		if !reflect.DeepEqual(sc, back) {
+			t.Fatalf("round trip changed the scenario:\n got %+v\nwant %+v", back, sc)
+		}
+	})
+}

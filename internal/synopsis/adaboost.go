@@ -120,6 +120,17 @@ func (s *AdaBoost) Clone() Synopsis {
 }
 
 // Forget drops all but the last keep positives and refits.
+// Reset implements Resetter: back to empty, keeping the ensemble knobs.
+func (s *AdaBoost) Reset() {
+	s.classes = newClassSet()
+	s.ex = newExemplars()
+	s.points = nil
+	s.labels = nil
+	s.trees = nil
+	s.alphas = nil
+	s.version++
+}
+
 func (s *AdaBoost) Forget(keep int) {
 	if len(s.points) > keep {
 		s.points = append([]Point(nil), s.points[len(s.points)-keep:]...)

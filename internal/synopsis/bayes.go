@@ -104,6 +104,18 @@ func (s *NaiveBayes) Clone() Synopsis {
 	return c
 }
 
+// Reset implements Resetter: back to empty.
+func (s *NaiveBayes) Reset() {
+	s.classes = newClassSet()
+	s.ex = newExemplars()
+	s.count = nil
+	s.mean = nil
+	s.m2 = nil
+	s.dim = 0
+	s.n = 0
+	s.version++
+}
+
 // rankFixes scores fixes by posterior probability under the
 // independent-Gaussian likelihood with a variance floor.
 func (s *NaiveBayes) rankFixes(x []float64) []fixScore {

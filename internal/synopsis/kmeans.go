@@ -97,6 +97,16 @@ func (s *KMeans) Clone() Synopsis {
 	}
 }
 
+// Reset implements Resetter: back to empty.
+func (s *KMeans) Reset() {
+	s.classes = newClassSet()
+	s.ex = newExemplars()
+	s.centroids = make(map[catalog.FixID][]float64)
+	s.centFixes = nil
+	s.centIdx = nil
+	s.version++
+}
+
 // Forget drops old observations and reclusters (for the online wrapper).
 func (s *KMeans) Forget(keep int) {
 	s.ex.forget(keep)

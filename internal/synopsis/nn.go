@@ -114,6 +114,14 @@ func (s *NearestNeighbor) Clone() Synopsis {
 	}
 }
 
+// Reset implements Resetter: back to empty, keeping UseNegatives.
+func (s *NearestNeighbor) Reset() {
+	s.ex = newExemplars()
+	s.negatives = nil
+	s.negByFix = nil
+	s.version++
+}
+
 // Forget drops old observations (for the online wrapper).
 func (s *NearestNeighbor) Forget(keep int) {
 	s.ex.forget(keep)

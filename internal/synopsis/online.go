@@ -84,6 +84,19 @@ func (s *Online) Clone() Synopsis {
 	return &Online{base: base, Window: s.Window, added: s.added, writes: s.writes}
 }
 
+// Reset implements Resetter: the base goes back to empty (through its own
+// Reset when it has one, else by forgetting everything) and the window
+// counter restarts.
+func (s *Online) Reset() {
+	if r, ok := s.base.(Resetter); ok {
+		r.Reset()
+	} else {
+		s.base.Forget(0)
+	}
+	s.added = 0
+	s.writes++
+}
+
 // Suggest implements Synopsis.
 func (s *Online) Suggest(x []float64, filter *ActionFilter) (Suggestion, bool) {
 	return s.base.Suggest(x, filter)

@@ -55,6 +55,15 @@ type Shared struct {
 	// observation, not a second copy of the vectors.
 	logPts  []Point
 	logSeqs []uint64
+
+	// watch is closed and replaced on every publish: Changed hands it to
+	// long-poll waiters, who re-check the sequence once it closes. hooks
+	// are the push-side of federation (a gossiper's push-on-publish) and
+	// run after the lock is released, so a hook may freely call back into
+	// DeltaSince. compact, when set, bounds the arrival log.
+	watch   chan struct{}
+	hooks   []func(seq uint64)
+	compact *Compaction
 }
 
 // NewShared wraps base for concurrent use. The base must no longer be used
@@ -121,12 +130,17 @@ func (s *Shared) Name() string { return s.name }
 // skipped when it did not change the learner's effective state.
 func (s *Shared) Add(p Point) {
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	before, tracked := s.version()
 	s.base.Add(p)
 	s.log(p)
 	if after, _ := s.version(); !tracked || after != before {
 		s.republish()
+	}
+	s.maybeCompactLocked()
+	seq, hooks := s.notifyLocked()
+	s.mu.Unlock()
+	for _, fn := range hooks {
+		fn(seq)
 	}
 }
 
@@ -134,18 +148,152 @@ func (s *Shared) Add(p Point) {
 // under one lock acquisition and the snapshot republished once — the write
 // path the fleet's per-episode learn flush rides. The batch advances the
 // publish sequence by one, however many points it carries.
-func (s *Shared) AddBatch(ps []Point) {
+func (s *Shared) AddBatch(ps []Point) { s.AddBatchSeq(ps) }
+
+// AddBatchSeq is AddBatch reporting the publish sequence the batch landed
+// at — what a federation applier records as "covered up to here". An
+// empty batch publishes nothing and returns the current sequence.
+func (s *Shared) AddBatchSeq(ps []Point) uint64 {
 	if len(ps) == 0 {
-		return
+		return s.seq.Load()
 	}
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	before, tracked := s.version()
 	AddAll(s.base, ps)
 	s.log(ps...)
 	if after, _ := s.version(); !tracked || after != before {
 		s.republish()
 	}
+	s.maybeCompactLocked()
+	seq, hooks := s.notifyLocked()
+	s.mu.Unlock()
+	for _, fn := range hooks {
+		fn(seq)
+	}
+	return seq
+}
+
+// notifyLocked wakes every Changed waiter and captures the publish hooks
+// plus the sequence they should see; the caller runs the hooks after
+// releasing s.mu. Callers hold s.mu.
+func (s *Shared) notifyLocked() (uint64, []func(uint64)) {
+	if s.watch != nil {
+		close(s.watch)
+		s.watch = nil
+	}
+	return s.seq.Load(), s.hooks
+}
+
+// Changed returns a channel that is closed at the next publish. The
+// long-poll pattern is: take the channel, re-check Seq against your
+// cursor (a publish may have landed in between), then wait on the
+// channel. Each publish retires the channel, so take a fresh one per
+// wait.
+func (s *Shared) Changed() <-chan struct{} {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.watch == nil {
+		s.watch = make(chan struct{})
+	}
+	return s.watch
+}
+
+// OnPublish registers fn to run after every publish with the sequence it
+// produced — the hook a gossiper hangs its push-on-publish from. Hooks
+// run synchronously on the writer's goroutine but outside the knowledge
+// base's lock, so they may call DeltaSince; they must not write back into
+// the knowledge base on the same goroutine or they will recurse.
+func (s *Shared) OnPublish(fn func(seq uint64)) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.hooks = append(s.hooks, fn)
+}
+
+// EnableCompaction switches the knowledge base to bounded-memory mode
+// (see Compaction). The base learner must support Reset — all built-in
+// learners do — because compaction retrains it from the compacted
+// history.
+func (s *Shared) EnableCompaction(cfg Compaction) error {
+	if err := cfg.validate(); err != nil {
+		return err
+	}
+	if _, ok := s.base.(Resetter); !ok {
+		return fmt.Errorf("synopsis: %s: base %s cannot be compacted: no Reset", s.name, s.base.Name())
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.compact = &cfg
+	return nil
+}
+
+// maybeCompactLocked compacts when the arrival log has outgrown the
+// configured cap, shrinking past it for hysteresis so the next
+// quarter-cap of writes is compaction-free. Callers hold s.mu.
+func (s *Shared) maybeCompactLocked() {
+	if s.compact == nil || s.compact.MaxPoints <= 0 || len(s.logPts) <= s.compact.MaxPoints {
+		return
+	}
+	target := s.compact.MaxPoints - s.compact.MaxPoints/compactTargetDivisor
+	s.compactLocked(target)
+}
+
+// compactLocked rewrites the knowledge base as the compacted form of its
+// arrival log: the base learner is Reset and retrained on the survivors,
+// and the log is republished whole under one fresh sequence — the
+// snapshot GC is itself a publish, so a federation cursor that predates
+// it re-pulls the full compacted history and the peer's dedup absorbs
+// the overlap. Returns the number of observations dropped. Callers hold
+// s.mu.
+func (s *Shared) compactLocked(target int) int {
+	kept := CompactPoints(s.logPts, *s.compact, target)
+	dropped := len(s.logPts) - len(kept)
+	if dropped == 0 {
+		return 0
+	}
+	s.base.(Resetter).Reset()
+	AddAll(s.base, kept)
+	seq := s.seq.Load() + 1
+	s.seq.Store(seq)
+	s.logPts = kept
+	s.logSeqs = make([]uint64, len(kept))
+	for i := range s.logSeqs {
+		s.logSeqs[i] = seq
+	}
+	s.republish()
+	return dropped
+}
+
+// Compact compacts now, regardless of cap pressure: with a cap
+// configured it compacts down to the cap, otherwise it only merges
+// duplicates. It reports how many observations were dropped. Compaction
+// must have been enabled first.
+func (s *Shared) Compact() (int, error) {
+	s.mu.Lock()
+	if s.compact == nil {
+		s.mu.Unlock()
+		return 0, fmt.Errorf("synopsis: %s: compaction not enabled", s.name)
+	}
+	dropped := s.compactLocked(s.compact.MaxPoints)
+	var seq uint64
+	var hooks []func(uint64)
+	if dropped > 0 {
+		seq, hooks = s.notifyLocked()
+	}
+	s.mu.Unlock()
+	for _, fn := range hooks {
+		fn(seq)
+	}
+	return dropped, nil
+}
+
+// LogSize returns the arrival log's length — the number of retained
+// observations, the quantity a Compaction cap bounds. (TrainingSize can
+// be smaller: learners that discard failures never train on them, but
+// the log keeps them for federation until compaction evicts them.)
+func (s *Shared) LogSize() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.logPts)
 }
 
 // log appends one write's points to the arrival log under the next

@@ -19,6 +19,9 @@ import (
 // gone from the process table entirely (a zombie would still accept
 // signal 0).
 func TestCancelMidEpisodeReapsChildren(t *testing.T) {
+	if testing.Short() {
+		t.Skip("wall-clock process e2e; skipped with -short")
+	}
 	p, err := New(helperConfig())
 	if err != nil {
 		t.Fatalf("New: %v", err)

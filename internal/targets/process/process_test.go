@@ -98,6 +98,12 @@ func helperConfig() Config {
 
 func newHelperProc(t *testing.T) *Proc {
 	t.Helper()
+	// These are true wall-clock e2e tests: a real re-exec'd child, real
+	// signals, probes pacing on real time. -short keeps the fast
+	// edit-compile-test loop on the simulated targets.
+	if testing.Short() {
+		t.Skip("wall-clock process e2e; skipped with -short")
+	}
 	p, err := New(helperConfig())
 	if err != nil {
 		t.Fatalf("New: %v", err)

@@ -57,6 +57,10 @@ func TestProcessHelperChild(t *testing.T) {
 
 func newFacadeProcessTarget(t *testing.T) selfheal.Target {
 	t.Helper()
+	// Spawns a real re-exec'd child supervised on wall-clock probes.
+	if testing.Short() {
+		t.Skip("wall-clock process e2e; skipped with -short")
+	}
 	target, err := selfheal.NewProcessTarget(selfheal.ProcessConfig{
 		Command:      []string{os.Args[0], "-test.run=TestProcessHelperChild$", "--"},
 		Env:          []string{"SELFHEAL_FACADE_HELPER=1"},
@@ -83,6 +87,9 @@ func newFacadeProcessTarget(t *testing.T) selfheal.Target {
 // supervised child: a real SIGKILL is detected from failed probes and
 // healed by a real respawn.
 func TestProcessTargetHealsThroughFacade(t *testing.T) {
+	if testing.Short() {
+		t.Skip("wall-clock process e2e; skipped with -short")
+	}
 	ctx := context.Background()
 	sys, err := selfheal.New(ctx,
 		selfheal.WithTargetInstance(newFacadeProcessTarget(t)),

@@ -109,6 +109,10 @@ type (
 	// SharedSynopsis is a snapshot-published synopsis many replicas learn
 	// into: reads are lock-free, writes batch behind one mutex.
 	SharedSynopsis = synopsis.Shared
+	// Compaction is the bounded-memory mode of a shared knowledge base:
+	// exact-duplicate collapse, near-duplicate merge, and capped arrival
+	// log with oldest-first, failures-first eviction. See WithCompaction.
+	Compaction = synopsis.Compaction
 	// FixID identifies one of Table 1's candidate fixes.
 	FixID = catalog.FixID
 	// FaultKind identifies one of Table 1's failure types.
@@ -183,6 +187,8 @@ type config struct {
 	serveAddr           string
 	peers               []string
 	syncInterval        time.Duration
+	gossipFanout        int
+	compaction          *Compaction
 	shape               *WorkloadShape
 	scenario            *Scenario
 }
