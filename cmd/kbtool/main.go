@@ -13,6 +13,7 @@
 //	kbtool diff fleetA.json fleetB.json
 //	kbtool fetch -o live.kb.json http://daemon-host:8701
 //	kbtool rank -x "2.5,0.1,3.0" -k 3 kb.json
+//	kbtool top http://a:8701 http://b:8702 http://c:8703
 //
 // Exit status is script-friendly: 0 on success (for diff: the snapshots
 // hold identical experience), 1 when diff finds the snapshots differ,
@@ -58,6 +59,8 @@ func main() {
 		err = cmdFetch(os.Args[2:])
 	case "rank":
 		err = cmdRank(os.Args[2:])
+	case "top":
+		err = cmdTop(os.Args[2:])
 	case "-h", "--help", "help":
 		usage()
 		return
@@ -83,6 +86,7 @@ subcommands:
   diff <a.json> <b.json>                   compare two snapshots
   fetch [-o out.json] <daemon-url>         pull a live daemon's KB
   rank -x v1,v2,... [-k n] <kb.json>       top-k actions for a symptom
+  top [-token t] [-once] <daemon-url>...   live fleet view (/metrics + /events)
 
 convert attaches a symptom-space name table to a positional (v1) file;
 -targets must list the writer's target kinds in the order that process

@@ -1,0 +1,352 @@
+package main
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"sync"
+	"syscall"
+	"time"
+)
+
+// kbtool top — a live terminal view over a running fleet's ops planes.
+// Each refresh scrapes every node's /metrics for the headline numbers
+// (episodes/sec, recovered ratio, knowledge-base seq and points, drain
+// state) while background goroutines hold one SSE subscription per node
+// to /events, feeding a scrolling tail of the fleet's healing activity.
+// Sync lag is computed across the monitored nodes: the fleet-wide
+// maximum knowledge sequence minus each node's own.
+//
+// -once renders a single frame with no screen control — the non-TTY
+// mode scripts and tests consume.
+
+// topNode is one monitored ops plane.
+type topNode struct {
+	url string
+
+	mu      sync.Mutex
+	metrics map[string]float64 // "name" or "name{labels}" -> value
+	err     error              // last scrape failure, nil when healthy
+	events  bool               // SSE subscription currently established
+}
+
+// tailEntry is one line of the shared event tail.
+type tailEntry struct {
+	when time.Time
+	node string // short node label
+	line string
+}
+
+// topView aggregates the fleet for rendering.
+type topView struct {
+	nodes   []*topNode
+	token   string
+	client  *http.Client // scrapes (bounded timeout)
+	streams *http.Client // SSE (no timeout; context-bounded)
+
+	mu   sync.Mutex
+	tail []tailEntry
+	max  int // tail capacity
+}
+
+func cmdTop(args []string) error {
+	fs := flag.NewFlagSet("top", flag.ExitOnError)
+	interval := fs.Duration("interval", 2*time.Second, "refresh period")
+	once := fs.Bool("once", false, "render one frame and exit (no screen control; for scripts and tests)")
+	frames := fs.Int("frames", 0, "exit after this many refreshes (0 = until interrupted)")
+	token := fs.String("token", "", "bearer token for auth-protected ops planes")
+	tailN := fs.Int("events", 10, "event-tail lines to keep")
+	timeout := fs.Duration("timeout", 5*time.Second, "HTTP timeout per metrics scrape")
+	fs.Parse(args)
+	if fs.NArg() < 1 {
+		return fmt.Errorf("top wants at least one daemon URL")
+	}
+
+	tv := &topView{
+		token:   *token,
+		client:  &http.Client{Timeout: *timeout},
+		streams: &http.Client{},
+		max:     *tailN,
+	}
+	for _, raw := range fs.Args() {
+		u := strings.TrimRight(strings.TrimSpace(raw), "/")
+		if !strings.Contains(u, "://") {
+			u = "http://" + u
+		}
+		tv.nodes = append(tv.nodes, &topNode{url: u})
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if !*once {
+		// The tails only matter on a live screen; a single frame would
+		// race the subscriptions it just opened.
+		for _, n := range tv.nodes {
+			go tv.tailNode(ctx, n)
+		}
+	}
+
+	for i := 0; ; i++ {
+		tv.scrape(ctx)
+		if *once {
+			tv.render(os.Stdout, false)
+			return nil
+		}
+		tv.render(os.Stdout, true)
+		if *frames > 0 && i+1 >= *frames {
+			return nil
+		}
+		select {
+		case <-ctx.Done():
+			return nil
+		case <-time.After(*interval):
+		}
+	}
+}
+
+// scrape refreshes every node's /metrics concurrently.
+func (tv *topView) scrape(ctx context.Context) {
+	var wg sync.WaitGroup
+	for _, n := range tv.nodes {
+		wg.Add(1)
+		go func(n *topNode) {
+			defer wg.Done()
+			m, err := tv.fetchMetrics(ctx, n.url)
+			n.mu.Lock()
+			if err != nil {
+				n.err = err
+			} else {
+				n.metrics, n.err = m, nil
+			}
+			n.mu.Unlock()
+		}(n)
+	}
+	wg.Wait()
+}
+
+// fetchMetrics parses one Prometheus text exposition into a flat map
+// keyed by "name" or "name{labels}".
+func (tv *topView) fetchMetrics(ctx context.Context, base string) (map[string]float64, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, base+"/metrics", nil)
+	if err != nil {
+		return nil, err
+	}
+	tv.authorize(req)
+	resp, err := tv.client.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("%s", resp.Status)
+	}
+	out := make(map[string]float64)
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		sp := strings.LastIndexByte(line, ' ')
+		if sp < 0 {
+			continue
+		}
+		v, err := strconv.ParseFloat(line[sp+1:], 64)
+		if err != nil {
+			continue
+		}
+		out[line[:sp]] = v
+	}
+	return out, sc.Err()
+}
+
+func (tv *topView) authorize(req *http.Request) {
+	if tv.token != "" {
+		req.Header.Set("Authorization", "Bearer "+tv.token)
+	}
+}
+
+// tailNode holds one SSE subscription to a node's /events, re-dialling
+// with backoff when the node is unreachable, and feeds the shared tail.
+func (tv *topView) tailNode(ctx context.Context, n *topNode) {
+	backoff := time.Second
+	for ctx.Err() == nil {
+		err := tv.streamEvents(ctx, n)
+		n.mu.Lock()
+		n.events = false
+		if err != nil {
+			n.err = err
+		}
+		n.mu.Unlock()
+		select {
+		case <-ctx.Done():
+			return
+		case <-time.After(backoff):
+		}
+		if backoff < 8*time.Second {
+			backoff *= 2
+		}
+	}
+}
+
+// streamEvents consumes one /events stream until it ends.
+func (tv *topView) streamEvents(ctx context.Context, n *topNode) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, n.url+"/events", nil)
+	if err != nil {
+		return err
+	}
+	tv.authorize(req)
+	resp, err := tv.streams.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
+		return fmt.Errorf("events: %s", resp.Status)
+	}
+	n.mu.Lock()
+	n.events, n.err = true, nil
+	n.mu.Unlock()
+
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	for sc.Scan() {
+		line := sc.Text()
+		if !strings.HasPrefix(line, "data: ") {
+			continue // ids, event names, heartbeats, frame separators
+		}
+		var ev struct {
+			Kind    string `json:"kind"`
+			Replica int    `json:"replica"`
+			Target  string `json:"target"`
+			Episode int    `json:"episode"`
+			Fault   string `json:"fault"`
+			Action  string `json:"action"`
+			Success bool   `json:"success"`
+			TTR     int64  `json:"ttr"`
+			Label   string `json:"label"`
+		}
+		if json.Unmarshal([]byte(line[len("data: "):]), &ev) != nil {
+			continue
+		}
+		tv.push(shortURL(n.url), formatTailEvent(ev.Kind, ev.Replica, ev.Target, ev.Episode, ev.Fault, ev.Action, ev.Success, ev.TTR, ev.Label))
+	}
+	return sc.Err()
+}
+
+// formatTailEvent renders one streamed event as a tail line.
+func formatTailEvent(kind string, replica int, target string, episode int, fault, action string, success bool, ttr int64, label string) string {
+	switch kind {
+	case "fault-injected":
+		return fmt.Sprintf("r%02d ep%03d fault %s", replica, episode, fault)
+	case "detected":
+		return fmt.Sprintf("r%02d ep%03d detected", replica, episode)
+	case "attempt-applied":
+		mark := "✗"
+		if success {
+			mark = "✓"
+		}
+		return fmt.Sprintf("r%02d ep%03d %s %s", replica, episode, mark, action)
+	case "escalated":
+		return fmt.Sprintf("r%02d ep%03d escalated", replica, episode)
+	case "recovered":
+		return fmt.Sprintf("r%02d ep%03d recovered in %ds", replica, episode, ttr)
+	case "admin":
+		return "admin " + label
+	case "kb-publish":
+		return "kb publish " + label
+	default:
+		if label != "" {
+			return kind + " " + label
+		}
+		if target != "" {
+			return fmt.Sprintf("r%02d %s %s", replica, kind, target)
+		}
+		return fmt.Sprintf("r%02d %s", replica, kind)
+	}
+}
+
+// push appends one tail line, evicting the oldest past capacity.
+func (tv *topView) push(node, line string) {
+	tv.mu.Lock()
+	defer tv.mu.Unlock()
+	tv.tail = append(tv.tail, tailEntry{when: time.Now(), node: node, line: line})
+	if over := len(tv.tail) - tv.max; over > 0 {
+		tv.tail = tv.tail[over:]
+	}
+}
+
+// render writes one frame. clear redraws in place (live TTY mode).
+func (tv *topView) render(w io.Writer, clear bool) {
+	var b strings.Builder
+	if clear {
+		b.WriteString("\x1b[2J\x1b[H")
+	}
+	fmt.Fprintf(&b, "fleet top — %d node(s) — %s\n\n", len(tv.nodes), time.Now().Format("15:04:05"))
+	fmt.Fprintf(&b, "%-28s %-8s %7s %7s %8s %8s %5s %5s %7s\n",
+		"NODE", "STATUS", "EPS/S", "RECOV%", "KB SEQ", "KB PTS", "LAG", "SUBS", "DROPPED")
+
+	// Fleet-wide max sequence anchors each node's sync lag.
+	var maxSeq float64
+	for _, n := range tv.nodes {
+		n.mu.Lock()
+		if n.err == nil {
+			if s := n.metrics["selfheal_kb_seq"]; s > maxSeq {
+				maxSeq = s
+			}
+		}
+		n.mu.Unlock()
+	}
+
+	for _, n := range tv.nodes {
+		n.mu.Lock()
+		if n.err != nil {
+			fmt.Fprintf(&b, "%-28s %-8s %s\n", shortURL(n.url), "down", n.err)
+			n.mu.Unlock()
+			continue
+		}
+		m := n.metrics
+		status := "ok"
+		if m["selfheal_draining"] > 0 {
+			status = "draining"
+			if m["selfheal_active_episodes"] == 0 {
+				status = "drained"
+			}
+		}
+		fmt.Fprintf(&b, "%-28s %-8s %7.2f %6.1f%% %8.0f %8.0f %5.0f %5.0f %7.0f\n",
+			shortURL(n.url), status,
+			m["selfheal_episodes_per_sec"],
+			100*m["selfheal_recovered_ratio"],
+			m["selfheal_kb_seq"],
+			m["selfheal_kb_points"],
+			maxSeq-m["selfheal_kb_seq"],
+			m["selfheal_events_subscribers"],
+			m["selfheal_events_dropped_total"])
+		n.mu.Unlock()
+	}
+
+	tv.mu.Lock()
+	if len(tv.tail) > 0 {
+		b.WriteString("\nrecent events:\n")
+		for _, e := range tv.tail {
+			fmt.Fprintf(&b, "  %s [%s] %s\n", e.when.Format("15:04:05"), e.node, e.line)
+		}
+	}
+	tv.mu.Unlock()
+	io.WriteString(w, b.String())
+}
+
+// shortURL trims the scheme for column-friendly node labels.
+func shortURL(u string) string {
+	u = strings.TrimPrefix(u, "http://")
+	return strings.TrimPrefix(u, "https://")
+}

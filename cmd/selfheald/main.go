@@ -147,6 +147,10 @@ func main() {
 		scenFlag = flag.String("scenario", "", "run a scripted adversarial scenario instead of the random campaign: a library name ("+strings.Join(selfheal.ScenarioNames(), ", ")+") or a JSON file path")
 		scenHrz  = flag.Int64("scenario-horizon", 0, "override the scenario's horizon in ticks (0 = as scripted)")
 		scenJSON = flag.Bool("scenario-json", false, "print the resolved scenario as canonical JSON and exit")
+		authTok  = flag.String("auth-token", "", "bearer token required to read the ops plane (empty = reads open)")
+		adminTok = flag.String("admin-token", "", "bearer token enabling the POST /admin/* verbs (empty = admin verbs disabled)")
+		rateLim  = flag.Float64("rate-limit", 0, "ops-plane requests per second allowed per remote address (0 = unlimited)")
+		reqLog   = flag.Bool("request-log", false, "log one line per ops-plane request to stderr")
 	)
 	flag.Parse()
 
@@ -272,6 +276,18 @@ func main() {
 			MaxPoints:   *compactN,
 			MergeRadius: *compactR,
 		}))
+	}
+	if *authTok != "" {
+		opts = append(opts, selfheal.WithAuthToken(*authTok))
+	}
+	if *adminTok != "" {
+		opts = append(opts, selfheal.WithAdminToken(*adminTok))
+	}
+	if *rateLim > 0 {
+		opts = append(opts, selfheal.WithRateLimit(*rateLim, 0))
+	}
+	if *reqLog {
+		opts = append(opts, selfheal.WithRequestLog())
 	}
 
 	fleet, err := selfheal.NewFleet(ctx, *replicas, opts...)

@@ -40,6 +40,14 @@ const (
 	EventScenarioWorkload = core.EventScenarioWorkload
 )
 
+// Control-plane events: node-scoped records (Replica is -1) the operator
+// surface emits onto the same stream — admin-verb audit trails and
+// knowledge-base publish markers. Event.Label carries the detail.
+const (
+	EventAdmin     = core.EventAdmin
+	EventKBPublish = core.EventKBPublish
+)
+
 // MultiSink fans one event stream out to several sinks in order.
 func MultiSink(sinks ...EventSink) EventSink { return core.MultiSink(sinks...) }
 

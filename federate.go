@@ -7,6 +7,8 @@ import (
 	"net/http"
 	"time"
 
+	"selfheal/internal/controlplane"
+	"selfheal/internal/core"
 	"selfheal/internal/httpapi"
 	"selfheal/internal/kbsync"
 )
@@ -124,10 +126,12 @@ func (fl *Fleet) KnowledgeSeq() uint64 {
 // stops only the background syncer — the listener stays bound until
 // Close so in-flight snapshot pulls can drain on the caller's terms.
 type Ops struct {
+	fleet    *Fleet
 	node     *kbsync.Node
 	syncer   *kbsync.Syncer
 	gossiper *kbsync.Gossiper
 	srv      *http.Server
+	handler  *httpapi.Server
 	ln       net.Listener
 	cancel   context.CancelFunc
 	done     chan struct{} // closed when the serve goroutine exits
@@ -185,10 +189,54 @@ func (o *Ops) GossipStats() (kbsync.GossipStats, bool) {
 	return o.gossiper.Stats(), true
 }
 
-// Close shuts the ops plane down: the syncer stops, the HTTP server
-// drains in-flight requests until ctx expires. Safe to call twice.
+// Events returns the node's live event broker — the same stream
+// GET /events serves, for in-process subscribers (kbtool top's tests,
+// embedding programs). Never nil on an Ops returned by ServeOps.
+func (o *Ops) Events() *EventBroker { return o.fleet.broker }
+
+// FreezeLearning freezes or thaws the fleet's learn path (see
+// Fleet.FreezeLearning); POST /admin/learning acts through the same
+// switch.
+func (o *Ops) FreezeLearning(freeze bool) bool { return o.fleet.FreezeLearning(freeze) }
+
+// LearningFrozen reports whether the fleet's learn path is frozen.
+func (o *Ops) LearningFrozen() bool { return o.fleet.LearningFrozen() }
+
+// Drain puts the node into drain: campaigns stop starting episodes
+// (Fleet.Drain), the gossip push plane pauses both directions, and
+// /healthz reports "draining" until in-flight episodes finish, then
+// "drained". POST /admin/drain acts through the same path.
+func (o *Ops) Drain() {
+	o.fleet.Drain()
+	if o.gossiper != nil {
+		o.gossiper.SetPaused(true)
+	}
+}
+
+// Draining reports whether Drain was requested.
+func (o *Ops) Draining() bool { return o.fleet.Draining() }
+
+// ActiveEpisodes counts episodes still in flight; after Drain, zero
+// means the node is drained.
+func (o *Ops) ActiveEpisodes() int64 { return o.fleet.ActiveEpisodes() }
+
+// Close shuts the ops plane down: parked long-polls and /events streams
+// are released immediately, the syncer stops, and the HTTP server
+// drains remaining in-flight requests until ctx expires. Safe to call
+// twice.
 func (o *Ops) Close(ctx context.Context) error {
 	o.cancel()
+	// Unpark before Shutdown: http.Server.Shutdown waits for in-flight
+	// requests but does not cancel their contexts, so a /kb/delta
+	// long-poll or an SSE subscriber would otherwise hold shutdown for
+	// its full wait (up to 30s). Server.Close releases the parked
+	// long-polls; Broker.Close ends every /events stream.
+	if o.handler != nil {
+		o.handler.Close()
+	}
+	if o.fleet.broker != nil {
+		o.fleet.broker.Close()
+	}
 	var err error
 	if o.srv != nil {
 		err = o.srv.Shutdown(ctx)
@@ -219,7 +267,18 @@ func (fl *Fleet) ServeOps(ctx context.Context) (*Ops, error) {
 	}
 	node := kbsync.NewNode(kb, nil)
 	runCtx, cancel := context.WithCancel(ctx)
-	o := &Ops{node: node, cancel: cancel}
+	o := &Ops{fleet: fl, node: node, cancel: cancel}
+
+	// Every knowledge-base publish becomes a kb-publish event on the
+	// live stream, so an /events subscriber (or kbtool top) sees the
+	// knowledge plane advance interleaved with the healing that fed it.
+	kb.OnPublish(func(seq uint64) {
+		fl.broker.Emit(core.Event{
+			Kind:    core.EventKBPublish,
+			Replica: -1,
+			Label:   fmt.Sprintf("seq %d", seq),
+		})
+	})
 
 	if fl.cfg.gossipFanout > 0 {
 		if len(fl.cfg.peers) == 0 {
@@ -270,17 +329,45 @@ func (fl *Fleet) ServeOps(ctx context.Context) (*Ops, error) {
 	}
 
 	if fl.cfg.serveAddr != "" {
+		hooks := controlplane.AdminHooks{
+			FreezeLearning: fl.FreezeLearning,
+			LearningFrozen: fl.LearningFrozen,
+			Drain:          o.Drain,
+			DrainStatus: func() (bool, int64) {
+				return fl.Draining(), fl.ActiveEpisodes()
+			},
+		}
+		if len(fl.cfg.peers) > 0 {
+			hooks.SyncNow = o.SyncNow
+		}
+		if fl.cfg.compaction != nil {
+			hooks.Compact = kb.Compact
+		}
+		var rl *controlplane.RateLimitConfig
+		if fl.cfg.rateRPS > 0 {
+			rl = &controlplane.RateLimitConfig{RPS: fl.cfg.rateRPS, Burst: fl.cfg.rateBurst}
+		}
 		handler, err := httpapi.NewServer(httpapi.Config{
 			Node:      node,
 			Collector: fl.collector,
 			Syncer:    o.syncer,
 			Gossiper:  o.gossiper,
 			Catalogs:  TargetCatalogs(),
+			Broker:    fl.broker,
+			Admin:     controlplane.NewAdmin(hooks, fl.broker),
+			Auth: controlplane.AuthConfig{
+				ReadToken:  fl.cfg.authToken,
+				AdminToken: fl.cfg.adminToken,
+			},
+			RateLimit:   rl,
+			LogRequests: fl.cfg.logRequests,
+			Drain:       fl,
 		})
 		if err != nil {
 			o.Close(ctx)
 			return nil, err
 		}
+		o.handler = handler
 		ln, err := net.Listen("tcp", fl.cfg.serveAddr)
 		if err != nil {
 			o.Close(ctx)

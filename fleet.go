@@ -4,7 +4,9 @@ import (
 	"context"
 	"fmt"
 	"sync"
+	"sync/atomic"
 
+	"selfheal/internal/controlplane"
 	"selfheal/internal/core"
 	"selfheal/internal/httpapi"
 )
@@ -26,6 +28,18 @@ type Fleet struct {
 	// collector tallies the event stream for the ops plane's /metrics;
 	// nil unless the fleet is federated (WithServeAddr / WithPeers).
 	collector *httpapi.Collector
+	// broker fans the same event stream out to live /events subscribers;
+	// nil unless the fleet is federated.
+	broker *controlplane.Broker
+	// gate is the fleet-wide learning freeze switch every replica's
+	// Healer shares (FreezeLearning / POST /admin/learning).
+	gate *core.Gate
+	// draining is set by Drain: campaigns stop starting episodes, the
+	// ops plane refuses gossip pushes, and /healthz reports the state.
+	draining atomic.Bool
+	// active counts episodes currently being healed, so an operator can
+	// watch a drain finish (drained = draining && active == 0).
+	active atomic.Int64
 }
 
 // replicaSeedStride separates replica seed streams; replica 0 keeps the
@@ -73,7 +87,8 @@ func NewFleet(ctx context.Context, n int, opts ...Option) (*Fleet, error) {
 			return nil, err
 		}
 	}
-	fl := &Fleet{cfg: cfg}
+	fl := &Fleet{cfg: cfg, gate: core.NewGate()}
+	cfg.learnGate = fl.gate
 	if cfg.federated() {
 		// Fail at construction, not at ServeOps, when federation is
 		// configured without a sequence-tracking shared knowledge base.
@@ -81,15 +96,17 @@ func NewFleet(ctx context.Context, n int, opts ...Option) (*Fleet, error) {
 			return nil, err
 		}
 		// The ops plane's /metrics tallies the same event stream any
-		// user sink consumes; collect next to it.
+		// user sink consumes, and the broker fans it out live to /events
+		// subscribers; both sit next to the user's sink.
 		fl.collector = httpapi.NewCollector()
+		fl.broker = controlplane.NewBroker(0)
 		if cfg.sink != nil {
-			cfg.sink = MultiSink(fl.collector, cfg.sink)
+			cfg.sink = MultiSink(fl.collector, fl.broker, cfg.sink)
 		} else {
-			cfg.sink = fl.collector
+			cfg.sink = MultiSink(fl.collector, fl.broker)
 		}
-		fl.cfg = cfg
 	}
+	fl.cfg = cfg
 	for i := 0; i < n; i++ {
 		if err := ctx.Err(); err != nil {
 			return nil, err
@@ -341,11 +358,17 @@ func (fl *Fleet) RunCampaign(ctx context.Context, c Campaign) (*FleetResult, err
 func (fl *Fleet) runShardBatch(ctx context.Context, i int, sh *campaignShard, batch, settle int) bool {
 	sys := fl.replicas[i]
 	for e := 0; e < batch && sh.remaining > 0; e++ {
-		if ctx.Err() != nil {
+		// A drain is a cancel that lets in-flight episodes finish: both
+		// zero the shard so the campaign winds down at the next batch
+		// boundary instead of abandoning a half-healed fault.
+		if ctx.Err() != nil || fl.draining.Load() {
 			sh.remaining = 0
 			break
 		}
-		sh.episodes = append(sh.episodes, sys.HealEpisode(ctx, sh.gen.Next()))
+		fl.active.Add(1)
+		ep := sys.HealEpisode(ctx, sh.gen.Next())
+		fl.active.Add(-1)
+		sh.episodes = append(sh.episodes, ep)
 		sh.remaining--
 		sys.StepN(settle)
 	}
@@ -355,6 +378,31 @@ func (fl *Fleet) runShardBatch(ctx context.Context, i int, sh *campaignShard, ba
 	sys.Healer.FlushLearned()
 	return false
 }
+
+// FreezeLearning freezes (true) or thaws (false) the fleet-wide learn
+// path and reports whether the call changed the state. While frozen,
+// replicas still detect, recommend and heal from everything already
+// learned, but no new observations enter the knowledge base — frozen
+// observations are dropped, not deferred. The same switch backs
+// POST /admin/learning on the ops plane.
+func (fl *Fleet) FreezeLearning(freeze bool) bool { return fl.gate.Freeze(freeze) }
+
+// LearningFrozen reports whether the fleet's learn path is frozen.
+func (fl *Fleet) LearningFrozen() bool { return fl.gate.Frozen() }
+
+// Drain puts the fleet into drain: running campaigns stop starting new
+// episodes at their next batch boundary, in-flight episodes finish, and
+// a federated node's ops plane refuses gossip pushes and reports
+// "draining"/"drained" on /healthz. Idempotent; there is no undrain —
+// a drain precedes shutdown.
+func (fl *Fleet) Drain() { fl.draining.Store(true) }
+
+// Draining reports whether Drain was called.
+func (fl *Fleet) Draining() bool { return fl.draining.Load() }
+
+// ActiveEpisodes counts episodes currently being healed; after Drain it
+// only falls, and zero means the fleet is drained.
+func (fl *Fleet) ActiveEpisodes() int64 { return fl.active.Load() }
 
 func boolToInt(b bool) int {
 	if b {

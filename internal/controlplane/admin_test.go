@@ -1,0 +1,171 @@
+package controlplane
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"selfheal/internal/core"
+)
+
+// testAdmin builds an Admin over stubbed hooks and a broker, mounted on
+// a bare mux (no auth — that stage is the mounting server's concern).
+func testAdmin(hooks AdminHooks) (*Admin, *Broker, *http.ServeMux) {
+	b := NewBroker(32)
+	a := NewAdmin(hooks, b)
+	mux := http.NewServeMux()
+	a.Register(mux)
+	return a, b, mux
+}
+
+// fullHooks is a hook set where every capability exists.
+func fullHooks() (AdminHooks, *struct {
+	frozen   bool
+	draining bool
+}) {
+	st := &struct {
+		frozen   bool
+		draining bool
+	}{}
+	return AdminHooks{
+		SyncNow: func(context.Context) (int, error) { return 7, nil },
+		Compact: func() (int, error) { return 3, nil },
+		FreezeLearning: func(freeze bool) bool {
+			changed := st.frozen != freeze
+			st.frozen = freeze
+			return changed
+		},
+		LearningFrozen: func() bool { return st.frozen },
+		Drain:          func() { st.draining = true },
+		DrainStatus:    func() (bool, int64) { return st.draining, 0 },
+	}, st
+}
+
+func postJSON(mux http.Handler, path, body string) *httptest.ResponseRecorder {
+	req := httptest.NewRequest(http.MethodPost, path, strings.NewReader(body))
+	rec := httptest.NewRecorder()
+	mux.ServeHTTP(rec, req)
+	return rec
+}
+
+// TestAdminVerbs drives each verb through its handler and checks the
+// JSON body, the broker audit event, and the POST-only envelope.
+func TestAdminVerbs(t *testing.T) {
+	hooks, st := fullHooks()
+	_, b, mux := testAdmin(hooks)
+	sub := b.Subscribe(SubOptions{})
+
+	// GET is refused uniformly.
+	req := httptest.NewRequest(http.MethodGet, "/admin/sync", nil)
+	rec := httptest.NewRecorder()
+	mux.ServeHTTP(rec, req)
+	if rec.Code != http.StatusMethodNotAllowed {
+		t.Fatalf("GET /admin/sync: %d, want 405", rec.Code)
+	}
+
+	rec = postJSON(mux, "/admin/sync", "")
+	if rec.Code != 200 || !strings.Contains(rec.Body.String(), `"added":7`) {
+		t.Fatalf("sync: %d %q", rec.Code, rec.Body.String())
+	}
+	rec = postJSON(mux, "/admin/compact", "")
+	if rec.Code != 200 || !strings.Contains(rec.Body.String(), `"dropped":3`) {
+		t.Fatalf("compact: %d %q", rec.Code, rec.Body.String())
+	}
+	rec = postJSON(mux, "/admin/learning", `{"freeze":true}`)
+	if rec.Code != 200 || !st.frozen {
+		t.Fatalf("learning freeze: %d %q frozen=%v", rec.Code, rec.Body.String(), st.frozen)
+	}
+	var lr struct {
+		Frozen  bool `json:"frozen"`
+		Changed bool `json:"changed"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &lr); err != nil || !lr.Frozen || !lr.Changed {
+		t.Fatalf("learning body %q (err %v)", rec.Body.String(), err)
+	}
+	rec = postJSON(mux, "/admin/drain", "")
+	if rec.Code != 200 || !st.draining || !strings.Contains(rec.Body.String(), `"draining":true`) {
+		t.Fatalf("drain: %d %q", rec.Code, rec.Body.String())
+	}
+
+	// Every acting verb audited itself on the stream, replica -1.
+	var kinds []string
+	for i := 0; i < 4; i++ {
+		se := <-sub.C()
+		if se.Event.Kind != core.EventAdmin || se.Event.Replica != -1 {
+			t.Fatalf("audit event %d = %+v", i, se.Event)
+		}
+		kinds = append(kinds, strings.SplitN(se.Event.Label, ":", 2)[0])
+	}
+	if got := strings.Join(kinds, ","); got != "sync,compact,learning,drain" {
+		t.Fatalf("audit order %q", got)
+	}
+}
+
+// TestAdminMissingCapabilities: nil hooks answer 409, not 500.
+func TestAdminMissingCapabilities(t *testing.T) {
+	hooks, _ := fullHooks()
+	hooks.SyncNow = nil
+	hooks.Compact = nil
+	_, _, mux := testAdmin(hooks)
+	if rec := postJSON(mux, "/admin/sync", ""); rec.Code != http.StatusConflict {
+		t.Fatalf("sync without peers: %d, want 409", rec.Code)
+	}
+	if rec := postJSON(mux, "/admin/compact", ""); rec.Code != http.StatusConflict {
+		t.Fatalf("compact without cap: %d, want 409", rec.Code)
+	}
+}
+
+// TestAdminLearningValidation: the body must carry an explicit freeze
+// boolean.
+func TestAdminLearningValidation(t *testing.T) {
+	hooks, _ := fullHooks()
+	_, _, mux := testAdmin(hooks)
+	for _, body := range []string{"", "{}", `{"freeze":"yes"}`, "not json"} {
+		if rec := postJSON(mux, "/admin/learning", body); rec.Code != http.StatusBadRequest {
+			t.Fatalf("body %q: %d, want 400", body, rec.Code)
+		}
+	}
+}
+
+// TestAdminSyncError: a failing sync reports 502 with the partial count.
+func TestAdminSyncError(t *testing.T) {
+	hooks, _ := fullHooks()
+	hooks.SyncNow = func(context.Context) (int, error) { return 2, fmt.Errorf("peer down") }
+	_, _, mux := testAdmin(hooks)
+	rec := postJSON(mux, "/admin/sync", "")
+	if rec.Code != http.StatusBadGateway {
+		t.Fatalf("failing sync: %d, want 502", rec.Code)
+	}
+	if !strings.Contains(rec.Body.String(), "peer down") || !strings.Contains(rec.Body.String(), `"added":2`) {
+		t.Fatalf("body %q", rec.Body.String())
+	}
+}
+
+// TestAdminRequestCounters: CountRequest aggregates per (verb, code),
+// sorted, including middleware-rejection codes counted from outside.
+func TestAdminRequestCounters(t *testing.T) {
+	hooks, _ := fullHooks()
+	a, _, _ := testAdmin(hooks)
+	a.CountRequest("sync", 200)
+	a.CountRequest("sync", 200)
+	a.CountRequest("sync", 401)
+	a.CountRequest("drain", 200)
+	rows := a.Requests()
+	want := []AdminRequestCount{
+		{Verb: "drain", Code: 200, Count: 1},
+		{Verb: "sync", Code: 200, Count: 2},
+		{Verb: "sync", Code: 401, Count: 1},
+	}
+	if len(rows) != len(want) {
+		t.Fatalf("rows %+v", rows)
+	}
+	for i := range want {
+		if rows[i] != want[i] {
+			t.Fatalf("row %d = %+v, want %+v", i, rows[i], want[i])
+		}
+	}
+}

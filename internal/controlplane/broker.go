@@ -1,0 +1,259 @@
+// Package controlplane is the operator surface of a selfheald node: the
+// live event stream, the middleware stack guarding the ops plane, and
+// the admin verbs that let an operator act on a running fleet instead of
+// restarting it.
+//
+// The centerpiece is the Broker, a fan-out hub for the typed healing
+// event stream (core.EventSink): replicas, scenario runners and the
+// knowledge plane emit into it, and any number of subscribers — SSE
+// handlers, a kbtool top session, tests — consume bounded, filtered
+// views of the same stream. Emitters never block: a slow subscriber
+// loses its own oldest-undelivered events (counted, per subscriber and
+// in total) while everyone else, and the healing loops above all, keep
+// running at full speed. A ring buffer of recent events lets a new
+// subscriber replay the immediate past (?last=N on /events), so an
+// operator who attaches mid-incident still sees how it started.
+package controlplane
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"selfheal/internal/core"
+)
+
+// StampedEvent is one broker event: the healing event plus the broker's
+// own monotonic stream id and the wall-clock arrival time. The id is the
+// SSE event id, so a reconnecting consumer can tell where it left off;
+// gaps in the ids it receives are exactly its drop count.
+type StampedEvent struct {
+	// ID numbers events in arrival order, starting at 1.
+	ID uint64
+	// Time is the wall-clock moment the broker accepted the event.
+	Time time.Time
+	// Event is the healing event itself.
+	Event core.Event
+}
+
+// Filter selects the subset of the stream a subscriber wants.
+type Filter struct {
+	// Kinds restricts delivery to these event kinds; empty means all.
+	Kinds []core.EventKind
+	// HasReplica, when true, restricts delivery to events stamped with
+	// Replica — including -1, the stamp of node-scoped admin events.
+	HasReplica bool
+	Replica    int
+}
+
+// match reports whether ev passes the filter.
+func (f Filter) match(ev core.Event) bool {
+	if f.HasReplica && ev.Replica != f.Replica {
+		return false
+	}
+	if len(f.Kinds) == 0 {
+		return true
+	}
+	for _, k := range f.Kinds {
+		if ev.Kind == k {
+			return true
+		}
+	}
+	return false
+}
+
+// Broker fans the healing event stream out to bounded subscribers. It is
+// a core.EventSink safe for concurrent fleet use; attach it with
+// MultiSink next to any console sink. The zero Broker is not usable —
+// construct with NewBroker.
+type Broker struct {
+	mu     sync.Mutex
+	ring   []StampedEvent // circular; ring[next%len] is the oldest slot
+	count  uint64         // events ever accepted == last assigned id
+	subs   map[*Subscription]struct{}
+	closed bool
+
+	dropped atomic.Uint64 // total events dropped across all subscribers
+}
+
+// defaultRing is the replay ring's size when NewBroker is given zero.
+const defaultRing = 1024
+
+// NewBroker builds a broker whose replay ring holds the last ringSize
+// events (0 means 1024).
+func NewBroker(ringSize int) *Broker {
+	if ringSize <= 0 {
+		ringSize = defaultRing
+	}
+	return &Broker{
+		ring: make([]StampedEvent, 0, ringSize),
+		subs: make(map[*Subscription]struct{}),
+	}
+}
+
+// Emit implements core.EventSink: stamp the event, remember it in the
+// replay ring, and offer it to every matching subscriber without ever
+// blocking — a subscriber whose buffer is full loses this event and has
+// its drop counter bumped instead.
+func (b *Broker) Emit(ev core.Event) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.closed {
+		return
+	}
+	b.count++
+	se := StampedEvent{ID: b.count, Time: time.Now(), Event: ev}
+	if len(b.ring) < cap(b.ring) {
+		b.ring = append(b.ring, se)
+	} else {
+		b.ring[int((se.ID-1)%uint64(cap(b.ring)))] = se
+	}
+	for sub := range b.subs {
+		if !sub.filter.match(ev) {
+			continue
+		}
+		select {
+		case sub.ch <- se:
+		default:
+			sub.dropped.Add(1)
+			b.dropped.Add(1)
+		}
+	}
+}
+
+// replayLocked returns the newest n ring events that pass f, oldest
+// first. Callers hold b.mu.
+func (b *Broker) replayLocked(n int, f Filter) []StampedEvent {
+	if n <= 0 || len(b.ring) == 0 {
+		return nil
+	}
+	size := len(b.ring)
+	var out []StampedEvent
+	// Walk backwards from the newest event until n matches are found.
+	// Event id k lives at slot (k-1) mod cap in both the fill phase
+	// (append put it there) and the wrapped phase.
+	for i := 0; i < size && len(out) < n; i++ {
+		se := b.ring[int((b.count-1-uint64(i))%uint64(cap(b.ring)))]
+		if f.match(se.Event) {
+			out = append(out, se)
+		}
+	}
+	// Reverse into chronological order.
+	for i, j := 0, len(out)-1; i < j; i, j = i+1, j-1 {
+		out[i], out[j] = out[j], out[i]
+	}
+	return out
+}
+
+// SubOptions configures one subscription.
+type SubOptions struct {
+	// Filter selects the events delivered; the zero Filter means all.
+	Filter Filter
+	// Buffer is the subscriber's bounded channel capacity (0 means 256).
+	// When the consumer falls this many events behind, further events are
+	// dropped for it — counted, never blocking the emitters.
+	Buffer int
+	// Replay pre-loads the newest Replay matching events from the ring,
+	// so a subscriber attaching mid-incident sees the immediate past.
+	// Replayed events count against Buffer.
+	Replay int
+}
+
+// defaultBuffer is a subscription's channel capacity when unset.
+const defaultBuffer = 256
+
+// Subscription is one bounded view of the stream. Receive from C until
+// it closes (broker shut down) or Cancel is called.
+type Subscription struct {
+	b       *Broker
+	ch      chan StampedEvent
+	filter  Filter
+	dropped atomic.Uint64
+	once    sync.Once
+}
+
+// C is the subscription's event channel. It closes when the broker
+// closes or the subscription is cancelled.
+func (s *Subscription) C() <-chan StampedEvent { return s.ch }
+
+// Dropped returns how many events this subscriber has lost to its
+// bounded buffer so far.
+func (s *Subscription) Dropped() uint64 { return s.dropped.Load() }
+
+// Cancel detaches the subscription and closes C. Safe to call twice,
+// and safe concurrently with the broker closing.
+func (s *Subscription) Cancel() {
+	s.b.mu.Lock()
+	defer s.b.mu.Unlock()
+	s.cancelLocked()
+}
+
+// cancelLocked detaches and closes exactly once. Callers hold s.b.mu,
+// which is what makes the close safe against a concurrent Emit.
+func (s *Subscription) cancelLocked() {
+	s.once.Do(func() {
+		delete(s.b.subs, s)
+		close(s.ch)
+	})
+}
+
+// Subscribe attaches a new bounded subscriber. On a closed broker the
+// returned subscription's channel is already closed.
+func (b *Broker) Subscribe(opts SubOptions) *Subscription {
+	buf := opts.Buffer
+	if buf <= 0 {
+		buf = defaultBuffer
+	}
+	sub := &Subscription{b: b, filter: opts.Filter}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	replay := b.replayLocked(opts.Replay, opts.Filter)
+	if buf < len(replay) {
+		buf = len(replay)
+	}
+	sub.ch = make(chan StampedEvent, buf)
+	for _, se := range replay {
+		sub.ch <- se
+	}
+	if b.closed {
+		close(sub.ch)
+		return sub
+	}
+	b.subs[sub] = struct{}{}
+	return sub
+}
+
+// Subscribers returns the current subscriber count — the
+// selfheal_events_subscribers gauge.
+func (b *Broker) Subscribers() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return len(b.subs)
+}
+
+// Dropped returns the total events dropped across all subscribers since
+// the broker was built — the selfheal_events_dropped_total counter.
+func (b *Broker) Dropped() uint64 { return b.dropped.Load() }
+
+// Seq returns the id of the newest event the broker has accepted.
+func (b *Broker) Seq() uint64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.count
+}
+
+// Close terminates every subscription (their channels close after any
+// buffered events drain) and makes further Emits no-ops. This is what
+// lets a graceful shutdown release parked SSE handlers immediately
+// instead of waiting out their clients.
+func (b *Broker) Close() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.closed {
+		return
+	}
+	b.closed = true
+	for sub := range b.subs {
+		sub.cancelLocked()
+	}
+}

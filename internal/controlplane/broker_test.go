@@ -1,0 +1,283 @@
+package controlplane
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"selfheal/internal/core"
+)
+
+// drain empties whatever a subscription has buffered right now.
+func drain(sub *Subscription) []StampedEvent {
+	var out []StampedEvent
+	for {
+		select {
+		case se, ok := <-sub.C():
+			if !ok {
+				return out
+			}
+			out = append(out, se)
+		default:
+			return out
+		}
+	}
+}
+
+// TestBrokerOrderAndIDs: a subscriber sees every event, in emission
+// order, with ids numbering from 1.
+func TestBrokerOrderAndIDs(t *testing.T) {
+	b := NewBroker(16)
+	sub := b.Subscribe(SubOptions{})
+	for i := 0; i < 10; i++ {
+		b.Emit(core.Event{Kind: core.EventDetected, Episode: i})
+	}
+	got := drain(sub)
+	if len(got) != 10 {
+		t.Fatalf("got %d events, want 10", len(got))
+	}
+	for i, se := range got {
+		if se.ID != uint64(i+1) || se.Event.Episode != i {
+			t.Fatalf("event %d: id=%d episode=%d, want id=%d episode=%d",
+				i, se.ID, se.Event.Episode, i+1, i)
+		}
+	}
+	if b.Seq() != 10 {
+		t.Fatalf("Seq() = %d, want 10", b.Seq())
+	}
+}
+
+// TestBrokerReplay: a late subscriber replays the newest N ring events in
+// chronological order — bounded by the ring, which overwrote the oldest.
+func TestBrokerReplay(t *testing.T) {
+	b := NewBroker(4)
+	for i := 0; i < 10; i++ {
+		b.Emit(core.Event{Kind: core.EventDetected, Episode: i})
+	}
+	sub := b.Subscribe(SubOptions{Replay: 100})
+	got := drain(sub)
+	if len(got) != 4 {
+		t.Fatalf("replayed %d events, want 4 (ring size)", len(got))
+	}
+	for i, se := range got {
+		if want := uint64(7 + i); se.ID != want {
+			t.Fatalf("replay[%d].ID = %d, want %d", i, se.ID, want)
+		}
+	}
+
+	// A smaller replay request returns exactly that many, newest kept.
+	sub2 := b.Subscribe(SubOptions{Replay: 2})
+	got2 := drain(sub2)
+	if len(got2) != 2 || got2[0].ID != 9 || got2[1].ID != 10 {
+		t.Fatalf("replay 2 = %+v, want ids 9,10", got2)
+	}
+}
+
+// TestBrokerFilter: kind and replica filters select matching events only,
+// for both live delivery and replay.
+func TestBrokerFilter(t *testing.T) {
+	b := NewBroker(32)
+	sub := b.Subscribe(SubOptions{Filter: Filter{
+		Kinds:      []core.EventKind{core.EventRecovered},
+		HasReplica: true,
+		Replica:    2,
+	}})
+	for rep := 0; rep < 4; rep++ {
+		b.Emit(core.Event{Kind: core.EventDetected, Replica: rep})
+		b.Emit(core.Event{Kind: core.EventRecovered, Replica: rep})
+	}
+	got := drain(sub)
+	if len(got) != 1 {
+		t.Fatalf("filtered subscriber got %d events, want 1", len(got))
+	}
+	if got[0].Event.Kind != core.EventRecovered || got[0].Event.Replica != 2 {
+		t.Fatalf("filtered event = %+v", got[0].Event)
+	}
+
+	// Replica -1 (admin stamp) is selectable explicitly.
+	admin := b.Subscribe(SubOptions{Filter: Filter{HasReplica: true, Replica: -1}, Replay: 32})
+	b.Emit(core.Event{Kind: core.EventAdmin, Replica: -1, Label: "drain"})
+	got = drain(admin)
+	if len(got) != 1 || got[0].Event.Kind != core.EventAdmin {
+		t.Fatalf("admin-filtered events = %+v, want one admin event", got)
+	}
+}
+
+// TestBrokerSlowSubscriber: a full buffer drops (counted) instead of
+// blocking the emitter, and a healthy subscriber alongside loses nothing.
+func TestBrokerSlowSubscriber(t *testing.T) {
+	b := NewBroker(8)
+	slow := b.Subscribe(SubOptions{Buffer: 2})
+	healthy := b.Subscribe(SubOptions{Buffer: 64})
+	for i := 0; i < 10; i++ {
+		b.Emit(core.Event{Kind: core.EventDetected, Episode: i})
+	}
+	if got := slow.Dropped(); got != 8 {
+		t.Fatalf("slow.Dropped() = %d, want 8", got)
+	}
+	if got := b.Dropped(); got != 8 {
+		t.Fatalf("broker.Dropped() = %d, want 8", got)
+	}
+	if got := len(drain(healthy)); got != 10 {
+		t.Fatalf("healthy subscriber got %d events, want all 10", got)
+	}
+	// The slow subscriber still holds its first 2, in order.
+	got := drain(slow)
+	if len(got) != 2 || got[0].ID != 1 || got[1].ID != 2 {
+		t.Fatalf("slow buffered = %+v, want ids 1,2", got)
+	}
+}
+
+// TestBrokerClose: close ends every subscription after its buffer drains,
+// later Emits are no-ops, and Subscribe on a closed broker returns an
+// already-closed (but replay-capable) channel.
+func TestBrokerClose(t *testing.T) {
+	b := NewBroker(8)
+	sub := b.Subscribe(SubOptions{})
+	b.Emit(core.Event{Kind: core.EventDetected})
+	b.Close()
+	b.Close() // idempotent
+	b.Emit(core.Event{Kind: core.EventRecovered})
+
+	got := drain(sub)
+	if len(got) != 1 || got[0].Event.Kind != core.EventDetected {
+		t.Fatalf("after close, drained %+v; want the one pre-close event", got)
+	}
+	if _, ok := <-sub.C(); ok {
+		t.Fatal("subscription channel still open after broker close")
+	}
+	late := b.Subscribe(SubOptions{Replay: 8})
+	if got := drain(late); len(got) != 1 {
+		t.Fatalf("post-close subscriber replayed %d events, want 1", len(got))
+	}
+	if _, ok := <-late.C(); ok {
+		t.Fatal("post-close subscription channel not closed")
+	}
+	if b.Subscribers() != 0 {
+		t.Fatalf("Subscribers() = %d after close", b.Subscribers())
+	}
+}
+
+// TestBrokerCancel detaches one subscriber without disturbing others.
+func TestBrokerCancel(t *testing.T) {
+	b := NewBroker(8)
+	a := b.Subscribe(SubOptions{})
+	c := b.Subscribe(SubOptions{})
+	a.Cancel()
+	a.Cancel() // idempotent
+	b.Emit(core.Event{Kind: core.EventDetected})
+	if got := drain(c); len(got) != 1 {
+		t.Fatalf("surviving subscriber got %d events, want 1", len(got))
+	}
+	if b.Subscribers() != 1 {
+		t.Fatalf("Subscribers() = %d, want 1", b.Subscribers())
+	}
+}
+
+// TestBrokerConcurrentReplicasLossFree is the fleet-shaped pin: many
+// replicas emitting through ReplicaSink+MultiSink into one Broker, the
+// way NewFleet wires its sinks, must deliver every event to an
+// adequately-buffered subscriber with per-replica order preserved and
+// correct replica stamps. Run under -race this also pins the sink chain
+// and broker as data-race-free.
+func TestBrokerConcurrentReplicasLossFree(t *testing.T) {
+	const replicas, perReplica = 8, 200
+	b := NewBroker(64)
+	sub := b.Subscribe(SubOptions{Buffer: replicas * perReplica})
+
+	var other core.EventSink = core.EventFunc(func(core.Event) {}) // the "console" leg
+	var wg sync.WaitGroup
+	for r := 0; r < replicas; r++ {
+		sink := core.ReplicaSink(r, core.MultiSink(b, other))
+		wg.Add(1)
+		go func(r int, sink core.EventSink) {
+			defer wg.Done()
+			for e := 0; e < perReplica; e++ {
+				sink.Emit(core.Event{Kind: core.EventDetected, Episode: e})
+			}
+		}(r, sink)
+	}
+	wg.Wait()
+
+	got := drain(sub)
+	if len(got) != replicas*perReplica {
+		t.Fatalf("subscriber got %d events, want %d (dropped %d)",
+			len(got), replicas*perReplica, sub.Dropped())
+	}
+	if sub.Dropped() != 0 || b.Dropped() != 0 {
+		t.Fatalf("drops: sub=%d broker=%d, want 0", sub.Dropped(), b.Dropped())
+	}
+	// IDs are the broker's arrival order: strictly increasing on the wire.
+	next := make([]int, replicas) // per-replica expected episode
+	var lastID uint64
+	for i, se := range got {
+		if se.ID <= lastID {
+			t.Fatalf("event %d: id %d not increasing after %d", i, se.ID, lastID)
+		}
+		lastID = se.ID
+		r := se.Event.Replica
+		if r < 0 || r >= replicas {
+			t.Fatalf("event %d: bad replica stamp %d", i, r)
+		}
+		if se.Event.Episode != next[r] {
+			t.Fatalf("replica %d: episode %d arrived, want %d (per-replica order broken)",
+				r, se.Event.Episode, next[r])
+		}
+		next[r]++
+	}
+	for r, n := range next {
+		if n != perReplica {
+			t.Fatalf("replica %d delivered %d events, want %d", r, n, perReplica)
+		}
+	}
+}
+
+// TestBrokerConcurrentSubscribeCancel races subscribers attaching,
+// detaching and a closing broker against a hot emitter; -race is the
+// assertion.
+func TestBrokerConcurrentSubscribeCancel(t *testing.T) {
+	b := NewBroker(16)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 2000; i++ {
+			b.Emit(core.Event{Kind: core.EventDetected, Episode: i})
+		}
+	}()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; j < 50; j++ {
+				sub := b.Subscribe(SubOptions{Buffer: 4, Replay: 4})
+				drain(sub)
+				sub.Cancel()
+			}
+		}(i)
+	}
+	wg.Wait()
+	<-done
+	b.Close()
+}
+
+// TestFilterMatchTable pins the filter semantics.
+func TestFilterMatchTable(t *testing.T) {
+	cases := []struct {
+		f    Filter
+		ev   core.Event
+		want bool
+	}{
+		{Filter{}, core.Event{Kind: core.EventDetected}, true},
+		{Filter{Kinds: []core.EventKind{core.EventDetected}}, core.Event{Kind: core.EventDetected}, true},
+		{Filter{Kinds: []core.EventKind{core.EventRecovered}}, core.Event{Kind: core.EventDetected}, false},
+		{Filter{HasReplica: true, Replica: 1}, core.Event{Kind: core.EventDetected, Replica: 1}, true},
+		{Filter{HasReplica: true, Replica: 1}, core.Event{Kind: core.EventDetected, Replica: 0}, false},
+		{Filter{HasReplica: true, Replica: -1}, core.Event{Kind: core.EventAdmin, Replica: -1}, true},
+	}
+	for i, c := range cases {
+		if got := c.f.match(c.ev); got != c.want {
+			t.Errorf("case %d (%s): match = %v, want %v", i, fmt.Sprintf("%+v", c.f), got, c.want)
+		}
+	}
+}

@@ -1,0 +1,179 @@
+package controlplane
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"selfheal/internal/core"
+)
+
+// GET /events — the healing event stream over Server-Sent Events. Each
+// event is framed as
+//
+//	id: <broker id>
+//	event: <kind>
+//	data: {json}
+//
+// with a comment heartbeat every heartbeatEvery of silence so proxies
+// and dead clients are discovered. Query parameters:
+//
+//	?last=N      replay the newest N matching events before going live
+//	?kind=a,b    only these event kinds (recovered, detected, ...)
+//	?replica=R   only events stamped with replica R (-1: admin events)
+//
+// The subscriber's buffer is bounded; a consumer that stops reading
+// loses events (visible as id gaps and in its drop counter) rather than
+// back-pressuring the healing loops.
+
+// wireEvent is the JSON shape of one streamed event: the core.Event
+// flattened to strings and scalars, empty fields elided. Kept stable —
+// it is consumed by kbtool top and by operators' scripts.
+type wireEvent struct {
+	ID         uint64  `json:"id"`
+	Time       string  `json:"time"`
+	Kind       string  `json:"kind"`
+	Replica    int     `json:"replica"`
+	Target     string  `json:"target,omitempty"`
+	Episode    int     `json:"episode,omitempty"`
+	Tick       int64   `json:"tick,omitempty"`
+	Fault      string  `json:"fault,omitempty"`
+	FaultsAt   string  `json:"fault_target,omitempty"`
+	Action     string  `json:"action,omitempty"`
+	Confidence float64 `json:"confidence,omitempty"`
+	Attempt    int     `json:"attempt,omitempty"`
+	Success    bool    `json:"success,omitempty"`
+	TTR        int64   `json:"ttr,omitempty"`
+	Label      string  `json:"label,omitempty"`
+	Severity   float64 `json:"severity,omitempty"`
+}
+
+// toWire flattens a stamped event for the stream.
+func toWire(se StampedEvent) wireEvent {
+	ev := se.Event
+	w := wireEvent{
+		ID:         se.ID,
+		Time:       se.Time.UTC().Format(time.RFC3339Nano),
+		Kind:       string(ev.Kind),
+		Replica:    ev.Replica,
+		Target:     ev.Target,
+		Episode:    ev.Episode,
+		Tick:       ev.Tick,
+		Confidence: ev.Confidence,
+		Attempt:    ev.Attempt,
+		Success:    ev.Success,
+		TTR:        ev.TTR,
+		Label:      ev.Label,
+		Severity:   ev.Severity,
+	}
+	if ev.Fault != nil {
+		w.Fault = ev.Fault.Kind().String()
+		w.FaultsAt = ev.Fault.Target()
+	}
+	if ev.Action != (core.Action{}) {
+		w.Action = ev.Action.String()
+	}
+	return w
+}
+
+// heartbeatEvery is the SSE keep-alive comment period.
+const heartbeatEvery = 15 * time.Second
+
+// parseSubOptions turns /events query parameters into SubOptions.
+func parseSubOptions(r *http.Request) (SubOptions, error) {
+	var opts SubOptions
+	q := r.URL.Query()
+	if raw := q.Get("last"); raw != "" {
+		n, err := strconv.Atoi(raw)
+		if err != nil || n < 0 {
+			return opts, fmt.Errorf("bad last=%q", raw)
+		}
+		opts.Replay = n
+	}
+	if raw := q.Get("kind"); raw != "" {
+		for _, k := range strings.Split(raw, ",") {
+			if k = strings.TrimSpace(k); k != "" {
+				opts.Filter.Kinds = append(opts.Filter.Kinds, core.EventKind(k))
+			}
+		}
+	}
+	if raw := q.Get("replica"); raw != "" {
+		rep, err := strconv.Atoi(raw)
+		if err != nil {
+			return opts, fmt.Errorf("bad replica=%q", raw)
+		}
+		opts.Filter.HasReplica = true
+		opts.Filter.Replica = rep
+	}
+	return opts, nil
+}
+
+// ServeSSE streams b's events to one client until the client goes away,
+// closing (a broker Close — shutdown) ends the stream, or a write
+// fails. closing may be nil.
+func ServeSSE(b *Broker, closing <-chan struct{}, w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "GET only", http.StatusMethodNotAllowed)
+		return
+	}
+	flusher, ok := w.(http.Flusher)
+	if !ok {
+		http.Error(w, "streaming unsupported", http.StatusInternalServerError)
+		return
+	}
+	opts, err := parseSubOptions(r)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	sub := b.Subscribe(opts)
+	defer sub.Cancel()
+
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.Header().Set("X-Accel-Buffering", "no")
+	w.WriteHeader(http.StatusOK)
+	fmt.Fprintf(w, ": stream open\n\n")
+	flusher.Flush()
+
+	heartbeat := time.NewTicker(heartbeatEvery)
+	defer heartbeat.Stop()
+	enc := json.NewEncoder(w)
+	for {
+		select {
+		case se, ok := <-sub.C():
+			if !ok {
+				// Broker closed: tell the client this is a server-side
+				// goodbye, not a network flake worth hammering retries at.
+				fmt.Fprintf(w, "event: goodbye\ndata: {\"reason\":\"shutting down\"}\n\n")
+				flusher.Flush()
+				return
+			}
+			fmt.Fprintf(w, "id: %d\nevent: %s\ndata: ", se.ID, se.Event.Kind)
+			if err := enc.Encode(toWire(se)); err != nil {
+				return
+			}
+			// Encoder wrote the trailing \n of the data line; one more
+			// blank line terminates the SSE frame.
+			fmt.Fprint(w, "\n")
+			if d := sub.Dropped(); d > 0 {
+				fmt.Fprintf(w, ": dropped %d\n\n", d)
+			}
+			flusher.Flush()
+		case <-heartbeat.C:
+			fmt.Fprintf(w, ": keep-alive\n\n")
+			flusher.Flush()
+		case <-closing:
+			// The server is shutting down; same goodbye as a broker close
+			// so clients can tell a deliberate stop from a network flake.
+			fmt.Fprintf(w, "event: goodbye\ndata: {\"reason\":\"shutting down\"}\n\n")
+			flusher.Flush()
+			return
+		case <-r.Context().Done():
+			return
+		}
+	}
+}

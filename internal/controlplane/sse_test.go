@@ -1,0 +1,176 @@
+package controlplane
+
+import (
+	"bufio"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"selfheal/internal/core"
+)
+
+// sseServer mounts ServeSSE over b on an httptest server.
+func sseServer(t *testing.T, b *Broker, closing <-chan struct{}) *httptest.Server {
+	t.Helper()
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		ServeSSE(b, closing, w, r)
+	}))
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+// readFrames reads SSE frames until n data frames arrived or the stream
+// ends, returning the decoded wire events.
+func readFrames(t *testing.T, body *bufio.Scanner, n int) []wireEvent {
+	t.Helper()
+	var out []wireEvent
+	for len(out) < n && body.Scan() {
+		line := body.Text()
+		if !strings.HasPrefix(line, "data: ") {
+			continue
+		}
+		var ev wireEvent
+		if err := json.Unmarshal([]byte(line[len("data: "):]), &ev); err != nil {
+			t.Fatalf("bad data line %q: %v", line, err)
+		}
+		out = append(out, ev)
+	}
+	return out
+}
+
+// TestServeSSEStreamsEvents: a subscriber over real HTTP receives live
+// events with ids, kinds and replica stamps intact.
+func TestServeSSEStreamsEvents(t *testing.T) {
+	b := NewBroker(32)
+	srv := sseServer(t, b, nil)
+
+	resp, err := http.Get(srv.URL + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("Content-Type %q", ct)
+	}
+
+	// Emit after the subscription settles; poll Subscribers since the
+	// handler attaches asynchronously.
+	waitSubscribers(t, b, 1)
+	b.Emit(core.Event{Kind: core.EventRecovered, Replica: 3, Episode: 9, TTR: 42})
+
+	got := readFrames(t, bufio.NewScanner(resp.Body), 1)
+	if len(got) != 1 {
+		t.Fatalf("got %d events", len(got))
+	}
+	ev := got[0]
+	if ev.Kind != "recovered" || ev.Replica != 3 || ev.Episode != 9 || ev.TTR != 42 || ev.ID != 1 {
+		t.Fatalf("event %+v", ev)
+	}
+}
+
+// TestServeSSEFilterAndReplay: ?kind and ?last shape the stream; bad
+// parameters 400.
+func TestServeSSEFilterAndReplay(t *testing.T) {
+	b := NewBroker(32)
+	for i := 0; i < 3; i++ {
+		b.Emit(core.Event{Kind: core.EventDetected, Replica: i})
+		b.Emit(core.Event{Kind: core.EventRecovered, Replica: i})
+	}
+	srv := sseServer(t, b, nil)
+
+	resp, err := http.Get(srv.URL + "/events?kind=recovered&last=10")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	got := readFrames(t, bufio.NewScanner(resp.Body), 3)
+	if len(got) != 3 {
+		t.Fatalf("replayed %d, want 3", len(got))
+	}
+	for i, ev := range got {
+		if ev.Kind != "recovered" || ev.Replica != i {
+			t.Fatalf("replay[%d] = %+v", i, ev)
+		}
+	}
+
+	for _, q := range []string{"?last=x", "?last=-1", "?replica=x"} {
+		r2, err := http.Get(srv.URL + "/events" + q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r2.Body.Close()
+		if r2.StatusCode != http.StatusBadRequest {
+			t.Fatalf("%s: %d, want 400", q, r2.StatusCode)
+		}
+	}
+
+	r3, err := http.Post(srv.URL+"/events", "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r3.Body.Close()
+	if r3.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("POST /events: %d, want 405", r3.StatusCode)
+	}
+}
+
+// TestServeSSEGoodbyeOnClose: closing the broker ends every stream
+// promptly with a goodbye frame — the shutdown path.
+func TestServeSSEGoodbyeOnClose(t *testing.T) {
+	b := NewBroker(8)
+	srv := sseServer(t, b, nil)
+	resp, err := http.Get(srv.URL + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	waitSubscribers(t, b, 1)
+
+	done := make(chan string, 1)
+	go func() {
+		var saw string
+		sc := bufio.NewScanner(resp.Body)
+		for sc.Scan() {
+			if strings.HasPrefix(sc.Text(), "event: goodbye") {
+				saw = sc.Text()
+			}
+		}
+		done <- saw
+	}()
+	b.Close()
+	select {
+	case saw := <-done:
+		if saw == "" {
+			t.Fatal("stream ended without goodbye frame")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("stream did not end after broker close")
+	}
+}
+
+// waitSubscribers polls until the broker sees n subscribers.
+func waitSubscribers(t *testing.T, b *Broker, n int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for b.Subscribers() < n {
+		if time.Now().After(deadline) {
+			t.Fatalf("never reached %d subscribers", n)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestParseSubOptions covers the query grammar.
+func TestParseSubOptions(t *testing.T) {
+	req := httptest.NewRequest(http.MethodGet, "/events?last=5&kind=recovered,detected&replica=2", nil)
+	opts, err := parseSubOptions(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opts.Replay != 5 || len(opts.Filter.Kinds) != 2 || !opts.Filter.HasReplica || opts.Filter.Replica != 2 {
+		t.Fatalf("opts %+v", opts)
+	}
+}

@@ -33,6 +33,16 @@ const (
 	// EventScenarioWorkload marks a scripted workload directive (scale,
 	// diurnal, drift, surge, trace playback) taking effect.
 	EventScenarioWorkload EventKind = "scenario-workload"
+
+	// EventAdmin is the audit record of one control-plane admin verb
+	// (sync, compact, learning freeze/thaw, drain). Label names the verb
+	// and its outcome; Replica is -1 — the verb acts on the node, not on
+	// any one replica.
+	EventAdmin EventKind = "admin"
+	// EventKBPublish marks a knowledge-base publish — local learning, a
+	// pulled delta, or a gossip push landing. Label carries the publish
+	// sequence; it is the stream's view of knowledge-plane motion.
+	EventKBPublish EventKind = "kb-publish"
 )
 
 // Event is one moment in a healing episode. Fields beyond Kind, Replica,

@@ -1,0 +1,31 @@
+package core
+
+import "sync/atomic"
+
+// Gate is a fleet-wide learning switch: every replica's Healer checks it
+// on the learn path, so one control-plane verb can freeze what a whole
+// fleet feeds its shared knowledge base — during an incident review, a
+// suspected poisoning, or a KB migration — without stopping the healing
+// loops themselves. Recommendations keep flowing from the knowledge the
+// fleet already has; only new lessons are dropped while frozen.
+//
+// The zero value is an open gate. All methods are safe for concurrent
+// use from any goroutine; replicas read it lock-free on every learn
+// event.
+type Gate struct {
+	frozen atomic.Bool
+}
+
+// NewGate returns an open (learning) gate.
+func NewGate() *Gate { return &Gate{} }
+
+// Freeze closes or reopens the gate and reports whether the call changed
+// anything — false when the gate was already in the requested state, so
+// an admin verb can make its audit event truthful about idempotent
+// re-freezes.
+func (g *Gate) Freeze(frozen bool) bool {
+	return g.frozen.Swap(frozen) != frozen
+}
+
+// Frozen reports whether learning is currently frozen.
+func (g *Gate) Frozen() bool { return g.frozen.Load() }

@@ -1,0 +1,55 @@
+package core
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestGateFreezeThaw pins the change-reporting contract: Freeze returns
+// true only when the call flipped the state.
+func TestGateFreezeThaw(t *testing.T) {
+	g := NewGate()
+	if g.Frozen() {
+		t.Fatal("new gate frozen")
+	}
+	if !g.Freeze(true) {
+		t.Fatal("first freeze reported no change")
+	}
+	if g.Freeze(true) {
+		t.Fatal("repeat freeze reported a change")
+	}
+	if !g.Frozen() {
+		t.Fatal("not frozen after Freeze(true)")
+	}
+	if !g.Freeze(false) {
+		t.Fatal("thaw reported no change")
+	}
+	if g.Frozen() {
+		t.Fatal("frozen after thaw")
+	}
+}
+
+// TestGateConcurrent hammers the gate from many goroutines; -race is
+// the assertion, plus a single winner per state flip.
+func TestGateConcurrent(t *testing.T) {
+	g := NewGate()
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	changes := 0
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if g.Freeze(true) {
+				mu.Lock()
+				changes++
+				mu.Unlock()
+			}
+			g.Frozen()
+		}()
+	}
+	wg.Wait()
+	if changes != 1 {
+		t.Fatalf("%d goroutines observed the freeze transition, want exactly 1", changes)
+	}
+}

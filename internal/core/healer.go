@@ -116,6 +116,13 @@ type Healer struct {
 	// Sink, when non-nil, receives the episode event stream (see Event).
 	Sink EventSink
 
+	// Learn, when non-nil, gates the learn path: while frozen, attempt
+	// outcomes and administrator labels are dropped instead of taught to
+	// the approach, so the knowledge base stops growing fleet-wide the
+	// moment an operator freezes it. Recommend still reads everything
+	// already learned. A Fleet shares one gate across its replicas.
+	Learn *Gate
+
 	// AdminOracle plays the administrator of Figure 3 lines 19–20: it
 	// returns the correct fix for the live fault. Wired to the target's
 	// ground truth by the experiment harnesses; nil means the
@@ -161,8 +168,14 @@ func OracleFromTarget(t targets.Target) func() (Action, bool) {
 }
 
 // observe routes one learn event: straight to the approach when
-// unbatched, into the pending buffer otherwise.
+// unbatched, into the pending buffer otherwise. A frozen learning gate
+// drops the event entirely — the observation is gone, not deferred, so a
+// thaw resumes learning from the present rather than replaying a backlog
+// the operator asked not to have.
 func (hl *Healer) observe(fctx *FailureContext, action Action, success bool) {
+	if hl.Learn != nil && hl.Learn.Frozen() {
+		return
+	}
 	if hl.Cfg.LearnBatch <= 0 {
 		hl.Approach.Observe(fctx, action, success)
 		return
@@ -189,6 +202,12 @@ func (hl *Healer) endEpisode() {
 func (hl *Healer) FlushLearned() {
 	hl.sinceFlush = 0
 	if len(hl.pending) == 0 {
+		return
+	}
+	if hl.Learn != nil && hl.Learn.Frozen() {
+		// Frozen between buffering and flush: the operator asked for no
+		// new knowledge, so the buffered labels are dropped, not parked.
+		hl.pending = hl.pending[:0]
 		return
 	}
 	if ob, ok := hl.Approach.(ObserveBatcher); ok {

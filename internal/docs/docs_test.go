@@ -4,7 +4,10 @@ import "testing"
 
 // RepoDocs are the guides the docs gate covers. New guides join here
 // and in .github/workflows/ci.yml.
-var repoDocs = []string{"README.md", "ADDING_TARGETS.md", "KNOWLEDGE_BASES.md", "SCENARIOS.md"}
+var repoDocs = []string{
+	"README.md", "ADDING_TARGETS.md", "KNOWLEDGE_BASES.md",
+	"SCENARIOS.md", "PERFORMANCE.md", "OPERATIONS.md",
+}
 
 // TestRepositoryDocs is the gate itself: running under `go test ./...`
 // means the tier-1 suite fails when a guide's code blocks stop

@@ -22,6 +22,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"log"
 	"net/http"
 	"sort"
 	"strconv"
@@ -29,6 +30,7 @@ import (
 	"sync"
 	"time"
 
+	"selfheal/internal/controlplane"
 	"selfheal/internal/core"
 	"selfheal/internal/kbsync"
 	"selfheal/internal/synopsis"
@@ -124,12 +126,50 @@ type Config struct {
 	// SaveKnowledgeBase records it in files (the facade passes the
 	// target registry's catalogs).
 	Catalogs map[string]synopsis.TargetCatalog
+
+	// Broker, when present, serves the live healing event stream at
+	// GET /events (SSE) and contributes subscriber/drop gauges to
+	// /metrics.
+	Broker *controlplane.Broker
+	// Admin, when present, mounts the POST /admin/* verbs and
+	// contributes selfheal_admin_requests_total to /metrics.
+	Admin *controlplane.Admin
+	// Auth is the bearer-token policy applied to the whole plane. The
+	// zero value leaves reads open; admin verbs are refused (403)
+	// whenever no admin token is configured — mutation never defaults
+	// open.
+	Auth controlplane.AuthConfig
+	// RateLimit, when non-nil, applies a per-remote token bucket to the
+	// whole plane.
+	RateLimit *controlplane.RateLimitConfig
+	// LogRequests turns on one structured log line per request.
+	LogRequests bool
+	// Logger receives request and panic logs (nil: process default).
+	Logger *log.Logger
+	// Drain, when non-nil, reports the node's drain state: /healthz
+	// reflects it and /kb/push refuses gossip with 503 while draining.
+	Drain Drainer
+}
+
+// Drainer reports a draining node's progress: whether a drain was
+// requested and how many episodes are still in flight.
+type Drainer interface {
+	Draining() bool
+	ActiveEpisodes() int64
 }
 
 // Server is the ops plane's http.Handler.
 type Server struct {
-	cfg Config
-	mux *http.ServeMux
+	cfg     Config
+	mux     *http.ServeMux
+	handler http.Handler // mux wrapped in the middleware stack
+
+	// closing is closed by Close: parked long-polls and SSE streams
+	// release immediately instead of waiting out their windows — without
+	// it, graceful shutdown stalls on http.Server.Shutdown until every
+	// parked /kb/delta?wait= elapses.
+	closing   chan struct{}
+	closeOnce sync.Once
 }
 
 // NewServer builds the handler.
@@ -137,13 +177,103 @@ func NewServer(cfg Config) (*Server, error) {
 	if cfg.Node == nil {
 		return nil, fmt.Errorf("httpapi: Config.Node is required")
 	}
-	s := &Server{cfg: cfg, mux: http.NewServeMux()}
+	s := &Server{cfg: cfg, mux: http.NewServeMux(), closing: make(chan struct{})}
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	s.mux.HandleFunc("/metrics", s.handleMetrics)
 	s.mux.HandleFunc("/kb/snapshot", s.handleSnapshot)
 	s.mux.HandleFunc("/kb/delta", s.handleDelta)
 	s.mux.HandleFunc("/kb/push", s.handlePush)
+	if cfg.Broker != nil {
+		s.mux.HandleFunc("/events", func(w http.ResponseWriter, r *http.Request) {
+			controlplane.ServeSSE(cfg.Broker, s.closing, w, r)
+		})
+	}
+	if cfg.Admin != nil {
+		cfg.Admin.Register(s.mux)
+	}
+
+	// The middleware stack wraps the whole mux, outermost first: panic
+	// recovery, admin-request accounting (outside auth, so denied
+	// attempts are counted), request logging, rate limiting, then auth.
+	// Stages the config leaves off are nil and skipped by Chain.
+	var logMW, rateMW, authMW controlplane.Middleware
+	if cfg.LogRequests {
+		logMW = controlplane.RequestLog(cfg.Logger)
+	}
+	if cfg.RateLimit != nil {
+		rateMW = controlplane.RateLimit(*cfg.RateLimit)
+	}
+	if cfg.Auth.ReadToken != "" || cfg.Auth.AdminToken != "" || cfg.Admin != nil {
+		authMW = controlplane.Auth(cfg.Auth)
+	}
+	s.handler = controlplane.Chain(
+		controlplane.Recover(cfg.Logger),
+		s.countAdmin(),
+		logMW,
+		rateMW,
+		authMW,
+	)(s.mux)
 	return s, nil
+}
+
+// Close releases every parked long-poll and SSE stream immediately.
+// Call it before http.Server.Shutdown so the drain is prompt; safe to
+// call twice. (The Broker is closed by its owner, which also unparks
+// /events subscribers — closing here covers requests parked on this
+// server's own wait logic.)
+func (s *Server) Close() {
+	s.closeOnce.Do(func() { close(s.closing) })
+}
+
+// countAdmin records every /admin/* response's final status into the
+// Admin counters — including 401/403/429 rejections produced by inner
+// middleware stages, which never reach the verb handlers.
+func (s *Server) countAdmin() controlplane.Middleware {
+	if s.cfg.Admin == nil {
+		return nil
+	}
+	return func(next http.Handler) http.Handler {
+		return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			if !strings.HasPrefix(r.URL.Path, "/admin/") {
+				next.ServeHTTP(w, r)
+				return
+			}
+			rec := &statusRecorder{ResponseWriter: w}
+			next.ServeHTTP(rec, r)
+			code := rec.status
+			if code == 0 {
+				code = http.StatusOK
+			}
+			s.cfg.Admin.CountRequest(strings.TrimPrefix(r.URL.Path, "/admin/"), code)
+		})
+	}
+}
+
+// statusRecorder captures the response status code.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+}
+
+func (sr *statusRecorder) WriteHeader(code int) {
+	if sr.status == 0 {
+		sr.status = code
+	}
+	sr.ResponseWriter.WriteHeader(code)
+}
+
+func (sr *statusRecorder) Write(p []byte) (int, error) {
+	if sr.status == 0 {
+		sr.status = http.StatusOK
+	}
+	return sr.ResponseWriter.Write(p)
+}
+
+// Flush keeps SSE streaming through the recorder.
+func (sr *statusRecorder) Flush() {
+	if f, ok := sr.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
 }
 
 // bodyWriter negotiates response compression: when the client accepts
@@ -160,8 +290,9 @@ func bodyWriter(w http.ResponseWriter, r *http.Request) (io.Writer, func()) {
 	return zw, func() { zw.Close() }
 }
 
-// ServeHTTP implements http.Handler.
-func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+// ServeHTTP implements http.Handler, serving through the middleware
+// stack.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.handler.ServeHTTP(w, r) }
 
 // etag renders the knowledge base's version as a strong ETag. The node's
 // epoch is part of it: a restarted node re-numbers its history from
@@ -182,7 +313,19 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		KBPoints int     `json:"kb_points"`
 		Peers    int     `json:"peers,omitempty"`
 		Uptime   float64 `json:"uptime_sec,omitempty"`
+		Active   int64   `json:"active_episodes,omitempty"`
 	}{Status: "ok", KBSeq: s.cfg.Node.Seq(), KBPoints: s.cfg.Node.KB().TrainingSize()}
+	if d := s.cfg.Drain; d != nil && d.Draining() {
+		// "draining" while episodes are still in flight, "drained" once
+		// the node is quiesced — the signal an orchestrator polls for
+		// before taking the node away.
+		st.Active = d.ActiveEpisodes()
+		if st.Active > 0 {
+			st.Status = "draining"
+		} else {
+			st.Status = "drained"
+		}
+	}
 	if s.cfg.Syncer != nil {
 		st.Peers = len(s.cfg.Syncer.Peers())
 	}
@@ -218,6 +361,29 @@ func (s *Server) writeMetrics(w io.Writer) {
 		float64(s.cfg.Node.KB().LogSize()))
 	gauge("selfheal_kb_seq", "knowledge-base publish sequence",
 		float64(s.cfg.Node.Seq()))
+
+	if b := s.cfg.Broker; b != nil {
+		gauge("selfheal_events_subscribers", "live /events subscribers",
+			float64(b.Subscribers()))
+		counter("selfheal_events_dropped_total", "events lost to slow subscribers' bounded buffers",
+			float64(b.Dropped()))
+	}
+
+	if a := s.cfg.Admin; a != nil {
+		fmt.Fprintf(w, "# HELP selfheal_admin_requests_total admin verb requests by final status\n# TYPE selfheal_admin_requests_total counter\n")
+		for _, row := range a.Requests() {
+			fmt.Fprintf(w, "selfheal_admin_requests_total{verb=%q,code=\"%d\"} %d\n", row.Verb, row.Code, row.Count)
+		}
+	}
+
+	if d := s.cfg.Drain; d != nil {
+		draining := 0.0
+		if d.Draining() {
+			draining = 1
+		}
+		gauge("selfheal_draining", "1 while a drain has been requested", draining)
+		gauge("selfheal_active_episodes", "episodes currently in flight", float64(d.ActiveEpisodes()))
+	}
 
 	if g := s.cfg.Gossiper; g != nil {
 		st := g.Stats()
@@ -394,6 +560,11 @@ func (s *Server) handleDelta(w http.ResponseWriter, r *http.Request) {
 			case <-ch:
 			case <-deadline.C:
 				break park
+			case <-s.closing:
+				// Graceful shutdown: answer with what we have right now
+				// (304, almost always) instead of holding Shutdown
+				// hostage for the rest of the wait window.
+				break park
 			case <-r.Context().Done():
 				return
 			}
@@ -430,6 +601,12 @@ func (s *Server) handleDelta(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handlePush(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	if d := s.cfg.Drain; d != nil && d.Draining() {
+		// A draining node stops accepting new knowledge; peers fall back
+		// to pulling from the rest of the mesh.
+		http.Error(w, "draining", http.StatusServiceUnavailable)
 		return
 	}
 	var body io.Reader = r.Body

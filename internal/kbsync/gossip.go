@@ -55,6 +55,11 @@ type Gossiper struct {
 	// covers any number of coalesced publishes).
 	signal chan struct{}
 
+	// paused parks the push plane (a drained node must stop spreading
+	// rumors as well as refusing them); publishes made while paused are
+	// picked up by the first flush after a resume.
+	paused atomic.Bool
+
 	rumorsOrigin    atomic.Uint64
 	rumorsRelayed   atomic.Uint64
 	rumorsReceived  atomic.Uint64
@@ -243,6 +248,9 @@ func (g *Gossiper) Run(ctx context.Context) {
 // when current). Exposed for deterministic tests and admin "sync now"
 // verbs; Run calls it on every wakeup.
 func (g *Gossiper) PushNow(ctx context.Context) int {
+	if g.paused.Load() {
+		return 0
+	}
 	g.mu.Lock()
 	since := g.pushed
 	g.mu.Unlock()
@@ -261,6 +269,11 @@ func (g *Gossiper) PushNow(ctx context.Context) int {
 	return len(d.Points)
 }
 
+// SetPaused parks or resumes the push plane. While paused, PushNow and
+// Receive are no-ops: nothing is sent, relayed, or applied. Resuming
+// lets the next flush tick push whatever was published in the meantime.
+func (g *Gossiper) SetPaused(paused bool) { g.paused.Store(paused) }
+
 // advance moves the push cursor forward to seq (never backward).
 func (g *Gossiper) advance(seq uint64) {
 	g.mu.Lock()
@@ -277,6 +290,11 @@ func (g *Gossiper) advance(seq uint64) {
 // Fanout more peers with one less hop of TTL. Returns how many points
 // were new locally.
 func (g *Gossiper) Receive(d *synopsis.Delta, id string, ttl int, from string) int {
+	if g.paused.Load() {
+		// The ops plane refuses pushes with 503 before they get here;
+		// this guard covers direct callers during a drain.
+		return 0
+	}
 	now := time.Now()
 	g.mu.Lock()
 	for k, exp := range g.seen {

@@ -191,6 +191,14 @@ type config struct {
 	compaction          *Compaction
 	shape               *WorkloadShape
 	scenario            *Scenario
+	// Control-plane settings (see controlplane.go). learnGate is set by
+	// NewFleet so every replica's Healer shares one freeze/thaw switch.
+	learnGate   *core.Gate
+	authToken   string
+	adminToken  string
+	rateRPS     float64
+	rateBurst   int
+	logRequests bool
 }
 
 // applyScenarioDefaults lets a pinned scenario select the target kind
@@ -566,6 +574,7 @@ func newSystem(cfg *config, kind TargetKind, seed int64, sink EventSink) (*Syste
 	hl := core.NewHealer(h, approach, hlcfg)
 	hl.AdminOracle = core.OracleFromTarget(t)
 	hl.Sink = sink
+	hl.Learn = cfg.learnGate
 	if cfg.scenario != nil {
 		// Validate the pinned scenario against this concrete target now —
 		// catalog coverage, capabilities, component names — instead of at
